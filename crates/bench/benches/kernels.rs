@@ -1,0 +1,156 @@
+//! Criterion benchmarks of the computational kernels behind every
+//! experiment: statevector gate application, the three gradient methods,
+//! FDTD stepping, SSIM, and QuBatch vs sequential execution.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qugeo_metrics::ssim;
+use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+use qugeo_qsim::encoding::encode_batched;
+use qugeo_qsim::{
+    adjoint_gradient, finite_difference_gradient, parameter_shift_gradient, DiagonalObservable,
+    Matrix2, State,
+};
+use qugeo_tensor::Array2;
+use qugeo_wavesim::{Grid, RickerWavelet, Solver, SpaceOrder, SpongeBoundary};
+
+fn paper_ansatz(num_qubits: usize, blocks: usize) -> qugeo_qsim::Circuit {
+    u3_cu3_ansatz(AnsatzConfig {
+        num_qubits,
+        num_blocks: blocks,
+        entangle: EntangleOrder::Ring,
+    })
+    .expect("valid ansatz")
+}
+
+fn params_for(circuit: &qugeo_qsim::Circuit) -> Vec<f64> {
+    (0..circuit.num_slots())
+        .map(|i| (i as f64 * 0.13).sin() * 0.4)
+        .collect()
+}
+
+fn uniform_state(num_qubits: usize) -> State {
+    State::from_real_normalized(&vec![1.0; 1 << num_qubits]).expect("valid state")
+}
+
+fn bench_gate_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_gates");
+    for qubits in [8usize, 12, 16] {
+        let gate = Matrix2::u3(0.3, -0.7, 1.1);
+        group.bench_with_input(BenchmarkId::new("single_u3", qubits), &qubits, |b, &q| {
+            let mut state = uniform_state(q);
+            b.iter(|| state.apply_single(black_box(&gate), q / 2));
+        });
+        group.bench_with_input(BenchmarkId::new("cu3", qubits), &qubits, |b, &q| {
+            let mut state = uniform_state(q);
+            b.iter(|| state.apply_controlled(black_box(&gate), 0, q / 2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_circuit_forward(c: &mut Criterion) {
+    // The paper's 8-qubit, 12-block, 576-parameter circuit.
+    let circuit = paper_ansatz(8, 12);
+    let params = params_for(&circuit);
+    let input = uniform_state(8);
+    c.bench_function("qugeo_vqc_forward_576_params", |b| {
+        b.iter(|| circuit.run(black_box(&input), black_box(&params)).expect("runs"))
+    });
+}
+
+fn bench_gradient_methods(c: &mut Criterion) {
+    // Gradients on a reduced circuit so parameter-shift / finite
+    // difference stay benchable; adjoint additionally measured at the
+    // paper's full size.
+    let mut group = c.benchmark_group("gradients");
+    let circuit = paper_ansatz(6, 2);
+    let params = params_for(&circuit);
+    let input = uniform_state(6);
+    let obs = DiagonalObservable::z(6, 0).expect("valid observable");
+
+    group.bench_function("adjoint_6q_2blocks", |b| {
+        b.iter(|| adjoint_gradient(&circuit, &params, &input, &obs).expect("grad"))
+    });
+    group.bench_function("parameter_shift_6q_2blocks", |b| {
+        b.iter(|| parameter_shift_gradient(&circuit, &params, &input, &obs).expect("grad"))
+    });
+    group.bench_function("finite_difference_6q_2blocks", |b| {
+        b.iter(|| finite_difference_gradient(&circuit, &params, &input, &obs, 1e-5).expect("grad"))
+    });
+
+    let full = paper_ansatz(8, 12);
+    let full_params = params_for(&full);
+    let full_input = uniform_state(8);
+    let full_obs = DiagonalObservable::z(8, 0).expect("valid observable");
+    group.bench_function("adjoint_paper_8q_12blocks", |b| {
+        b.iter(|| adjoint_gradient(&full, &full_params, &full_input, &full_obs).expect("grad"))
+    });
+    group.finish();
+}
+
+fn bench_qubatch_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubatch");
+    let circuit = paper_ansatz(8, 12);
+    let params = params_for(&circuit);
+    let samples: Vec<Vec<f64>> = (0..4)
+        .map(|k| (0..256).map(|i| ((i + k * 17) as f64 * 0.11).sin() + 0.2).collect())
+        .collect();
+
+    group.bench_function("sequential_4_samples", |b| {
+        b.iter(|| {
+            for s in &samples {
+                let state = State::from_real_normalized(s).expect("valid");
+                circuit.run(black_box(&state), &params).expect("runs");
+            }
+        })
+    });
+    group.bench_function("batched_4_samples", |b| {
+        let batched = encode_batched(&samples).expect("encodes");
+        let wide = circuit.widened(batched.batch_qubits());
+        b.iter(|| wide.run(black_box(batched.state()), &params).expect("runs"))
+    });
+    group.finish();
+}
+
+fn bench_fdtd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdtd");
+    group.sample_size(10);
+    for (label, order) in [
+        ("order2", SpaceOrder::Order2),
+        ("order4", SpaceOrder::Order4),
+        ("order8", SpaceOrder::Order8),
+    ] {
+        let vel = Array2::filled(70, 70, 2500.0);
+        let grid = Grid::new(70, 70, 10.0, 0.001, 200).expect("grid");
+        let solver = Solver::new(&vel, &grid, order, SpongeBoundary::default()).expect("solver");
+        let w = RickerWavelet::new(15.0, grid.dt()).expect("wavelet");
+        group.bench_function(BenchmarkId::new("shot_70x70_200steps", label), |b| {
+            b.iter(|| solver.run_shot((35, 1), &w, &[(10, 1), (60, 1)]).expect("shot"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ssim(c: &mut Criterion) {
+    let a = Array2::from_fn(8, 8, |r, cc| (r * 8 + cc) as f64);
+    let b2 = a.map(|v| v * 1.01 + 0.5);
+    c.bench_function("ssim_8x8", |b| {
+        b.iter(|| ssim(black_box(&a), black_box(&b2)).expect("ssim"))
+    });
+    let big_a = Array2::from_fn(70, 70, |r, cc| ((r * 31 + cc * 7) % 101) as f64);
+    let big_b = big_a.map(|v| v + 1.0);
+    c.bench_function("ssim_70x70", |b| {
+        b.iter(|| ssim(black_box(&big_a), black_box(&big_b)).expect("ssim"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gate_application,
+    bench_paper_circuit_forward,
+    bench_gradient_methods,
+    bench_qubatch_vs_sequential,
+    bench_fdtd,
+    bench_ssim
+);
+criterion_main!(benches);

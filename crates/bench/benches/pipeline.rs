@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the end-to-end pipeline stages: data
+//! scaling, one VQC training step (the unit the per-figure experiments
+//! repeat thousands of times), QuBatch training steps, and the classical
+//! baseline step.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use qugeo::decoder::Decoder;
+use qugeo::model::{QuGeoVqc, VqcConfig};
+use qugeo::pipeline::{fw_scale_seismic, normalized_target, FwScalingConfig};
+use qugeo::qubatch::QuBatch;
+use qugeo_geodata::scaling::{d_sample, ScaledLayout, ScaledSample};
+use qugeo_geodata::{FlatLayerGenerator, Sample};
+use qugeo_nn::models::{CnnRegressor, RegressorConfig};
+use qugeo_tensor::Array3;
+
+fn synthetic_scaled(seed: usize) -> ScaledSample {
+    let generator = FlatLayerGenerator::new(70, 70).expect("generator");
+    let model = generator.sample(seed as u64);
+    let seismic: Vec<f64> = (0..256)
+        .map(|i| ((i + seed * 13) as f64 * 0.17).sin() + 0.1)
+        .collect();
+    ScaledSample {
+        seismic,
+        velocity: qugeo_tensor::resample::nearest2(model.map(), 8, 8),
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_scaling");
+    group.sample_size(10);
+    let generator = FlatLayerGenerator::new(70, 70).expect("generator");
+    let model = generator.sample(5);
+    let layout = ScaledLayout::paper_default();
+
+    // D-Sample on a realistic raw cube.
+    let cube = Array3::from_fn(5, 1000, 70, |s, t, r| {
+        ((s * 997 + t * 31 + r * 7) % 211) as f64 * 0.01 - 1.0
+    });
+    let raw = Sample {
+        velocity: model.clone(),
+        seismic: cube,
+    };
+    group.bench_function("d_sample_5x1000x70", |b| {
+        b.iter(|| d_sample(black_box(&raw), &layout).expect("scales"))
+    });
+
+    // Physics-guided rescaling (includes the coarse FDTD run).
+    let fw_cfg = FwScalingConfig::default();
+    group.bench_function("fw_rescale_70x70", |b| {
+        b.iter(|| fw_scale_seismic(black_box(model.map()), &layout, &fw_cfg).expect("scales"))
+    });
+    group.finish();
+}
+
+fn bench_vqc_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_step");
+    let sample = synthetic_scaled(1);
+    let target = normalized_target(&sample);
+
+    for (label, decoder) in [
+        ("q_m_px", Decoder::paper_pixel_wise()),
+        ("q_m_ly", Decoder::paper_layer_wise()),
+    ] {
+        let model = QuGeoVqc::new(VqcConfig {
+            decoder,
+            ..VqcConfig::paper_pixel_wise()
+        })
+        .expect("model");
+        let params = model.init_params(3);
+        group.bench_function(BenchmarkId::new("loss_and_grad", label), |b| {
+            b.iter(|| {
+                model
+                    .loss_and_grad(black_box(&sample.seismic), &target, &params)
+                    .expect("grad")
+            })
+        });
+    }
+
+    // Classical baseline step at the same parameter scale.
+    let cnn = CnnRegressor::new(RegressorConfig::layer_wise(), 7).expect("cnn");
+    let input: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).cos()).collect();
+    let cnn_target = vec![0.5; 8];
+    group.bench_function("cnn_ly_loss_and_grad", |b| {
+        b.iter(|| cnn.loss_and_grad(black_box(&input), &cnn_target).expect("grad"))
+    });
+    group.finish();
+}
+
+fn bench_qubatch_training_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qubatch_training_step");
+    let model = QuGeoVqc::new(VqcConfig::paper_layer_wise()).expect("model");
+    let qubatch = QuBatch::new(&model).expect("qubatch");
+    let params = model.init_params(3);
+
+    for batch in [1usize, 2, 4] {
+        let samples: Vec<ScaledSample> = (0..batch).map(synthetic_scaled).collect();
+        let seismic: Vec<Vec<f64>> = samples.iter().map(|s| s.seismic.clone()).collect();
+        let targets: Vec<_> = samples.iter().map(normalized_target).collect();
+        group.bench_with_input(
+            BenchmarkId::new("loss_and_grad_batch", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    qubatch
+                        .loss_and_grad_batch(black_box(&seismic), &targets, &params)
+                        .expect("grad")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_vqc_training_step,
+    bench_qubatch_training_step
+);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Saving and restoring trained models.
+//!
+//! A checkpoint stores the trained parameter vector together with enough
+//! model metadata to refuse loading into an incompatible [`QuGeoVqc`] —
+//! so experiment binaries can train once and evaluate many times.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::model::QuGeoVqc;
+use crate::QuGeoError;
+
+/// File magic of the checkpoint format.
+const MAGIC: &[u8; 8] = b"QGCKPT01";
+
+/// A trained-parameter checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Trained circuit parameters.
+    pub params: Vec<f64>,
+    /// Data-register width the parameters were trained for.
+    pub data_qubits: usize,
+    /// Free-form label (e.g. "Q-M-LY on Q-D-FW, 500 epochs").
+    pub label: String,
+}
+
+impl Checkpoint {
+    /// Captures a model's trained parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if the parameter count disagrees
+    /// with the model.
+    pub fn capture(model: &QuGeoVqc, params: &[f64], label: &str) -> Result<Self, QuGeoError> {
+        if params.len() != model.num_params() {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "checkpoint of {} params for a {}-param model",
+                    params.len(),
+                    model.num_params()
+                ),
+            });
+        }
+        Ok(Self {
+            params: params.to_vec(),
+            data_qubits: model.data_qubits(),
+            label: label.to_string(),
+        })
+    }
+
+    /// Restores the parameters, validating against the target model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if the model's parameter count or
+    /// register width differs from the checkpoint's.
+    pub fn restore_into(&self, model: &QuGeoVqc) -> Result<Vec<f64>, QuGeoError> {
+        if self.params.len() != model.num_params() || self.data_qubits != model.data_qubits() {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "checkpoint ({} params, {} qubits) incompatible with model ({} params, {} qubits)",
+                    self.params.len(),
+                    self.data_qubits,
+                    model.num_params(),
+                    model.data_qubits()
+                ),
+            });
+        }
+        Ok(self.params.clone())
+    }
+
+    /// Writes the checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] wrapping I/O failures.
+    pub fn save(&self, path: &Path) -> Result<(), QuGeoError> {
+        let io_err = |e: std::io::Error| QuGeoError::Config {
+            reason: format!("checkpoint write failed: {e}"),
+        };
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+        f.write_all(MAGIC).map_err(io_err)?;
+        f.write_all(&(self.data_qubits as u64).to_le_bytes())
+            .map_err(io_err)?;
+        let label = self.label.as_bytes();
+        f.write_all(&(label.len() as u64).to_le_bytes()).map_err(io_err)?;
+        f.write_all(label).map_err(io_err)?;
+        f.write_all(&(self.params.len() as u64).to_le_bytes())
+            .map_err(io_err)?;
+        for p in &self.params {
+            f.write_all(&p.to_le_bytes()).map_err(io_err)?;
+        }
+        f.flush().map_err(io_err)
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for I/O failures or malformed
+    /// files.
+    pub fn load(path: &Path) -> Result<Self, QuGeoError> {
+        let bad = |reason: String| QuGeoError::Config { reason };
+        let io_err = |e: std::io::Error| QuGeoError::Config {
+            reason: format!("checkpoint read failed: {e}"),
+        };
+        let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(bad("not a qugeo checkpoint".into()));
+        }
+        let mut u64buf = [0u8; 8];
+        f.read_exact(&mut u64buf).map_err(io_err)?;
+        let data_qubits = u64::from_le_bytes(u64buf) as usize;
+
+        f.read_exact(&mut u64buf).map_err(io_err)?;
+        let label_len = u64::from_le_bytes(u64buf) as usize;
+        if label_len > 1 << 20 {
+            return Err(bad(format!("implausible label length {label_len}")));
+        }
+        let mut label_bytes = vec![0u8; label_len];
+        f.read_exact(&mut label_bytes).map_err(io_err)?;
+        let label = String::from_utf8(label_bytes)
+            .map_err(|_| bad("label not utf-8".into()))?;
+
+        f.read_exact(&mut u64buf).map_err(io_err)?;
+        let count = u64::from_le_bytes(u64buf) as usize;
+        if count > 1 << 24 {
+            return Err(bad(format!("implausible parameter count {count}")));
+        }
+        let mut params = Vec::with_capacity(count);
+        for _ in 0..count {
+            f.read_exact(&mut u64buf).map_err(io_err)?;
+            params.push(f64::from_le_bytes(u64buf));
+        }
+        Ok(Self {
+            params,
+            data_qubits,
+            label,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::VqcConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qugeo_ckpt_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn capture_validates_count() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        assert!(Checkpoint::capture(&m, &[0.0; 3], "x").is_err());
+        assert!(Checkpoint::capture(&m, &m.init_params(1), "x").is_ok());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(5);
+        let ckpt = Checkpoint::capture(&m, &params, "Q-M-LY test").unwrap();
+        let path = tmp("roundtrip.ckpt");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        assert_eq!(loaded.label, "Q-M-LY test");
+        let restored = loaded.restore_into(&m).unwrap();
+        assert_eq!(restored, params);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_rejects_incompatible_model() {
+        let ly = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let ckpt = Checkpoint::capture(&ly, &ly.init_params(1), "ly").unwrap();
+        // A smaller model with a different parameter count.
+        let small = QuGeoVqc::new(VqcConfig {
+            num_blocks: 4,
+            ..VqcConfig::paper_layer_wise()
+        })
+        .unwrap();
+        assert!(ckpt.restore_into(&small).is_err());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage.ckpt");
+        std::fs::write(&path, b"definitely not a checkpoint").unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prediction_identical_after_roundtrip() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(9);
+        let seismic: Vec<f64> = (0..256).map(|i| (i as f64 * 0.21).sin() + 0.1).collect();
+        let before = m.predict(&seismic, &params).unwrap();
+
+        let path = tmp("predict.ckpt");
+        Checkpoint::capture(&m, &params, "test").unwrap().save(&path).unwrap();
+        let restored = Checkpoint::load(&path).unwrap().restore_into(&m).unwrap();
+        let after = m.predict(&seismic, &restored).unwrap();
+        assert_eq!(before, after);
+        std::fs::remove_file(&path).ok();
+    }
+}

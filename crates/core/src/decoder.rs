@@ -1,0 +1,427 @@
+//! Velocity-map decoders: how measurement outcomes become predictions.
+//!
+//! Both decoders of the paper consume the probability distribution of the
+//! circuit's output state over the data qubits:
+//!
+//! * [`Decoder::PixelWise`] (`Q-M-PX`) — the 64 velocities of the 8×8 map
+//!   are "decoded as the magnitude of 64 amplitudes": prediction
+//!   `D_j = side · |a_j|` for the first `side²` basis states of the
+//!   register. Reading a *subspace* (rather than a marginal) keeps the
+//!   prediction norm learnable — the circuit can steer probability mass
+//!   into or out of the readout subspace. Trained with the paper's Eq. 2
+//!   (pixel-wise squared error).
+//! * [`Decoder::LayerWise`] (`Q-M-LY`) — one velocity per map row,
+//!   decoded from per-qubit Pauli-Z expectations via
+//!   `D'_i = (⟨Z_i⟩ + 1)/2`, exploiting the flat-layer prior. Trained
+//!   with Eq. 3 (each row velocity compared against every pixel of its
+//!   row).
+//!
+//! Everything a decoder computes is a function of basis-state
+//! probabilities, so the loss gradient with respect to each probability
+//! ([`Decoder::loss_and_prob_grad`]) is exactly the diagonal of the
+//! effective observable that `qugeo_qsim`'s adjoint differentiation
+//! consumes — one backward pass trains either decoder.
+
+use qugeo_tensor::Array2;
+
+use crate::QuGeoError;
+
+/// Guard against division by a vanishing probability when
+/// differentiating `√p`.
+const PROB_FLOOR: f64 = 1e-12;
+
+/// A velocity-map decoder (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoder {
+    /// Pixel-wise decoding of a `side × side` map from basis-state
+    /// magnitudes (`Q-M-PX`).
+    PixelWise {
+        /// Velocity-map side length (8 in the paper).
+        side: usize,
+    },
+    /// Layer-wise decoding of one velocity per row from per-qubit ⟨Z⟩
+    /// (`Q-M-LY`).
+    LayerWise {
+        /// Number of rows = number of qubits read (8 in the paper).
+        rows: usize,
+    },
+}
+
+impl Decoder {
+    /// The paper's pixel-wise decoder over 8×8 maps.
+    pub fn paper_pixel_wise() -> Self {
+        Self::PixelWise { side: 8 }
+    }
+
+    /// The paper's layer-wise decoder over 8 rows.
+    pub fn paper_layer_wise() -> Self {
+        Self::LayerWise { rows: 8 }
+    }
+
+    /// Side length of the decoded (normalised) velocity map.
+    pub fn map_side(&self) -> usize {
+        match *self {
+            Self::PixelWise { side } => side,
+            Self::LayerWise { rows } => rows,
+        }
+    }
+
+    /// Minimum number of data qubits the decoder needs.
+    pub fn min_qubits(&self) -> usize {
+        match *self {
+            Self::PixelWise { side } => {
+                let cells = side * side;
+                cells.next_power_of_two().trailing_zeros() as usize
+            }
+            Self::LayerWise { rows } => rows,
+        }
+    }
+
+    /// Validates the decoder against a data-qubit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if the decoder needs more qubits
+    /// than available, a pixel side that is not a power of two, or a
+    /// degenerate size.
+    pub fn validate(&self, data_qubits: usize) -> Result<(), QuGeoError> {
+        match *self {
+            Self::PixelWise { side } => {
+                if side == 0 || !side.is_power_of_two() {
+                    return Err(QuGeoError::Config {
+                        reason: format!("pixel decoder side {side} must be a power of two"),
+                    });
+                }
+            }
+            Self::LayerWise { rows } => {
+                if rows == 0 {
+                    return Err(QuGeoError::Config {
+                        reason: "layer decoder needs at least one row".into(),
+                    });
+                }
+            }
+        }
+        if self.min_qubits() > data_qubits {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "decoder needs {} qubits, only {data_qubits} available",
+                    self.min_qubits()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Decodes a normalised velocity map (values nominally in `[0, 1]`)
+    /// from the probability distribution `probs` over the data qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if `probs` is not a power-of-two
+    /// length compatible with the decoder.
+    pub fn decode(&self, probs: &[f64]) -> Result<Array2, QuGeoError> {
+        self.check_probs(probs)?;
+        match *self {
+            Self::PixelWise { side } => Ok(Array2::from_fn(side, side, |r, c| {
+                probs[r * side + c].max(0.0).sqrt() * side as f64
+            })),
+            Self::LayerWise { rows } => {
+                let z = self.z_expectations(probs, rows);
+                Ok(Array2::from_fn(rows, rows, |r, _| (z[r] + 1.0) / 2.0))
+            }
+        }
+    }
+
+    /// Computes the training loss against a normalised target map and
+    /// the gradient of that loss with respect to every basis-state
+    /// probability — the diagonal of the effective observable for
+    /// adjoint differentiation.
+    ///
+    /// The loss is the mean over the `side × side` map of squared error;
+    /// for the layer decoder the row prediction is compared against all
+    /// pixels of the row (the paper's Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for incompatible probability or
+    /// target shapes.
+    pub fn loss_and_prob_grad(
+        &self,
+        probs: &[f64],
+        target: &Array2,
+    ) -> Result<(f64, Vec<f64>), QuGeoError> {
+        self.check_probs(probs)?;
+        let side = self.map_side();
+        if target.shape() != (side, side) {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "target shape {:?} != decoder map {side}x{side}",
+                    target.shape()
+                ),
+            });
+        }
+        let n_pixels = (side * side) as f64;
+
+        match *self {
+            Self::PixelWise { side } => {
+                let cells = side * side;
+                let mut loss = 0.0;
+                // dL/dp_j only for the readout subspace (first `cells`
+                // basis states); mass elsewhere is unread and carries no
+                // direct gradient.
+                let mut grad = vec![0.0; probs.len()];
+                for (j, g) in grad.iter_mut().enumerate().take(cells) {
+                    let p = probs[j].max(0.0);
+                    let pred = p.sqrt() * side as f64;
+                    let t = target[(j / side, j % side)];
+                    let d = pred - t;
+                    loss += d * d;
+                    // dpred/dp = side / (2 sqrt(p)).
+                    let dpred_dp = side as f64 / (2.0 * p.max(PROB_FLOOR).sqrt());
+                    *g = 2.0 * d / n_pixels * dpred_dp;
+                }
+                Ok((loss / n_pixels, grad))
+            }
+            Self::LayerWise { rows } => {
+                let z = self.z_expectations(probs, rows);
+                let mut loss = 0.0;
+                // dL/dz_q for each read qubit.
+                let mut grad_z = vec![0.0; rows];
+                for (r, &zr) in z.iter().enumerate() {
+                    let pred = (zr + 1.0) / 2.0;
+                    let mut dsum = 0.0;
+                    for c in 0..rows {
+                        let d = pred - target[(r, c)];
+                        loss += d * d;
+                        dsum += 2.0 * d / n_pixels;
+                    }
+                    grad_z[r] = dsum * 0.5; // dpred/dz = 1/2
+                }
+                // z_q = Σ_i sign_q(i) p_i  ⇒  dz_q/dp_i = sign_q(i).
+                let grad = (0..probs.len())
+                    .map(|i| {
+                        let mut acc = 0.0;
+                        for (q, &gz) in grad_z.iter().enumerate() {
+                            let sign = if i & (1 << q) == 0 { 1.0 } else { -1.0 };
+                            acc += gz * sign;
+                        }
+                        acc
+                    })
+                    .collect();
+                Ok((loss / n_pixels, grad))
+            }
+        }
+    }
+
+    fn check_probs(&self, probs: &[f64]) -> Result<(), QuGeoError> {
+        if probs.is_empty() || !probs.len().is_power_of_two() {
+            return Err(QuGeoError::Config {
+                reason: format!("probability vector length {} not a power of two", probs.len()),
+            });
+        }
+        let qubits = probs.len().trailing_zeros() as usize;
+        self.validate(qubits)
+    }
+
+    /// ⟨Z⟩ of the low `rows` qubits from a probability vector.
+    fn z_expectations(&self, probs: &[f64], rows: usize) -> Vec<f64> {
+        (0..rows)
+            .map(|q| {
+                let mask = 1usize << q;
+                probs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| if i & mask == 0 { p } else { -p })
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_probs(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Decoder::paper_pixel_wise().validate(6).is_ok());
+        assert!(Decoder::paper_pixel_wise().validate(5).is_err());
+        assert!(Decoder::paper_layer_wise().validate(8).is_ok());
+        assert!(Decoder::paper_layer_wise().validate(7).is_err());
+        assert!(Decoder::PixelWise { side: 3 }.validate(8).is_err());
+        assert!(Decoder::LayerWise { rows: 0 }.validate(8).is_err());
+    }
+
+    #[test]
+    fn min_qubits() {
+        assert_eq!(Decoder::paper_pixel_wise().min_qubits(), 6);
+        assert_eq!(Decoder::paper_layer_wise().min_qubits(), 8);
+        assert_eq!(Decoder::PixelWise { side: 4 }.min_qubits(), 4);
+    }
+
+    #[test]
+    fn pixel_decode_uniform_gives_ones() {
+        // Uniform p = 1/64 over 6 qubits: pred = sqrt(1/64) * 8 = 1.0.
+        let d = Decoder::paper_pixel_wise();
+        let map = d.decode(&uniform_probs(64)).unwrap();
+        for &v in map.iter() {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pixel_decode_reads_a_subspace() {
+        // 8 qubits (256 probs); basis state 64 lies OUTSIDE the 64-state
+        // readout subspace, so only the mass on basis 0 is decoded —
+        // this is what makes the prediction norm learnable.
+        let d = Decoder::paper_pixel_wise();
+        let mut probs = vec![0.0; 256];
+        probs[0] = 0.5;
+        probs[64] = 0.5;
+        let map = d.decode(&probs).unwrap();
+        assert!((map[(0, 0)] - 8.0 * 0.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(map[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn pixel_decode_norm_is_learnable() {
+        // All mass outside the subspace ⇒ zero map; all mass inside ⇒
+        // norm `side`. The reachable prediction-norm range is [0, side].
+        let d = Decoder::paper_pixel_wise();
+        let mut outside = vec![0.0; 256];
+        outside[200] = 1.0;
+        let zero_map = d.decode(&outside).unwrap();
+        assert!(zero_map.iter().all(|&v| v == 0.0));
+
+        let mut inside = vec![0.0; 256];
+        inside[5] = 1.0;
+        let full = d.decode(&inside).unwrap();
+        let norm: f64 = full.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_decode_basis_states() {
+        let d = Decoder::paper_layer_wise();
+        // |0...0>: all <Z> = +1 -> all rows 1.0.
+        let mut probs = vec![0.0; 256];
+        probs[0] = 1.0;
+        let map = d.decode(&probs).unwrap();
+        assert!(map.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+
+        // |1...1>: all <Z> = -1 -> all rows 0.0.
+        let mut probs = vec![0.0; 256];
+        probs[255] = 1.0;
+        let map = d.decode(&probs).unwrap();
+        assert!(map.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn layer_decode_rows_are_constant() {
+        let d = Decoder::paper_layer_wise();
+        let probs: Vec<f64> = {
+            let raw: Vec<f64> = (0..256).map(|i| ((i * 37) % 11 + 1) as f64).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / total).collect()
+        };
+        let map = d.decode(&probs).unwrap();
+        for r in 0..8 {
+            let row = map.row(r);
+            assert!(row.iter().all(|&v| (v - row[0]).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn zero_loss_at_perfect_prediction_layer() {
+        let d = Decoder::paper_layer_wise();
+        let mut probs = vec![0.0; 256];
+        probs[0] = 1.0; // predicts all rows = 1.0
+        let target = Array2::filled(8, 8, 1.0);
+        let (loss, grad) = d.loss_and_prob_grad(&probs, &target).unwrap();
+        assert!(loss < 1e-12);
+        // Gradient of a perfect fit is zero.
+        assert!(grad.iter().all(|&g| g.abs() < 1e-9));
+    }
+
+    #[test]
+    fn loss_decreases_toward_target() {
+        let d = Decoder::paper_layer_wise();
+        let target = Array2::filled(8, 8, 1.0);
+        let mut probs_good = vec![0.0; 256];
+        probs_good[0] = 1.0; // rows 1.0 — perfect
+        let mut probs_bad = vec![0.0; 256];
+        probs_bad[255] = 1.0; // rows 0.0 — worst
+        let (l_good, _) = d.loss_and_prob_grad(&probs_good, &target).unwrap();
+        let (l_bad, _) = d.loss_and_prob_grad(&probs_bad, &target).unwrap();
+        assert!(l_good < l_bad);
+        assert!((l_bad - 1.0).abs() < 1e-12); // (0-1)² averaged
+    }
+
+    #[test]
+    fn prob_gradient_matches_finite_difference_pixel() {
+        let d = Decoder::paper_pixel_wise();
+        let probs: Vec<f64> = {
+            let raw: Vec<f64> = (0..64).map(|i| ((i * 13) % 7 + 1) as f64).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / total).collect()
+        };
+        let target = Array2::from_fn(8, 8, |r, c| ((r + c) % 3) as f64 * 0.4);
+        let (_, grad) = d.loss_and_prob_grad(&probs, &target).unwrap();
+
+        let h = 1e-8;
+        for idx in [0usize, 7, 33, 63] {
+            let mut p = probs.clone();
+            p[idx] += h;
+            let (plus, _) = d.loss_and_prob_grad(&p, &target).unwrap();
+            p[idx] -= 2.0 * h;
+            let (minus, _) = d.loss_and_prob_grad(&p, &target).unwrap();
+            let fd = (plus - minus) / (2.0 * h);
+            assert!(
+                (fd - grad[idx]).abs() < 1e-4 * fd.abs().max(1.0),
+                "prob {idx}: fd {fd} vs analytic {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn prob_gradient_matches_finite_difference_layer() {
+        let d = Decoder::paper_layer_wise();
+        let probs: Vec<f64> = {
+            let raw: Vec<f64> = (0..256).map(|i| ((i * 29) % 13 + 1) as f64).collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / total).collect()
+        };
+        let target = Array2::from_fn(8, 8, |r, _| r as f64 / 8.0);
+        let (_, grad) = d.loss_and_prob_grad(&probs, &target).unwrap();
+
+        let h = 1e-8;
+        for idx in [0usize, 100, 200, 255] {
+            let mut p = probs.clone();
+            p[idx] += h;
+            let (plus, _) = d.loss_and_prob_grad(&p, &target).unwrap();
+            p[idx] -= 2.0 * h;
+            let (minus, _) = d.loss_and_prob_grad(&p, &target).unwrap();
+            let fd = (plus - minus) / (2.0 * h);
+            assert!(
+                (fd - grad[idx]).abs() < 1e-5 * fd.abs().max(1.0),
+                "prob {idx}: fd {fd} vs analytic {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_probability_vectors() {
+        let d = Decoder::paper_pixel_wise();
+        assert!(d.decode(&[0.5, 0.5, 0.0]).is_err()); // not power of two
+        assert!(d.decode(&uniform_probs(32)).is_err()); // too few qubits
+        let target = Array2::filled(8, 8, 0.5);
+        assert!(d.loss_and_prob_grad(&uniform_probs(64), &Array2::filled(4, 4, 0.5)).is_err());
+        assert!(d.loss_and_prob_grad(&uniform_probs(64), &target).is_ok());
+    }
+}

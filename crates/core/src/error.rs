@@ -1,0 +1,121 @@
+use std::error::Error;
+use std::fmt;
+
+use qugeo_geodata::GeodataError;
+use qugeo_nn::NnError;
+use qugeo_qsim::QsimError;
+use qugeo_tensor::ShapeError;
+use qugeo_wavesim::WavesimError;
+
+/// Top-level error of the QuGeo framework, wrapping substrate errors and
+/// adding configuration violations of its own.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo::model::{QuGeoVqc, VqcConfig};
+/// use qugeo::QuGeoError;
+///
+/// let mut cfg = VqcConfig::paper_layer_wise();
+/// cfg.num_groups = 4; // 4 groups × 6 qubits = 24 qubits > 16 budget
+/// assert!(matches!(QuGeoVqc::new(cfg), Err(QuGeoError::Config { .. })));
+/// ```
+#[derive(Debug)]
+pub enum QuGeoError {
+    /// A framework-level configuration violation (e.g. exceeding the
+    /// paper's 16-qubit budget).
+    Config {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Quantum simulation failed.
+    Quantum(QsimError),
+    /// Forward modelling failed.
+    Modeling(WavesimError),
+    /// Dataset synthesis or scaling failed.
+    Data(GeodataError),
+    /// A classical network failed.
+    Network(NnError),
+    /// An array shape mismatch.
+    Shape(ShapeError),
+}
+
+impl fmt::Display for QuGeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config { reason } => write!(f, "configuration error: {reason}"),
+            Self::Quantum(e) => write!(f, "quantum simulation failed: {e}"),
+            Self::Modeling(e) => write!(f, "forward modelling failed: {e}"),
+            Self::Data(e) => write!(f, "data pipeline failed: {e}"),
+            Self::Network(e) => write!(f, "network failed: {e}"),
+            Self::Shape(e) => write!(f, "shape mismatch: {e}"),
+        }
+    }
+}
+
+impl Error for QuGeoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Config { .. } => None,
+            Self::Quantum(e) => Some(e),
+            Self::Modeling(e) => Some(e),
+            Self::Data(e) => Some(e),
+            Self::Network(e) => Some(e),
+            Self::Shape(e) => Some(e),
+        }
+    }
+}
+
+impl From<QsimError> for QuGeoError {
+    fn from(e: QsimError) -> Self {
+        Self::Quantum(e)
+    }
+}
+
+impl From<WavesimError> for QuGeoError {
+    fn from(e: WavesimError) -> Self {
+        Self::Modeling(e)
+    }
+}
+
+impl From<GeodataError> for QuGeoError {
+    fn from(e: GeodataError) -> Self {
+        Self::Data(e)
+    }
+}
+
+impl From<NnError> for QuGeoError {
+    fn from(e: NnError) -> Self {
+        Self::Network(e)
+    }
+}
+
+impl From<ShapeError> for QuGeoError {
+    fn from(e: ShapeError) -> Self {
+        Self::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = QuGeoError::Config {
+            reason: "too many qubits".into(),
+        };
+        assert!(e.to_string().contains("too many qubits"));
+        assert!(e.source().is_none());
+
+        let q: QuGeoError = QsimError::ZeroVector.into();
+        assert!(q.source().is_some());
+        assert!(q.to_string().contains("quantum"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<QuGeoError>();
+    }
+}

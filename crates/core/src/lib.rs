@@ -1,0 +1,60 @@
+//! QuGeo: an end-to-end quantum learning framework for geoscience,
+//! reproducing *"QuGeo: An End-to-end Quantum Learning Framework for
+//! Geoscience — A Case Study on Full-Waveform Inversion"* (Jiang & Lin,
+//! DAC 2024).
+//!
+//! QuGeo predicts subsurface **velocity maps** from surface **seismic
+//! data** with a variational quantum circuit. The crate wires together
+//! the workspace substrates into the paper's three components:
+//!
+//! 1. **QuGeoData** ([`pipeline`]) — physics-guided data scaling. Raw
+//!    FlatVelA-sized samples (5×1000×70 seismic, 70×70 velocity) are
+//!    shrunk to the 16-qubit budget (256 seismic values, 8×8 velocity)
+//!    three ways: nearest-neighbour `D-Sample` (baseline), re-running
+//!    acoustic forward modelling on the coarsened model at a lowered
+//!    source frequency (`Q-D-FW`), or a trained CNN compressor
+//!    (`Q-D-CNN`).
+//! 2. **QuGeoVQC** ([`model`], [`decoder`]) — amplitude encoding grouped
+//!    by seismic source, a 576-parameter `U3+CU3` ansatz, and two
+//!    decoders: pixel-wise (`Q-M-PX`, 64 basis-state magnitudes) and
+//!    layer-wise (`Q-M-LY`, 8 per-qubit ⟨Z⟩ row velocities).
+//! 3. **QuBatch** ([`qubatch`]) — SIMD-style batching: 2^N samples share
+//!    one circuit execution at the cost of N extra qubits.
+//!
+//! [`trainer`] implements the paper's training recipe (Adam, lr 0.1,
+//! cosine annealing) for quantum and classical models alike, and
+//! [`profile`] provides the vertical-velocity-profile analyses of
+//! Figures 7 and 9.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qugeo::decoder::Decoder;
+//! use qugeo::model::{QuGeoVqc, VqcConfig};
+//!
+//! # fn main() -> Result<(), qugeo::QuGeoError> {
+//! // The paper's Q-M-LY model: 8 qubits, 12 blocks, 576 parameters.
+//! let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
+//! assert_eq!(model.num_params(), 576);
+//!
+//! // Predict from a (here: synthetic) 256-value scaled seismic vector.
+//! let seismic: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let params = vec![0.05; model.num_params()];
+//! let velocity = model.predict(&seismic, &params)?;
+//! assert_eq!(velocity.shape(), (8, 8));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod checkpoint;
+pub mod decoder;
+pub mod model;
+pub mod pipeline;
+pub mod profile;
+pub mod qubatch;
+pub mod trainer;
+pub mod viz;
+
+mod error;
+
+pub use error::QuGeoError;

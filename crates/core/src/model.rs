@@ -1,0 +1,511 @@
+//! The QuGeoVQC model: encoder + ansatz + decoder.
+
+use qugeo_geodata::scaling::ScaledLayout;
+use qugeo_qsim::ansatz::{
+    grouped_ansatz, u3_cu3_ansatz, AnsatzConfig, EntangleOrder, GroupedAnsatzConfig,
+};
+use qugeo_qsim::encoding::{encode_grouped, GroupLayout};
+use qugeo_qsim::{adjoint_gradient, Circuit, DiagonalObservable, State};
+use qugeo_tensor::Array2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::decoder::Decoder;
+use crate::QuGeoError;
+
+/// Configuration of a [`QuGeoVqc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VqcConfig {
+    /// Length of the scaled seismic input vector (256 in the paper).
+    pub seismic_len: usize,
+    /// ST-Encoder groups; 1 loads the whole vector on one register, more
+    /// groups give each seismic source its own qubit subset.
+    pub num_groups: usize,
+    /// `U3+CU3` blocks (per group when `num_groups > 1`).
+    pub num_blocks: usize,
+    /// Whole-register mixing blocks after the per-group sub-VQCs
+    /// (ignored when `num_groups == 1`).
+    pub mixing_blocks: usize,
+    /// Intra-block entanglement order.
+    pub entangle: EntangleOrder,
+    /// Output decoder.
+    pub decoder: Decoder,
+    /// Hard qubit budget (the paper constrains itself to ≤ 16).
+    pub max_qubits: usize,
+}
+
+impl VqcConfig {
+    /// The paper's `Q-M-PX`: 256 inputs on 8 qubits, 12 blocks
+    /// (576 parameters), pixel-wise decoder.
+    pub fn paper_pixel_wise() -> Self {
+        Self {
+            seismic_len: 256,
+            num_groups: 1,
+            num_blocks: 12,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::paper_pixel_wise(),
+            max_qubits: 16,
+        }
+    }
+
+    /// The paper's `Q-M-LY`: same ansatz, layer-wise decoder.
+    pub fn paper_layer_wise() -> Self {
+        Self {
+            decoder: Decoder::paper_layer_wise(),
+            ..Self::paper_pixel_wise()
+        }
+    }
+
+    /// The layout-compatible configuration for a given scaled-data
+    /// layout (convenience for pipelines).
+    pub fn for_layout(layout: &ScaledLayout, decoder: Decoder) -> Self {
+        Self {
+            seismic_len: layout.seismic_len(),
+            decoder,
+            ..Self::paper_pixel_wise()
+        }
+    }
+}
+
+/// The QuGeo variational quantum circuit: amplitude-encodes scaled
+/// seismic data, processes it with a `U3+CU3` ansatz, and decodes a
+/// velocity map.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo::model::{QuGeoVqc, VqcConfig};
+///
+/// # fn main() -> Result<(), qugeo::QuGeoError> {
+/// let model = QuGeoVqc::new(VqcConfig::paper_pixel_wise())?;
+/// assert_eq!(model.num_params(), 576);
+/// assert_eq!(model.data_qubits(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuGeoVqc {
+    config: VqcConfig,
+    circuit: Circuit,
+    data_qubits: usize,
+}
+
+impl QuGeoVqc {
+    /// Builds the model, validating the qubit budget and decoder
+    /// compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] when the encoder layout is not a
+    /// power-of-two split, the register exceeds `max_qubits`, or the
+    /// decoder needs more qubits than the register has.
+    pub fn new(config: VqcConfig) -> Result<Self, QuGeoError> {
+        let layout = GroupLayout::for_data(config.seismic_len, config.num_groups)
+            .map_err(QuGeoError::from)?;
+        let data_qubits = layout.total_qubits();
+        if data_qubits > config.max_qubits {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "{} groups x {} qubits = {data_qubits} qubits exceeds the {}-qubit budget",
+                    config.num_groups,
+                    layout.qubits_per_group,
+                    config.max_qubits
+                ),
+            });
+        }
+        config.decoder.validate(data_qubits)?;
+
+        let circuit = if config.num_groups == 1 {
+            u3_cu3_ansatz(AnsatzConfig {
+                num_qubits: data_qubits,
+                num_blocks: config.num_blocks,
+                entangle: config.entangle,
+            })?
+        } else {
+            grouped_ansatz(GroupedAnsatzConfig {
+                num_groups: config.num_groups,
+                qubits_per_group: layout.qubits_per_group,
+                blocks_per_group: config.num_blocks,
+                mixing_blocks: config.mixing_blocks,
+                entangle: config.entangle,
+            })?
+        };
+
+        Ok(Self {
+            config,
+            circuit,
+            data_qubits,
+        })
+    }
+
+    /// The configuration this model was built from.
+    pub fn config(&self) -> &VqcConfig {
+        &self.config
+    }
+
+    /// The underlying parameterised circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Qubits of the data register.
+    pub fn data_qubits(&self) -> usize {
+        self.data_qubits
+    }
+
+    /// Trainable parameter count (576 for the paper models).
+    pub fn num_params(&self) -> usize {
+        self.circuit.num_slots()
+    }
+
+    /// The decoder in use.
+    pub fn decoder(&self) -> Decoder {
+        self.config.decoder
+    }
+
+    /// Draws a small random initial parameter vector (the usual VQC
+    /// near-identity initialisation).
+    pub fn init_params(&self, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.num_params())
+            .map(|_| rng.gen_range(-0.1..0.1))
+            .collect()
+    }
+
+    /// Amplitude-encodes a scaled seismic vector into the data register.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for length mismatches or all-zero groups.
+    pub fn encode(&self, seismic: &[f64]) -> Result<State, QuGeoError> {
+        if seismic.len() != self.config.seismic_len {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "seismic length {} != configured {}",
+                    seismic.len(),
+                    self.config.seismic_len
+                ),
+            });
+        }
+        encode_grouped(seismic, self.config.num_groups).map_err(QuGeoError::from)
+    }
+
+    /// Runs encoder + ansatz, returning the output state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures or parameter-count
+    /// mismatches.
+    pub fn forward(&self, seismic: &[f64], params: &[f64]) -> Result<State, QuGeoError> {
+        let encoded = self.encode(seismic)?;
+        self.circuit.run(&encoded, params).map_err(QuGeoError::from)
+    }
+
+    /// Predicts a normalised (`[0, 1]`-range) velocity map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures or parameter-count
+    /// mismatches.
+    pub fn predict(&self, seismic: &[f64], params: &[f64]) -> Result<Array2, QuGeoError> {
+        let state = self.forward(seismic, params)?;
+        self.config.decoder.decode(&state.probabilities())
+    }
+
+    /// Predicts under a NISQ noise model: the circuit runs as an ensemble
+    /// of noisy trajectories through `executor` and the decoder consumes
+    /// the averaged (noisy) probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures, parameter-count
+    /// mismatches, or simulation failures.
+    pub fn predict_noisy(
+        &self,
+        seismic: &[f64],
+        params: &[f64],
+        executor: &qugeo_qsim::noise::NoisyExecutor,
+    ) -> Result<Array2, QuGeoError> {
+        let encoded = self.encode(seismic)?;
+        let probs = executor.probabilities(&self.circuit, &encoded, params)?;
+        self.config.decoder.decode(&probs)
+    }
+
+    /// Predicts from finite-shot measurement statistics: the ideal output
+    /// distribution is sampled `shots` times and the decoder consumes the
+    /// empirical probabilities — hardware-faithful evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures, parameter-count
+    /// mismatches, or `shots == 0`.
+    pub fn predict_sampled(
+        &self,
+        seismic: &[f64],
+        params: &[f64],
+        shots: usize,
+        seed: u64,
+    ) -> Result<Array2, QuGeoError> {
+        if shots == 0 {
+            return Err(QuGeoError::Config {
+                reason: "need at least one shot".into(),
+            });
+        }
+        let state = self.forward(seismic, params)?;
+        let counts = qugeo_qsim::noise::sample_counts(&state.probabilities(), shots, seed)?;
+        let empirical = qugeo_qsim::noise::empirical_probabilities(&counts);
+        self.config.decoder.decode(&empirical)
+    }
+
+    /// Training loss against a normalised target map plus the gradient
+    /// with respect to every circuit parameter, computed with one
+    /// adjoint-differentiation pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for shape mismatches or simulation failures.
+    pub fn loss_and_grad(
+        &self,
+        seismic: &[f64],
+        target_normalized: &Array2,
+        params: &[f64],
+    ) -> Result<(f64, Vec<f64>), QuGeoError> {
+        let encoded = self.encode(seismic)?;
+        let output = self.circuit.run(&encoded, params)?;
+        let probs = output.probabilities();
+        let (loss, prob_grad) = self
+            .config
+            .decoder
+            .loss_and_prob_grad(&probs, target_normalized)?;
+        let obs = DiagonalObservable::from_diagonal(prob_grad)?;
+        let (_, grad) = adjoint_gradient(&self.circuit, params, &encoded, &obs)?;
+        Ok((loss, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_seismic(len: usize) -> Vec<f64> {
+        (0..len).map(|i| ((i as f64) * 0.37).sin() + 0.1).collect()
+    }
+
+    #[test]
+    fn paper_models_have_expected_shape() {
+        let px = QuGeoVqc::new(VqcConfig::paper_pixel_wise()).unwrap();
+        assert_eq!(px.num_params(), 576);
+        assert_eq!(px.data_qubits(), 8);
+
+        let ly = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        assert_eq!(ly.num_params(), 576);
+    }
+
+    #[test]
+    fn qubit_budget_enforced() {
+        let mut cfg = VqcConfig::paper_pixel_wise();
+        cfg.num_groups = 4; // 4 × 6 = 24 qubits
+        assert!(matches!(
+            QuGeoVqc::new(cfg),
+            Err(QuGeoError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn two_group_model_fits_budget() {
+        let mut cfg = VqcConfig::paper_pixel_wise();
+        cfg.num_groups = 2; // 2 × 7 = 14 qubits
+        cfg.num_blocks = 2;
+        cfg.mixing_blocks = 1;
+        let m = QuGeoVqc::new(cfg).unwrap();
+        assert_eq!(m.data_qubits(), 14);
+        // Layer decoder on 8 of 14 qubits also valid.
+        let mut cfg_ly = cfg;
+        cfg_ly.decoder = Decoder::paper_layer_wise();
+        assert!(QuGeoVqc::new(cfg_ly).is_ok());
+    }
+
+    #[test]
+    fn encode_validates_length() {
+        let m = QuGeoVqc::new(VqcConfig::paper_pixel_wise()).unwrap();
+        assert!(m.encode(&ramp_seismic(128)).is_err());
+        assert!(m.encode(&ramp_seismic(256)).is_ok());
+    }
+
+    #[test]
+    fn predict_shapes_and_ranges() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(3);
+        let map = m.predict(&ramp_seismic(256), &params).unwrap();
+        assert_eq!(map.shape(), (8, 8));
+        // Layer decoder outputs live in [0, 1].
+        assert!(map.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v)));
+    }
+
+    #[test]
+    fn init_params_deterministic() {
+        let m = QuGeoVqc::new(VqcConfig::paper_pixel_wise()).unwrap();
+        assert_eq!(m.init_params(9), m.init_params(9));
+        assert_ne!(m.init_params(9), m.init_params(10));
+        assert!(m.init_params(9).iter().all(|p| p.abs() < 0.1));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // A smaller model keeps the finite-difference oracle fast.
+        let cfg = VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 2,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::PixelWise { side: 4 },
+            max_qubits: 16,
+        };
+        let m = QuGeoVqc::new(cfg).unwrap();
+        let seismic = ramp_seismic(16);
+        let target = Array2::from_fn(4, 4, |r, c| ((r + c) % 2) as f64 * 0.8 + 0.1);
+        let params = m.init_params(5);
+        let (_, grad) = m.loss_and_grad(&seismic, &target, &params).unwrap();
+
+        let h = 1e-6;
+        for idx in [0usize, 10, 30, params.len() - 1] {
+            let mut p = params.clone();
+            p[idx] += h;
+            let (plus, _) = m.loss_and_grad(&seismic, &target, &p).unwrap();
+            p[idx] -= 2.0 * h;
+            let (minus, _) = m.loss_and_grad(&seismic, &target, &p).unwrap();
+            let fd = (plus - minus) / (2.0 * h);
+            assert!(
+                (fd - grad[idx]).abs() < 1e-5 * fd.abs().max(1.0),
+                "param {idx}: fd {fd} vs adjoint {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn layer_gradient_matches_finite_difference() {
+        let cfg = VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 2,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::LayerWise { rows: 4 },
+            max_qubits: 16,
+        };
+        let m = QuGeoVqc::new(cfg).unwrap();
+        let seismic = ramp_seismic(16);
+        let target = Array2::from_fn(4, 4, |r, _| r as f64 * 0.25);
+        let params = m.init_params(8);
+        let (_, grad) = m.loss_and_grad(&seismic, &target, &params).unwrap();
+
+        let h = 1e-6;
+        for idx in [0usize, 17, grad.len() - 1] {
+            let mut p = params.clone();
+            p[idx] += h;
+            let (plus, _) = m.loss_and_grad(&seismic, &target, &p).unwrap();
+            p[idx] -= 2.0 * h;
+            let (minus, _) = m.loss_and_grad(&seismic, &target, &p).unwrap();
+            let fd = (plus - minus) / (2.0 * h);
+            assert!(
+                (fd - grad[idx]).abs() < 1e-5 * fd.abs().max(1.0),
+                "param {idx}: fd {fd} vs adjoint {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn a_few_training_steps_reduce_loss() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let seismic = ramp_seismic(256);
+        let target = Array2::from_fn(8, 8, |r, _| 0.1 + 0.1 * r as f64);
+        let mut params = m.init_params(2);
+        let (initial, _) = m.loss_and_grad(&seismic, &target, &params).unwrap();
+        for _ in 0..25 {
+            let (_, grad) = m.loss_and_grad(&seismic, &target, &params).unwrap();
+            for (p, g) in params.iter_mut().zip(&grad) {
+                *p -= 0.2 * g;
+            }
+        }
+        let (fin, _) = m.loss_and_grad(&seismic, &target, &params).unwrap();
+        assert!(fin < initial * 0.5, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn noisy_prediction_converges_to_ideal_at_zero_noise() {
+        use qugeo_qsim::noise::{NoiseModel, NoisyExecutor};
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(4);
+        let seismic = ramp_seismic(256);
+        let ideal = m.predict(&seismic, &params).unwrap();
+        let exec = NoisyExecutor::new(NoiseModel::noiseless(), 4, 1);
+        let noisy = m.predict_noisy(&seismic, &params, &exec).unwrap();
+        for (a, b) in ideal.iter().zip(noisy.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_degrades_prediction_quality() {
+        use qugeo_qsim::noise::{NoiseModel, NoisyExecutor};
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(4);
+        let seismic = ramp_seismic(256);
+        let ideal = m.predict(&seismic, &params).unwrap();
+
+        let noise = NoiseModel::uniform_depolarizing(0.05).unwrap();
+        let exec = NoisyExecutor::new(noise, 24, 2);
+        let noisy = m.predict_noisy(&seismic, &params, &exec).unwrap();
+        let drift: f64 = ideal
+            .iter()
+            .zip(noisy.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(drift > 1e-6, "depolarizing noise must move the prediction");
+    }
+
+    #[test]
+    fn sampled_prediction_approaches_ideal_with_shots() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(4);
+        let seismic = ramp_seismic(256);
+        let ideal = m.predict(&seismic, &params).unwrap();
+
+        let err_for = |shots: usize| -> f64 {
+            let sampled = m.predict_sampled(&seismic, &params, shots, 99).unwrap();
+            ideal
+                .iter()
+                .zip(sampled.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        assert!(err_for(100_000) < err_for(100));
+        assert!(m.predict_sampled(&seismic, &params, 0, 0).is_err());
+    }
+
+    #[test]
+    fn grouped_model_runs_end_to_end() {
+        let cfg = VqcConfig {
+            seismic_len: 256,
+            num_groups: 2,
+            num_blocks: 2,
+            mixing_blocks: 1,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::paper_layer_wise(),
+            max_qubits: 16,
+        };
+        let m = QuGeoVqc::new(cfg).unwrap();
+        let params = m.init_params(1);
+        let map = m.predict(&ramp_seismic(256), &params).unwrap();
+        assert_eq!(map.shape(), (8, 8));
+        let target = Array2::filled(8, 8, 0.5);
+        let (loss, grad) = m.loss_and_grad(&ramp_seismic(256), &target, &params).unwrap();
+        assert!(loss.is_finite());
+        assert_eq!(grad.len(), m.num_params());
+        assert!(grad.iter().any(|g| g.abs() > 0.0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Vertical velocity-profile analysis (the paper's Figures 7 and 9).
+//!
+//! The paper inspects predictions by slicing the velocity map vertically
+//! at a horizontal position (x = 400 m), plotting velocity against depth,
+//! and counting how many layer *interfaces* (inflection points) the
+//! prediction recovers — and whether the relative ordering of the layers
+//! on either side is correct.
+
+use qugeo_metrics::profile_ssim;
+use qugeo_tensor::Array2;
+
+use crate::QuGeoError;
+
+/// Extracts the vertical profile of a velocity map at column `col`.
+///
+/// # Errors
+///
+/// Returns [`QuGeoError::Config`] if `col` is out of range.
+pub fn vertical_profile(map: &Array2, col: usize) -> Result<Vec<f64>, QuGeoError> {
+    if col >= map.cols() {
+        return Err(QuGeoError::Config {
+            reason: format!("column {col} out of range ({} columns)", map.cols()),
+        });
+    }
+    Ok(map.column(col))
+}
+
+/// Maps a physical horizontal distance to the nearest map column.
+///
+/// The paper profiles at x = 400 m of a 700 m-wide model; on an 8-wide
+/// map that is column `400/700·8 ≈ 4`.
+pub fn column_for_distance(map_cols: usize, distance_m: f64, extent_m: f64) -> usize {
+    let frac = (distance_m / extent_m).clamp(0.0, 1.0);
+    ((frac * map_cols as f64) as usize).min(map_cols.saturating_sub(1))
+}
+
+/// Detects layer interfaces in a vertical profile: depth indices `i`
+/// where `|v[i+1] − v[i]|` exceeds `threshold`.
+pub fn detect_interfaces(profile: &[f64], threshold: f64) -> Vec<usize> {
+    profile
+        .windows(2)
+        .enumerate()
+        .filter(|(_, w)| (w[1] - w[0]).abs() > threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The outcome of comparing predicted against true interfaces
+/// (the per-point analysis of Figures 7(b) and 9(b)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceComparison {
+    /// Interfaces in the ground-truth profile.
+    pub true_interfaces: Vec<usize>,
+    /// Interfaces in the predicted profile.
+    pub predicted_interfaces: Vec<usize>,
+    /// True interfaces matched by a prediction within ±1 depth cell.
+    pub matched: usize,
+    /// Of the matched interfaces, how many have the correct velocity
+    /// ordering (faster layer below, as the true profile has).
+    pub correct_order: usize,
+}
+
+impl InterfaceComparison {
+    /// Fraction of true interfaces recovered (0.0 when there are none).
+    pub fn recall(&self) -> f64 {
+        if self.true_interfaces.is_empty() {
+            0.0
+        } else {
+            self.matched as f64 / self.true_interfaces.len() as f64
+        }
+    }
+}
+
+/// Compares the interfaces of a predicted profile against the truth.
+///
+/// A true interface at depth `i` counts as *matched* when the prediction
+/// has an interface within ±1 cell; a matched interface has *correct
+/// order* when the predicted velocity step has the same sign as the true
+/// one.
+pub fn compare_interfaces(
+    truth: &[f64],
+    prediction: &[f64],
+    threshold: f64,
+) -> InterfaceComparison {
+    let true_interfaces = detect_interfaces(truth, threshold);
+    let predicted_interfaces = detect_interfaces(prediction, threshold);
+
+    let mut matched = 0usize;
+    let mut correct_order = 0usize;
+    for &t in &true_interfaces {
+        let hit = predicted_interfaces
+            .iter()
+            .find(|&&p| p.abs_diff(t) <= 1);
+        if let Some(&p) = hit {
+            matched += 1;
+            let true_step = truth[t + 1] - truth[t];
+            let pred_step = prediction[p + 1] - prediction[p];
+            if true_step.signum() == pred_step.signum() {
+                correct_order += 1;
+            }
+        }
+    }
+    InterfaceComparison {
+        true_interfaces,
+        predicted_interfaces,
+        matched,
+        correct_order,
+    }
+}
+
+/// SSIM between two vertical profiles — the similarity score annotated
+/// on the paper's profile plots.
+///
+/// # Errors
+///
+/// Returns an error if the profiles differ in length or are empty.
+pub fn profile_similarity(truth: &[f64], prediction: &[f64]) -> Result<f64, QuGeoError> {
+    profile_ssim(truth, prediction).map_err(QuGeoError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stepped(depths: &[(usize, f64)], len: usize) -> Vec<f64> {
+        // depths: (start_index, value) pairs, ascending.
+        let mut v = vec![0.0; len];
+        for i in 0..len {
+            let mut val = depths[0].1;
+            for &(start, value) in depths {
+                if i >= start {
+                    val = value;
+                }
+            }
+            v[i] = val;
+        }
+        v
+    }
+
+    #[test]
+    fn vertical_profile_extracts_column() {
+        let map = Array2::from_fn(4, 4, |r, c| (r * 10 + c) as f64);
+        let p = vertical_profile(&map, 2).unwrap();
+        assert_eq!(p, vec![2.0, 12.0, 22.0, 32.0]);
+        assert!(vertical_profile(&map, 4).is_err());
+    }
+
+    #[test]
+    fn column_for_distance_maps_physical_x() {
+        // The paper's x = 400 m on a 700 m, 8-column map.
+        assert_eq!(column_for_distance(8, 400.0, 700.0), 4);
+        assert_eq!(column_for_distance(8, 0.0, 700.0), 0);
+        assert_eq!(column_for_distance(8, 700.0, 700.0), 7);
+    }
+
+    #[test]
+    fn detect_interfaces_finds_steps() {
+        let p = stepped(&[(0, 1500.0), (3, 2500.0), (6, 3500.0)], 8);
+        let ifs = detect_interfaces(&p, 100.0);
+        assert_eq!(ifs, vec![2, 5]);
+        assert!(detect_interfaces(&p, 2000.0).is_empty());
+        assert!(detect_interfaces(&[1500.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn perfect_prediction_matches_all() {
+        let truth = stepped(&[(0, 1500.0), (4, 3000.0)], 8);
+        let cmp = compare_interfaces(&truth, &truth, 100.0);
+        assert_eq!(cmp.matched, 1);
+        assert_eq!(cmp.correct_order, 1);
+        assert_eq!(cmp.recall(), 1.0);
+    }
+
+    #[test]
+    fn smooth_prediction_misses_interfaces() {
+        let truth = stepped(&[(0, 1500.0), (4, 3000.0)], 8);
+        let smooth: Vec<f64> = (0..8).map(|i| 1500.0 + i as f64 * 190.0).collect();
+        let cmp = compare_interfaces(&truth, &smooth, 400.0);
+        assert_eq!(cmp.matched, 0);
+        assert_eq!(cmp.recall(), 0.0);
+    }
+
+    #[test]
+    fn off_by_one_interface_still_matches() {
+        let truth = stepped(&[(0, 1500.0), (4, 3000.0)], 8);
+        let shifted = stepped(&[(0, 1500.0), (5, 3000.0)], 8);
+        let cmp = compare_interfaces(&truth, &shifted, 100.0);
+        assert_eq!(cmp.matched, 1);
+        assert_eq!(cmp.correct_order, 1);
+    }
+
+    #[test]
+    fn wrong_order_detected() {
+        // Predicted interface at the right place but inverted velocities
+        // (slow layer below fast) — matched but order-incorrect, the
+        // paper's points C/D/E failure mode in Figure 9.
+        let truth = stepped(&[(0, 1500.0), (4, 3000.0)], 8);
+        let inverted = stepped(&[(0, 3000.0), (4, 1500.0)], 8);
+        let cmp = compare_interfaces(&truth, &inverted, 100.0);
+        assert_eq!(cmp.matched, 1);
+        assert_eq!(cmp.correct_order, 0);
+    }
+
+    #[test]
+    fn profile_similarity_orders_candidates() {
+        let truth = stepped(&[(0, 1500.0), (4, 3000.0)], 16);
+        let close: Vec<f64> = truth.iter().map(|v| v + 20.0).collect();
+        let far: Vec<f64> = (0..16).map(|i| 1500.0 + i as f64 * 100.0).collect();
+        let s_close = profile_similarity(&truth, &close).unwrap();
+        let s_far = profile_similarity(&truth, &far).unwrap();
+        assert!(s_close > s_far);
+        assert!(profile_similarity(&truth, &truth[..4]).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! QuBatch: SIMD-style data batching on the quantum circuit.
+//!
+//! A batch of `B = 2^N` scaled seismic samples is concatenated into one
+//! statevector over `data_qubits + N` qubits (the batch index lives in
+//! the high-order qubits). Because the ansatz only touches the data
+//! qubits, the executed unitary is `I ⊗ U(θ)` — the *same* trained
+//! operator applied to every sample at once, which is the paper's
+//! Figure 3 construction ("we can duplicate the computation operator
+//! without any cost").
+//!
+//! Per-sample predictions are recovered by conditioning on the batch
+//! register: block `b` of the output amplitudes, renormalised by its
+//! (circuit-invariant) weight `|c_b|²`. The batched loss gradient still
+//! reduces to one diagonal observable, so training uses a single adjoint
+//! pass per batch.
+//!
+//! The cost is data precision: one unit of amplitude norm is shared by
+//! all batch members (Section 3.3.3), which is exactly the graceful SSIM
+//! degradation Table 1 reports.
+
+use qugeo_qsim::encoding::{encode_batched, BatchedState};
+use qugeo_qsim::{adjoint_gradient, DiagonalObservable};
+use qugeo_tensor::Array2;
+
+use crate::model::QuGeoVqc;
+use crate::QuGeoError;
+
+/// Batched execution wrapper around a [`QuGeoVqc`].
+///
+/// # Examples
+///
+/// ```
+/// use qugeo::model::{QuGeoVqc, VqcConfig};
+/// use qugeo::qubatch::QuBatch;
+///
+/// # fn main() -> Result<(), qugeo::QuGeoError> {
+/// let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
+/// let batch = QuBatch::new(&model)?;
+/// assert_eq!(batch.extra_qubits(4), 2); // the paper's Table 1 row
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QuBatch<'a> {
+    model: &'a QuGeoVqc,
+}
+
+impl<'a> QuBatch<'a> {
+    /// Wraps a model for batched execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if the model uses a multi-group
+    /// encoder: per-group batch registers would entangle across groups in
+    /// ways the paper's construction (and this reproduction) do not
+    /// define, so batching is restricted to the single-group encoder.
+    pub fn new(model: &'a QuGeoVqc) -> Result<Self, QuGeoError> {
+        if model.config().num_groups != 1 {
+            return Err(QuGeoError::Config {
+                reason: "QuBatch requires the single-group encoder".into(),
+            });
+        }
+        Ok(Self { model })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &QuGeoVqc {
+        self.model
+    }
+
+    /// Extra qubits needed for a batch of `batch_size` samples
+    /// (`⌈log₂ B⌉`, the paper's Table 1 "Extra Qubits" column).
+    pub fn extra_qubits(&self, batch_size: usize) -> usize {
+        qugeo_qsim::complexity::log2_ceil(batch_size)
+    }
+
+    fn encode_batch(&self, seismic_batch: &[Vec<f64>]) -> Result<BatchedState, QuGeoError> {
+        for s in seismic_batch {
+            if s.len() != self.model.config().seismic_len {
+                return Err(QuGeoError::Config {
+                    reason: format!(
+                        "batch sample length {} != configured {}",
+                        s.len(),
+                        self.model.config().seismic_len
+                    ),
+                });
+            }
+        }
+        encode_batched(seismic_batch).map_err(QuGeoError::from)
+    }
+
+    /// Predicts a normalised velocity map for every sample of the batch
+    /// with **one** circuit execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty batches, length mismatches or
+    /// simulation failures.
+    pub fn predict_batch(
+        &self,
+        seismic_batch: &[Vec<f64>],
+        params: &[f64],
+    ) -> Result<Vec<Array2>, QuGeoError> {
+        let batched = self.encode_batch(seismic_batch)?;
+        let wide = self.model.circuit().widened(batched.batch_qubits());
+        let processed = wide.run(batched.state(), params)?;
+
+        let mut maps = Vec::with_capacity(seismic_batch.len());
+        for b in 0..batched.batch_count() {
+            let sample_state = batched.sample_state(&processed, b)?;
+            maps.push(self.model.decoder().decode(&sample_state.probabilities())?);
+        }
+        Ok(maps)
+    }
+
+    /// Mean training loss over the batch and its parameter gradient,
+    /// computed with one forward execution and one adjoint pass.
+    ///
+    /// `targets_normalized` must hold one normalised velocity map per
+    /// batch sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty batches, mismatched lengths or
+    /// simulation failures.
+    pub fn loss_and_grad_batch(
+        &self,
+        seismic_batch: &[Vec<f64>],
+        targets_normalized: &[Array2],
+        params: &[f64],
+    ) -> Result<(f64, Vec<f64>), QuGeoError> {
+        if seismic_batch.len() != targets_normalized.len() || seismic_batch.is_empty() {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "batch of {} samples with {} targets",
+                    seismic_batch.len(),
+                    targets_normalized.len()
+                ),
+            });
+        }
+        let batched = self.encode_batch(seismic_batch)?;
+        let wide = self.model.circuit().widened(batched.batch_qubits());
+        let processed = wide.run(batched.state(), params)?;
+
+        let block_size = 1usize << self.model.data_qubits();
+        let block_count = 1usize << batched.batch_qubits();
+        let inv_batch = 1.0 / seismic_batch.len() as f64;
+
+        let mut total_loss = 0.0;
+        // Effective diagonal over the full (data + batch) register.
+        let mut diag = vec![0.0; block_size * block_count];
+        for (b, target) in targets_normalized.iter().enumerate() {
+            let weight = batched.block_weights()[b];
+            // Probabilities conditioned on batch index b.
+            let block = processed.block(b, block_count)?;
+            let cond_probs: Vec<f64> = block
+                .probabilities()
+                .iter()
+                .map(|p| p / weight)
+                .collect();
+            let (loss, prob_grad) = self
+                .model
+                .decoder()
+                .loss_and_prob_grad(&cond_probs, target)?;
+            total_loss += loss * inv_batch;
+            // d(total)/d|a_i|² = inv_batch · dL_b/dp_j · (1/weight)
+            // for i = b·block_size + j.
+            for (j, &g) in prob_grad.iter().enumerate() {
+                diag[b * block_size + j] = inv_batch * g / weight;
+            }
+        }
+
+        let obs = DiagonalObservable::from_diagonal(diag)?;
+        let (_, grad) = adjoint_gradient(&wide, params, batched.state(), &obs)?;
+        Ok((total_loss, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::model::VqcConfig;
+    use qugeo_qsim::ansatz::EntangleOrder;
+
+    fn small_model(decoder: Decoder) -> QuGeoVqc {
+        QuGeoVqc::new(VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 2,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder,
+            max_qubits: 16,
+        })
+        .unwrap()
+    }
+
+    fn sample(seed: usize) -> Vec<f64> {
+        (0..16)
+            .map(|i| ((i + seed * 31) as f64 * 0.7).sin() + 0.2)
+            .collect()
+    }
+
+    #[test]
+    fn rejects_multi_group_models() {
+        let m = QuGeoVqc::new(VqcConfig {
+            seismic_len: 256,
+            num_groups: 2,
+            num_blocks: 1,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::paper_layer_wise(),
+            max_qubits: 16,
+        })
+        .unwrap();
+        assert!(QuBatch::new(&m).is_err());
+    }
+
+    #[test]
+    fn extra_qubit_accounting_matches_table1() {
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        assert_eq!(qb.extra_qubits(1), 0);
+        assert_eq!(qb.extra_qubits(2), 1);
+        assert_eq!(qb.extra_qubits(4), 2);
+        assert_eq!(qb.extra_qubits(8), 3);
+    }
+
+    #[test]
+    fn batched_predictions_match_individual_runs() {
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(4);
+        let batch = vec![sample(0), sample(1), sample(2)];
+
+        let batched_maps = qb.predict_batch(&batch, &params).unwrap();
+        assert_eq!(batched_maps.len(), 3);
+        for (i, s) in batch.iter().enumerate() {
+            let solo = m.predict(s, &params).unwrap();
+            for (a, b) in batched_maps[i].iter().zip(solo.iter()) {
+                assert!((a - b).abs() < 1e-9, "sample {i} diverged: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pixel_decoder_also_matches() {
+        let m = small_model(Decoder::PixelWise { side: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(11);
+        let batch = vec![sample(3), sample(4)];
+        let maps = qb.predict_batch(&batch, &params).unwrap();
+        for (i, s) in batch.iter().enumerate() {
+            let solo = m.predict(s, &params).unwrap();
+            for (a, b) in maps[i].iter().zip(solo.iter()) {
+                assert!((a - b).abs() < 1e-9, "sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_loss_matches_mean_of_individual_losses() {
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(4);
+        let batch = vec![sample(0), sample(1)];
+        let targets = vec![
+            Array2::from_fn(4, 4, |r, _| r as f64 * 0.25),
+            Array2::filled(4, 4, 0.5),
+        ];
+
+        let (batched_loss, _) = qb.loss_and_grad_batch(&batch, &targets, &params).unwrap();
+        let mut mean = 0.0;
+        for (s, t) in batch.iter().zip(&targets) {
+            let (l, _) = m.loss_and_grad(s, t, &params).unwrap();
+            mean += l / 2.0;
+        }
+        assert!(
+            (batched_loss - mean).abs() < 1e-9,
+            "batched {batched_loss} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn batched_gradient_matches_mean_of_individual_gradients() {
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(21);
+        let batch = vec![sample(5), sample(6), sample(7), sample(8)];
+        let targets: Vec<Array2> = (0..4)
+            .map(|k| Array2::from_fn(4, 4, |r, c| ((r + c + k) % 4) as f64 * 0.3))
+            .collect();
+
+        let (_, batched_grad) = qb.loss_and_grad_batch(&batch, &targets, &params).unwrap();
+        let mut mean_grad = vec![0.0; params.len()];
+        for (s, t) in batch.iter().zip(&targets) {
+            let (_, g) = m.loss_and_grad(s, t, &params).unwrap();
+            for (mg, gi) in mean_grad.iter_mut().zip(&g) {
+                *mg += gi / 4.0;
+            }
+        }
+        for (i, (a, b)) in batched_grad.iter().zip(&mean_grad).enumerate() {
+            assert!((a - b).abs() < 1e-9, "grad {i}: batched {a} vs mean {b}");
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_batches_pad() {
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(4);
+        let batch = vec![sample(0), sample(1), sample(2)]; // pads to 4
+        let maps = qb.predict_batch(&batch, &params).unwrap();
+        assert_eq!(maps.len(), 3);
+    }
+
+    #[test]
+    fn validates_batch_inputs() {
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(4);
+        assert!(qb.predict_batch(&[], &params).is_err());
+        assert!(qb.predict_batch(&[vec![1.0; 8]], &params).is_err()); // wrong length
+        let t = vec![Array2::filled(4, 4, 0.5)];
+        assert!(qb
+            .loss_and_grad_batch(&[sample(0), sample(1)], &t, &params)
+            .is_err()); // target count mismatch
+    }
+}

@@ -1,0 +1,534 @@
+//! Training loops for quantum and classical FWI models.
+//!
+//! The paper's recipe, used for every model: "Adam optimizer with 500
+//! epochs where the initial learning rate is set to 0.1, followed by a
+//! cosine annealing schedule", on a 400/100 train/test split of 500
+//! FlatVelA samples.
+
+use qugeo_geodata::scaling::ScaledSample;
+use qugeo_metrics::{mse, ssim};
+use qugeo_nn::models::{CnnRegressor, RegressorHead};
+use qugeo_nn::optim::{Adam, CosineAnnealing};
+use qugeo_nn::Model;
+use qugeo_tensor::norm::l2_normalized;
+use qugeo_tensor::Array2;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::model::QuGeoVqc;
+use crate::pipeline::normalized_target;
+use crate::qubatch::QuBatch;
+use crate::QuGeoError;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Initial learning rate (cosine-annealed to zero).
+    pub initial_lr: f64,
+    /// Seed for parameter initialisation and shuffling.
+    pub seed: u64,
+    /// Evaluate on the test set every `eval_every` epochs (and always on
+    /// the final epoch). 0 disables intermediate evaluation.
+    pub eval_every: usize,
+}
+
+impl TrainConfig {
+    /// The paper's setup: 500 epochs, lr 0.1, cosine annealing.
+    pub fn paper_default() -> Self {
+        Self {
+            epochs: 500,
+            initial_lr: 0.1,
+            seed: 7,
+            eval_every: 25,
+        }
+    }
+
+    /// A fast setup for tests and smoke runs.
+    pub fn smoke(epochs: usize) -> Self {
+        Self {
+            epochs,
+            initial_lr: 0.1,
+            seed: 7,
+            eval_every: 0,
+        }
+    }
+}
+
+/// Metrics recorded during training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Test MSE (normalised velocity), when evaluated this epoch.
+    pub test_mse: Option<f64>,
+    /// Test SSIM (normalised velocity), when evaluated this epoch.
+    pub test_ssim: Option<f64>,
+}
+
+/// The result of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// Final trained parameters.
+    pub params: Vec<f64>,
+    /// Per-epoch statistics.
+    pub history: Vec<EpochStats>,
+    /// Final test MSE (normalised velocity).
+    pub final_mse: f64,
+    /// Final test SSIM.
+    pub final_ssim: f64,
+}
+
+/// Mean (MSE, SSIM) of a prediction function over samples, on
+/// normalised velocity maps.
+fn evaluate_predictions(
+    samples: &[ScaledSample],
+    mut predict: impl FnMut(&ScaledSample) -> Result<Array2, QuGeoError>,
+) -> Result<(f64, f64), QuGeoError> {
+    if samples.is_empty() {
+        return Err(QuGeoError::Config {
+            reason: "cannot evaluate on an empty set".into(),
+        });
+    }
+    let mut mse_total = 0.0;
+    let mut ssim_total = 0.0;
+    for s in samples {
+        let target = normalized_target(s);
+        let pred = predict(s)?;
+        mse_total += mse(&pred, &target)?;
+        ssim_total += ssim(&pred, &target)?;
+    }
+    let n = samples.len() as f64;
+    Ok((mse_total / n, ssim_total / n))
+}
+
+/// Evaluates a trained VQC on a sample set: mean (MSE, SSIM) against
+/// normalised targets.
+///
+/// # Errors
+///
+/// Returns an error for empty sets or prediction failures.
+pub fn evaluate_vqc(
+    model: &QuGeoVqc,
+    params: &[f64],
+    samples: &[ScaledSample],
+) -> Result<(f64, f64), QuGeoError> {
+    evaluate_predictions(samples, |s| model.predict(&s.seismic, params))
+}
+
+/// Trains a [`QuGeoVqc`] with per-sample Adam steps (the paper's
+/// training loop).
+///
+/// # Errors
+///
+/// Returns an error for empty datasets or simulation failures.
+pub fn train_vqc(
+    model: &QuGeoVqc,
+    train: &[ScaledSample],
+    test: &[ScaledSample],
+    config: &TrainConfig,
+) -> Result<TrainOutcome, QuGeoError> {
+    if train.is_empty() || test.is_empty() {
+        return Err(QuGeoError::Config {
+            reason: "train and test sets must be non-empty".into(),
+        });
+    }
+    let mut params = model.init_params(config.seed);
+    let mut adam = Adam::new(params.len(), config.initial_lr);
+    let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+
+    let targets: Vec<Array2> = train.iter().map(normalized_target).collect();
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        adam.set_learning_rate(schedule.lr_at(epoch));
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        for &i in &order {
+            let (loss, grad) = model.loss_and_grad(&train[i].seismic, &targets[i], &params)?;
+            adam.step(&mut params, &grad);
+            loss_sum += loss;
+        }
+        let train_loss = loss_sum / train.len() as f64;
+
+        let evaluate = epoch + 1 == config.epochs
+            || (config.eval_every > 0 && epoch % config.eval_every == 0);
+        let (test_mse, test_ssim) = if evaluate {
+            let (m, s) = evaluate_vqc(model, &params, test)?;
+            (Some(m), Some(s))
+        } else {
+            (None, None)
+        };
+        history.push(EpochStats {
+            epoch,
+            train_loss,
+            test_mse,
+            test_ssim,
+        });
+    }
+
+    let (final_mse, final_ssim) = evaluate_vqc(model, &params, test)?;
+    Ok(TrainOutcome {
+        params,
+        history,
+        final_mse,
+        final_ssim,
+    })
+}
+
+/// Trains a [`QuGeoVqc`] with QuBatch: each Adam step consumes one batch
+/// of `batch_size` samples executed as a single widened circuit.
+///
+/// # Errors
+///
+/// Returns an error for empty datasets, multi-group models, or
+/// simulation failures.
+pub fn train_vqc_batched(
+    model: &QuGeoVqc,
+    train: &[ScaledSample],
+    test: &[ScaledSample],
+    config: &TrainConfig,
+    batch_size: usize,
+) -> Result<TrainOutcome, QuGeoError> {
+    if train.is_empty() || test.is_empty() || batch_size == 0 {
+        return Err(QuGeoError::Config {
+            reason: "train/test must be non-empty and batch_size positive".into(),
+        });
+    }
+    let qubatch = QuBatch::new(model)?;
+    let mut params = model.init_params(config.seed);
+    let mut adam = Adam::new(params.len(), config.initial_lr);
+    let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+
+    let targets: Vec<Array2> = train.iter().map(normalized_target).collect();
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        adam.set_learning_rate(schedule.lr_at(epoch));
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut steps = 0usize;
+        for chunk in order.chunks(batch_size) {
+            let seismic: Vec<Vec<f64>> =
+                chunk.iter().map(|&i| train[i].seismic.clone()).collect();
+            let tgt: Vec<Array2> = chunk.iter().map(|&i| targets[i].clone()).collect();
+            let (loss, grad) = qubatch.loss_and_grad_batch(&seismic, &tgt, &params)?;
+            adam.step(&mut params, &grad);
+            loss_sum += loss;
+            steps += 1;
+        }
+        let train_loss = loss_sum / steps.max(1) as f64;
+
+        let evaluate = epoch + 1 == config.epochs
+            || (config.eval_every > 0 && epoch % config.eval_every == 0);
+        let (test_mse, test_ssim) = if evaluate {
+            let (m, s) = evaluate_vqc(model, &params, test)?;
+            (Some(m), Some(s))
+        } else {
+            (None, None)
+        };
+        history.push(EpochStats {
+            epoch,
+            train_loss,
+            test_mse,
+            test_ssim,
+        });
+    }
+
+    let (final_mse, final_ssim) = evaluate_vqc(model, &params, test)?;
+    Ok(TrainOutcome {
+        params,
+        history,
+        final_mse,
+        final_ssim,
+    })
+}
+
+/// The classical model's view of a scaled sample: the same
+/// quantum-normalised input the VQC sees (per-group ℓ₂ norm) so the
+/// Table 2 comparison is like-for-like.
+fn regressor_input(sample: &ScaledSample, group_len: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(sample.seismic.len());
+    for chunk in sample.seismic.chunks(group_len) {
+        out.extend(l2_normalized(chunk));
+    }
+    out
+}
+
+/// Builds the regression target for a head: 64 pixels (PX) or 8 row
+/// means (LY) of the normalised map.
+fn regressor_target(head: &RegressorHead, target_map: &Array2) -> Vec<f64> {
+    match *head {
+        RegressorHead::PixelWise { side } => {
+            let mut t = Vec::with_capacity(side * side);
+            for r in 0..side {
+                t.extend_from_slice(target_map.row(r));
+            }
+            t
+        }
+        RegressorHead::LayerWise { rows } => (0..rows)
+            .map(|r| {
+                let row = target_map.row(r);
+                row.iter().sum::<f64>() / row.len() as f64
+            })
+            .collect(),
+    }
+}
+
+/// Expands a regressor output vector into a velocity map (rows replicated
+/// for the layer-wise head).
+fn regressor_map(head: &RegressorHead, output: &[f64]) -> Array2 {
+    match *head {
+        RegressorHead::PixelWise { side } => {
+            Array2::from_fn(side, side, |r, c| output[r * side + c])
+        }
+        RegressorHead::LayerWise { rows } => Array2::from_fn(rows, rows, |r, _| output[r]),
+    }
+}
+
+/// Evaluates a trained CNN regressor: mean (MSE, SSIM) against
+/// normalised targets.
+///
+/// # Errors
+///
+/// Returns an error for empty sets or shape mismatches.
+pub fn evaluate_regressor(
+    model: &CnnRegressor,
+    samples: &[ScaledSample],
+    group_len: usize,
+) -> Result<(f64, f64), QuGeoError> {
+    let head = model.config().head;
+    evaluate_predictions(samples, |s| {
+        let out = model.forward(&regressor_input(s, group_len))?;
+        Ok(regressor_map(&head, &out))
+    })
+}
+
+/// Trains a classical [`CnnRegressor`] baseline with the same recipe as
+/// the quantum models.
+///
+/// # Errors
+///
+/// Returns an error for empty datasets or shape mismatches.
+pub fn train_regressor(
+    model: &mut CnnRegressor,
+    train: &[ScaledSample],
+    test: &[ScaledSample],
+    config: &TrainConfig,
+    group_len: usize,
+) -> Result<TrainOutcome, QuGeoError> {
+    if train.is_empty() || test.is_empty() {
+        return Err(QuGeoError::Config {
+            reason: "train and test sets must be non-empty".into(),
+        });
+    }
+    let head = model.config().head;
+    let inputs: Vec<Vec<f64>> = train.iter().map(|s| regressor_input(s, group_len)).collect();
+    let targets: Vec<Vec<f64>> = train
+        .iter()
+        .map(|s| regressor_target(&head, &normalized_target(s)))
+        .collect();
+
+    let mut params = model.params();
+    let mut adam = Adam::new(params.len(), config.initial_lr);
+    let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+    let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        adam.set_learning_rate(schedule.lr_at(epoch));
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        for &i in &order {
+            let (loss, grad) = model.loss_and_grad(&inputs[i], &targets[i])?;
+            adam.step(&mut params, &grad);
+            model.set_params(&params);
+            loss_sum += loss;
+        }
+        let train_loss = loss_sum / train.len() as f64;
+
+        let evaluate = epoch + 1 == config.epochs
+            || (config.eval_every > 0 && epoch % config.eval_every == 0);
+        let (test_mse, test_ssim) = if evaluate {
+            let (m, s) = evaluate_regressor(model, test, group_len)?;
+            (Some(m), Some(s))
+        } else {
+            (None, None)
+        };
+        history.push(EpochStats {
+            epoch,
+            train_loss,
+            test_mse,
+            test_ssim,
+        });
+    }
+
+    let (final_mse, final_ssim) = evaluate_regressor(model, test, group_len)?;
+    Ok(TrainOutcome {
+        params,
+        history,
+        final_mse,
+        final_ssim,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::model::VqcConfig;
+    use qugeo_nn::models::RegressorConfig;
+    use qugeo_qsim::ansatz::EntangleOrder;
+
+    /// Synthetic scaled samples with a learnable seismic→velocity link:
+    /// the seismic vector is a deterministic function of the layer depth.
+    fn synthetic_samples(n: usize, seismic_len: usize, side: usize) -> Vec<ScaledSample> {
+        (0..n)
+            .map(|k| {
+                let depth = 1 + (k % (side - 1));
+                let seismic: Vec<f64> = (0..seismic_len)
+                    .map(|i| {
+                        let phase = i as f64 * 0.2 + depth as f64;
+                        phase.sin() + 0.3 * (phase * 0.5).cos()
+                    })
+                    .collect();
+                let velocity = Array2::from_fn(side, side, |r, _| {
+                    if r < depth {
+                        2000.0
+                    } else {
+                        3500.0
+                    }
+                });
+                ScaledSample { seismic, velocity }
+            })
+            .collect()
+    }
+
+    fn small_vqc(decoder: Decoder) -> QuGeoVqc {
+        QuGeoVqc::new(VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 3,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder,
+            max_qubits: 16,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn vqc_training_reduces_loss() {
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(6, 16, 4);
+        let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
+        let cfg = TrainConfig {
+            epochs: 30,
+            initial_lr: 0.1,
+            seed: 3,
+            eval_every: 0,
+        };
+        let outcome = train_vqc(&model, &train, &test, &cfg).unwrap();
+        let first = outcome.history.first().unwrap().train_loss;
+        let last = outcome.history.last().unwrap().train_loss;
+        assert!(last < first, "loss {first} -> {last} did not decrease");
+        assert!(outcome.final_ssim.is_finite());
+        assert_eq!(outcome.history.len(), 30);
+    }
+
+    #[test]
+    fn vqc_training_validates_inputs() {
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(2, 16, 4);
+        let cfg = TrainConfig::smoke(1);
+        assert!(train_vqc(&model, &[], &samples, &cfg).is_err());
+        assert!(train_vqc(&model, &samples, &[], &cfg).is_err());
+    }
+
+    #[test]
+    fn batched_training_runs_and_reduces_loss() {
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(6, 16, 4);
+        let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
+        let cfg = TrainConfig {
+            epochs: 20,
+            initial_lr: 0.1,
+            seed: 3,
+            eval_every: 0,
+        };
+        let outcome = train_vqc_batched(&model, &train, &test, &cfg, 2).unwrap();
+        let first = outcome.history.first().unwrap().train_loss;
+        let last = outcome.history.last().unwrap().train_loss;
+        assert!(last < first, "batched loss {first} -> {last}");
+    }
+
+    #[test]
+    fn evaluation_errors_on_empty_set() {
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let params = model.init_params(0);
+        assert!(evaluate_vqc(&model, &params, &[]).is_err());
+    }
+
+    #[test]
+    fn regressor_training_reduces_loss() {
+        let samples = synthetic_samples(6, 256, 8);
+        let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
+        let mut model = CnnRegressor::new(RegressorConfig::layer_wise(), 2).unwrap();
+        let cfg = TrainConfig {
+            epochs: 25,
+            initial_lr: 0.02,
+            seed: 3,
+            eval_every: 0,
+        };
+        let outcome = train_regressor(&mut model, &train, &test, &cfg, 64).unwrap();
+        let first = outcome.history.first().unwrap().train_loss;
+        let last = outcome.history.last().unwrap().train_loss;
+        assert!(last < first, "regressor loss {first} -> {last}");
+        assert!(outcome.final_mse.is_finite());
+    }
+
+    #[test]
+    fn regressor_target_layer_wise_uses_row_means() {
+        let map = Array2::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let t = regressor_target(&RegressorHead::LayerWise { rows: 4 }, &map);
+        assert_eq!(t, vec![1.5, 5.5, 9.5, 13.5]);
+        let tp = regressor_target(&RegressorHead::PixelWise { side: 4 }, &map);
+        assert_eq!(tp.len(), 16);
+        assert_eq!(tp[5], 5.0);
+    }
+
+    #[test]
+    fn regressor_map_round_trips() {
+        let out: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let m = regressor_map(&RegressorHead::LayerWise { rows: 4 }, &out);
+        assert_eq!(m[(2, 0)], 2.0);
+        assert_eq!(m[(2, 3)], 2.0);
+    }
+
+    #[test]
+    fn history_records_evaluations_at_interval() {
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(4, 16, 4);
+        let (train, test) = (samples[..2].to_vec(), samples[2..].to_vec());
+        let cfg = TrainConfig {
+            epochs: 6,
+            initial_lr: 0.05,
+            seed: 1,
+            eval_every: 2,
+        };
+        let outcome = train_vqc(&model, &train, &test, &cfg).unwrap();
+        assert!(outcome.history[0].test_mse.is_some());
+        assert!(outcome.history[1].test_mse.is_none());
+        assert!(outcome.history[2].test_mse.is_some());
+        assert!(outcome.history[5].test_mse.is_some()); // final epoch
+    }
+}

@@ -1,0 +1,449 @@
+use std::io::{Read, Write};
+use std::path::Path;
+
+use qugeo_tensor::{Array2, Array3};
+use qugeo_wavesim::{model_shots, Grid, RickerWavelet, SpaceOrder, Survey};
+
+use crate::{FlatLayerGenerator, GeodataError, VelocityModel};
+
+/// One FlatVelA-style sample: a velocity model and its modelled seismic
+/// data (`sources × time steps × receivers`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The subsurface model the seismic data was generated from.
+    pub velocity: VelocityModel,
+    /// The shot-gather cube recorded at the surface.
+    pub seismic: Array3,
+}
+
+/// Configuration for synthesising a [`Dataset`].
+///
+/// Defaults mirror OpenFWI FlatVelA: 70×70 maps, 5 sources, 70 receivers,
+/// 1000 time steps of 1 ms, 15 Hz Ricker wavelet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of samples to generate.
+    pub num_samples: usize,
+    /// Spatial/temporal discretisation.
+    pub grid: Grid,
+    /// Acquisition geometry.
+    pub survey: Survey,
+    /// Source wavelet peak frequency in Hz.
+    pub wavelet_hz: f64,
+    /// Spatial stencil order for the modelling.
+    pub space_order: SpaceOrder,
+    /// Master seed; sample `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// The paper's full setup: 500 FlatVelA samples.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; returns a `Result` for API uniformity
+    /// with the validating constructors it is built on.
+    pub fn openfwi_flatvel_a(num_samples: usize, seed: u64) -> Result<Self, GeodataError> {
+        Ok(Self {
+            num_samples,
+            grid: Grid::openfwi_default(),
+            survey: Survey::openfwi_default(),
+            wavelet_hz: 15.0,
+            space_order: SpaceOrder::Order4,
+            seed,
+        })
+    }
+
+    /// A reduced geometry for fast tests: 30×30 maps, 2 sources, 16
+    /// receivers, 150 steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the grid and survey
+    /// constructors.
+    pub fn small_for_tests(num_samples: usize, seed: u64) -> Result<Self, GeodataError> {
+        Ok(Self {
+            num_samples,
+            grid: Grid::new(30, 30, 10.0, 0.001, 150)?,
+            survey: Survey::surface(30, 2, 16, 1)?,
+            wavelet_hz: 15.0,
+            space_order: SpaceOrder::Order4,
+            seed,
+        })
+    }
+}
+
+/// A collection of paired velocity/seismic samples.
+///
+/// # Examples
+///
+/// ```no_run
+/// use qugeo_geodata::{Dataset, DatasetConfig};
+///
+/// # fn main() -> Result<(), qugeo_geodata::GeodataError> {
+/// let config = DatasetConfig::small_for_tests(4, 7)?;
+/// let dataset = Dataset::generate(&config)?;
+/// let (train, test) = dataset.split(3);
+/// assert_eq!(train.len(), 3);
+/// assert_eq!(test.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Wraps existing samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Self { samples }
+    }
+
+    /// Synthesises the dataset: draws a random layered model per sample
+    /// and runs acoustic forward modelling for every source.
+    ///
+    /// Samples are generated on parallel threads (modelling dominates the
+    /// cost).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator and modelling errors.
+    pub fn generate(config: &DatasetConfig) -> Result<Self, GeodataError> {
+        let generator = FlatLayerGenerator::new(config.grid.nz(), config.grid.nx())?;
+        let wavelet = RickerWavelet::new(config.wavelet_hz, config.grid.dt())?;
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(config.num_samples.max(1));
+
+        let mut results: Vec<Option<Result<Sample, GeodataError>>> = Vec::new();
+        results.resize_with(config.num_samples, || None);
+        let results_chunks: Vec<_> = results.chunks_mut(config.num_samples.div_ceil(workers.max(1))).collect();
+
+        std::thread::scope(|scope| {
+            let mut start = 0usize;
+            let mut handles = Vec::new();
+            for chunk in results_chunks {
+                let chunk_len = chunk.len();
+                let cfg = &*config;
+                let gen = &generator;
+                let wav = &wavelet;
+                handles.push(scope.spawn(move || {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let i = start + offset;
+                        let model = gen.sample(cfg.seed.wrapping_add(i as u64));
+                        let seismic = model_shots(
+                            model.map(),
+                            &cfg.grid,
+                            &cfg.survey,
+                            wav,
+                            cfg.space_order,
+                        )
+                        .map_err(GeodataError::from);
+                        *slot = Some(seismic.map(|s| Sample {
+                            velocity: model,
+                            seismic: s,
+                        }));
+                    }
+                }));
+                start += chunk_len;
+            }
+            for h in handles {
+                h.join().expect("generation thread panicked");
+            }
+        });
+
+        let mut samples = Vec::with_capacity(config.num_samples);
+        for slot in results {
+            samples.push(slot.expect("all slots filled")?);
+        }
+        Ok(Self { samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The samples in order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterator over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// Splits into `(first n, rest)` — the paper's 400/100 train/test
+    /// split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split(&self, n: usize) -> (Self, Self) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        (
+            Self {
+                samples: self.samples[..n].to_vec(),
+            },
+            Self {
+                samples: self.samples[n..].to_vec(),
+            },
+        )
+    }
+
+    /// Saves the dataset to a compact binary cache file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeodataError::Io`] on filesystem failures.
+    pub fn save_bin(&self, path: &Path) -> Result<(), GeodataError> {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        f.write_all(b"QGDS0001")?;
+        write_u64(&mut f, self.samples.len() as u64)?;
+        for s in &self.samples {
+            // Velocity model: layer structure then map dims.
+            let (nz, nx) = s.velocity.map().shape();
+            write_u64(&mut f, nz as u64)?;
+            write_u64(&mut f, nx as u64)?;
+            write_u64(&mut f, s.velocity.layer_tops().len() as u64)?;
+            for &t in s.velocity.layer_tops() {
+                write_u64(&mut f, t as u64)?;
+            }
+            for &v in s.velocity.layer_velocities() {
+                write_f64(&mut f, v)?;
+            }
+            // Seismic cube.
+            let (d0, d1, d2) = s.seismic.shape();
+            write_u64(&mut f, d0 as u64)?;
+            write_u64(&mut f, d1 as u64)?;
+            write_u64(&mut f, d2 as u64)?;
+            for &v in s.seismic.as_slice() {
+                write_f64(&mut f, v)?;
+            }
+        }
+        f.flush()?;
+        Ok(())
+    }
+
+    /// Loads a dataset previously written by [`Dataset::save_bin`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeodataError::Io`] on filesystem failures or
+    /// [`GeodataError::CorruptCache`] for malformed files.
+    pub fn load_bin(path: &Path) -> Result<Self, GeodataError> {
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        if &magic != b"QGDS0001" {
+            return Err(GeodataError::CorruptCache {
+                reason: "bad magic header".into(),
+            });
+        }
+        let count = read_u64(&mut f)? as usize;
+        if count > 1_000_000 {
+            return Err(GeodataError::CorruptCache {
+                reason: format!("implausible sample count {count}"),
+            });
+        }
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let nz = read_u64(&mut f)? as usize;
+            let nx = read_u64(&mut f)? as usize;
+            let n_layers = read_u64(&mut f)? as usize;
+            if n_layers == 0 || n_layers > nz {
+                return Err(GeodataError::CorruptCache {
+                    reason: format!("bad layer count {n_layers}"),
+                });
+            }
+            let mut tops = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                tops.push(read_u64(&mut f)? as usize);
+            }
+            let mut vels = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                vels.push(read_f64(&mut f)?);
+            }
+            let velocity =
+                VelocityModel::from_layers(nz, nx, tops, vels).map_err(|e| {
+                    GeodataError::CorruptCache {
+                        reason: format!("invalid layers: {e}"),
+                    }
+                })?;
+
+            let d0 = read_u64(&mut f)? as usize;
+            let d1 = read_u64(&mut f)? as usize;
+            let d2 = read_u64(&mut f)? as usize;
+            let total = d0
+                .checked_mul(d1)
+                .and_then(|v| v.checked_mul(d2))
+                .ok_or_else(|| GeodataError::CorruptCache {
+                    reason: "seismic dims overflow".into(),
+                })?;
+            if total > 500_000_000 {
+                return Err(GeodataError::CorruptCache {
+                    reason: format!("implausible cube size {total}"),
+                });
+            }
+            let mut data = Vec::with_capacity(total);
+            for _ in 0..total {
+                data.push(read_f64(&mut f)?);
+            }
+            let seismic = Array3::from_vec(d0, d1, d2, data).map_err(|e| {
+                GeodataError::CorruptCache {
+                    reason: format!("invalid cube: {e}"),
+                }
+            })?;
+            samples.push(Sample { velocity, seismic });
+        }
+        Ok(Self { samples })
+    }
+
+    /// The mean velocity map over the dataset — a trivial predictor used
+    /// as a sanity baseline in the experiments.
+    ///
+    /// Returns `None` for an empty dataset or inconsistent shapes.
+    pub fn mean_velocity_map(&self) -> Option<Array2> {
+        let first = self.samples.first()?;
+        let shape = first.velocity.map().shape();
+        let mut acc = Array2::zeros(shape.0, shape.1);
+        for s in &self.samples {
+            if s.velocity.map().shape() != shape {
+                return None;
+            }
+            acc = &acc + s.velocity.map();
+        }
+        Some(acc.scaled(1.0 / self.samples.len() as f64))
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> std::io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(n: usize) -> DatasetConfig {
+        DatasetConfig {
+            num_samples: n,
+            grid: Grid::new(20, 20, 10.0, 0.001, 60).unwrap(),
+            survey: Survey::surface(20, 2, 8, 1).unwrap(),
+            wavelet_hz: 15.0,
+            space_order: SpaceOrder::Order4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn generate_produces_paired_samples() {
+        let ds = Dataset::generate(&tiny_config(3)).unwrap();
+        assert_eq!(ds.len(), 3);
+        for s in ds.iter() {
+            assert_eq!(s.velocity.map().shape(), (20, 20));
+            assert_eq!(s.seismic.shape(), (2, 60, 8));
+            let energy: f64 = s.seismic.iter().map(|v| v * v).sum();
+            assert!(energy > 0.0, "seismic data has no signal");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(&tiny_config(2)).unwrap();
+        let b = Dataset::generate(&tiny_config(2)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = tiny_config(1);
+        let a = Dataset::generate(&cfg).unwrap();
+        cfg.seed = 99;
+        let b = Dataset::generate(&cfg).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = Dataset::generate(&tiny_config(4)).unwrap();
+        let (train, test) = ds.split(3);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.samples()[0], ds.samples()[0]);
+        assert_eq!(test.samples()[0], ds.samples()[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond dataset")]
+    fn split_out_of_range_panics() {
+        let ds = Dataset::from_samples(vec![]);
+        let _ = ds.split(1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let ds = Dataset::generate(&tiny_config(2)).unwrap();
+        let dir = std::env::temp_dir().join("qugeo_geodata_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bin");
+        ds.save_bin(&path).unwrap();
+        let loaded = Dataset::load_bin(&path).unwrap();
+        assert_eq!(ds, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("qugeo_geodata_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a dataset").unwrap();
+        assert!(Dataset::load_bin(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mean_velocity_map_averages() {
+        let m1 = VelocityModel::from_layers(4, 4, vec![0], vec![2000.0]).unwrap();
+        let m2 = VelocityModel::from_layers(4, 4, vec![0], vec![4000.0]).unwrap();
+        let ds = Dataset::from_samples(vec![
+            Sample {
+                velocity: m1,
+                seismic: Array3::zeros(1, 1, 1),
+            },
+            Sample {
+                velocity: m2,
+                seismic: Array3::zeros(1, 1, 1),
+            },
+        ]);
+        let mean = ds.mean_velocity_map().unwrap();
+        assert!(mean.iter().all(|&v| v == 3000.0));
+        assert!(Dataset::default().mean_velocity_map().is_none());
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use qugeo_wavesim::WavesimError;
+
+/// Errors from dataset synthesis, scaling or (de)serialisation.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_geodata::{FlatLayerGenerator, GeodataError};
+///
+/// let err = FlatLayerGenerator::new(0, 70).unwrap_err();
+/// assert!(matches!(err, GeodataError::InvalidConfig { .. }));
+/// ```
+#[derive(Debug)]
+pub enum GeodataError {
+    /// A generator or dataset configuration is degenerate.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Forward modelling failed while synthesising seismic data.
+    Modeling(WavesimError),
+    /// Reading or writing a cached dataset failed.
+    Io(std::io::Error),
+    /// A cached dataset file is corrupt or from an incompatible version.
+    CorruptCache {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GeodataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::Modeling(e) => write!(f, "forward modelling failed: {e}"),
+            Self::Io(e) => write!(f, "dataset io failed: {e}"),
+            Self::CorruptCache { reason } => write!(f, "corrupt dataset cache: {reason}"),
+        }
+    }
+}
+
+impl Error for GeodataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Modeling(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WavesimError> for GeodataError {
+    fn from(e: WavesimError) -> Self {
+        Self::Modeling(e)
+    }
+}
+
+impl From<std::io::Error> for GeodataError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GeodataError::InvalidConfig {
+            reason: "zero".into(),
+        };
+        assert!(e.to_string().contains("zero"));
+        assert!(e.source().is_none());
+
+        let m: GeodataError = WavesimError::EmptySurvey.into();
+        assert!(m.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GeodataError>();
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic OpenFWI FlatVelA-style data for the QuGeo experiments.
+//!
+//! The paper evaluates on OpenFWI's **FlatVelA** dataset: 70×70 velocity
+//! maps of flat subsurface layers paired with seismic data of shape
+//! `5 × 1000 × 70` (sources × time steps × receivers). That dataset is a
+//! multi-gigabyte download — and is itself synthetic, produced by drawing
+//! random flat-layered models and running acoustic forward modelling. This
+//! crate regenerates the same distribution locally:
+//!
+//! * [`VelocityModel`] / [`FlatLayerGenerator`] — random flat-layered
+//!   velocity maps (2–5 layers, 1500–4000 m/s, increasing with depth),
+//! * [`Dataset`] / [`DatasetConfig`] — paired velocity/seismic samples,
+//!   seismic data simulated with [`qugeo_wavesim`] (15 Hz Ricker, 5
+//!   surface sources, 70 surface receivers),
+//! * [`scaling`] — the "D-Sample" nearest-neighbour baseline that shrinks
+//!   raw samples to quantum size (256 seismic values, 8×8 velocity maps),
+//! * binary save/load so experiment harnesses can cache generation.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_geodata::{DatasetConfig, FlatLayerGenerator};
+//!
+//! # fn main() -> Result<(), qugeo_geodata::GeodataError> {
+//! let generator = FlatLayerGenerator::new(70, 70)?;
+//! let model = generator.sample(42);
+//! assert_eq!(model.map().shape(), (70, 70));
+//! assert!(model.num_layers() >= 2);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dataset;
+mod error;
+mod velocity;
+
+pub mod curved;
+pub mod npy;
+pub mod scaling;
+
+pub use dataset::{Dataset, DatasetConfig, Sample};
+pub use error::GeodataError;
+pub use velocity::{FlatLayerGenerator, VelocityModel, VELOCITY_MAX, VELOCITY_MIN};

@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from network construction or shape mismatches at run time.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_nn::layers::Conv2d;
+/// use qugeo_nn::NnError;
+///
+/// let err = Conv2d::new(0, 4, 3, 1, 7).unwrap_err();
+/// assert!(matches!(err, NnError::InvalidLayer { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer was configured with degenerate dimensions.
+    InvalidLayer {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An input's shape does not match what a layer expects.
+    ShapeMismatch {
+        /// What the layer expected.
+        expected: String,
+        /// What it received.
+        actual: String,
+    },
+    /// Training was asked to run with no data.
+    EmptyDataset,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidLayer { reason } => write!(f, "invalid layer: {reason}"),
+            Self::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            Self::EmptyDataset => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        let e = NnError::InvalidLayer {
+            reason: "zero channels".into(),
+        };
+        assert!(e.to_string().contains("zero channels"));
+        assert!(NnError::EmptyDataset.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NnError>();
+    }
+}

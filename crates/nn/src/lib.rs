@@ -1,0 +1,58 @@
+//! Minimal neural-network substrate with manual backpropagation.
+//!
+//! The QuGeo paper trains three classical networks in PyTorch: the
+//! LeNet-like data compressor of Q-D-CNN (Section 3.1.2) and the CNN-PX /
+//! CNN-LY baselines of Table 2. This crate provides everything those
+//! models need, implemented from scratch:
+//!
+//! * [`layers`] — `Conv2d`, `Linear`, `Relu`, `GlobalAvgPool`, each with
+//!   explicit `forward` + `backward` passes,
+//! * [`loss`] — mean-squared-error with gradient,
+//! * [`optim`] — Adam and cosine-annealing learning-rate scheduling (the
+//!   paper's training recipe: Adam, lr 0.1, cosine annealing, 500 epochs),
+//! * [`models`] — the concrete architectures used by the experiments.
+//!
+//! The [`Model`] trait exposes flat parameter vectors so one optimizer
+//! drives classical networks and quantum circuits alike.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_nn::models::{CnnRegressor, RegressorConfig};
+//! use qugeo_nn::Model;
+//!
+//! # fn main() -> Result<(), qugeo_nn::NnError> {
+//! let model = CnnRegressor::new(RegressorConfig::layer_wise(), 7)?;
+//! assert_eq!(model.params().len(), model.num_params());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod optim;
+
+mod error;
+
+pub use error::NnError;
+
+/// A trainable model with a flat parameter vector.
+///
+/// Implementations own their parameters; [`Model::params`] flattens them
+/// in a stable order and [`Model::set_params`] writes them back, so any
+/// optimizer that works on `&[f64]` can train any model.
+pub trait Model {
+    /// Total number of trainable parameters.
+    fn num_params(&self) -> usize;
+
+    /// Copies all parameters into one flat vector (stable order).
+    fn params(&self) -> Vec<f64>;
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    fn set_params(&mut self, params: &[f64]);
+}

@@ -1,0 +1,107 @@
+//! Loss functions with gradients.
+
+/// Mean squared error `L = (1/n) Σ (y − t)²` and its gradient
+/// `∂L/∂y = 2(y − t)/n`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are zero.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_nn::loss::mse_loss;
+///
+/// let (loss, grad) = mse_loss(&[1.0, 2.0], &[1.0, 4.0]);
+/// assert_eq!(loss, 2.0);
+/// assert_eq!(grad, vec![0.0, -2.0]);
+/// ```
+pub fn mse_loss(prediction: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "mse_loss lengths must match"
+    );
+    assert!(!prediction.is_empty(), "mse_loss needs data");
+    let n = prediction.len() as f64;
+    let mut loss = 0.0;
+    let grad = prediction
+        .iter()
+        .zip(target)
+        .map(|(&y, &t)| {
+            let d = y - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (loss / n, grad)
+}
+
+/// Sum-of-squares loss `L = Σ (y − t)²` and gradient `2(y − t)` — the
+/// unnormalised form the paper's Eqs. 2 and 3 write the pixel-wise and
+/// layer-wise losses in.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are zero.
+pub fn sse_loss(prediction: &[f64], target: &[f64]) -> (f64, Vec<f64>) {
+    assert_eq!(prediction.len(), target.len(), "sse_loss lengths must match");
+    assert!(!prediction.is_empty(), "sse_loss needs data");
+    let mut loss = 0.0;
+    let grad = prediction
+        .iter()
+        .zip(target)
+        .map(|(&y, &t)| {
+            let d = y - t;
+            loss += d * d;
+            2.0 * d
+        })
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_loss_for_identical() {
+        let (l, g) = mse_loss(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(l, 0.0);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn known_values() {
+        let (l, g) = mse_loss(&[3.0], &[1.0]);
+        assert_eq!(l, 4.0);
+        assert_eq!(g, vec![4.0]);
+
+        let (l2, g2) = sse_loss(&[3.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(l2, 5.0);
+        assert_eq!(g2, vec![4.0, -2.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let pred = [0.3, -0.8, 1.2];
+        let target = [0.0, 1.0, 1.0];
+        let (_, grad) = mse_loss(&pred, &target);
+        let h = 1e-7;
+        for i in 0..3 {
+            let mut p = pred;
+            p[i] += h;
+            let (plus, _) = mse_loss(&p, &target);
+            p[i] -= 2.0 * h;
+            let (minus, _) = mse_loss(&p, &target);
+            let fd = (plus - minus) / (2.0 * h);
+            assert!((fd - grad[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_lengths_panic() {
+        let _ = mse_loss(&[1.0], &[1.0, 2.0]);
+    }
+}

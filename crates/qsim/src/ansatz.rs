@@ -1,0 +1,361 @@
+//! The QuGeoVQC ansatz family: `U3+CU3` blocks.
+//!
+//! The paper's VQC uses "the ansatz with 12 blocks, each of which is a
+//! 'U3+CU3' block" (the TorchQuantum design of QuantumNAS). One block on
+//! `n` qubits is:
+//!
+//! 1. a trainable [`Matrix2::u3`] gate on every qubit (3n parameters), and
+//! 2. a ring of trainable controlled-U3 gates `CU3(q → q+1 mod n)`
+//!    (another 3n parameters),
+//!
+//! so a block holds `6n` parameters. The paper's headline model —
+//! 8 qubits × 12 blocks — therefore has `12 × 48 = 576` parameters.
+//!
+//! [`Matrix2::u3`]: crate::Matrix2::u3
+
+use crate::{Circuit, QsimError};
+
+/// How sub-VQCs of different encoder groups exchange information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EntangleOrder {
+    /// CU3 ring within each block: `0→1, 1→2, …, (n−1)→0`.
+    #[default]
+    Ring,
+    /// CU3 chain without the wrap-around gate: `0→1, …, (n−2)→(n−1)`.
+    Linear,
+}
+
+/// Configuration of a [`u3_cu3_ansatz`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnsatzConfig {
+    /// Register width.
+    pub num_qubits: usize,
+    /// Number of `U3+CU3` blocks.
+    pub num_blocks: usize,
+    /// Intra-block entanglement pattern.
+    pub entangle: EntangleOrder,
+}
+
+impl AnsatzConfig {
+    /// The paper's headline configuration: 8 qubits, 12 blocks, ring
+    /// entanglement — 576 trainable parameters.
+    pub fn paper_default() -> Self {
+        Self {
+            num_qubits: 8,
+            num_blocks: 12,
+            entangle: EntangleOrder::Ring,
+        }
+    }
+
+    /// Trainable parameter count of this configuration.
+    pub fn num_params(&self) -> usize {
+        let cu3_per_block = match self.entangle {
+            EntangleOrder::Ring => {
+                if self.num_qubits >= 2 {
+                    self.num_qubits
+                } else {
+                    0
+                }
+            }
+            EntangleOrder::Linear => self.num_qubits.saturating_sub(1),
+        };
+        self.num_blocks * 3 * (self.num_qubits + cu3_per_block)
+    }
+}
+
+/// Builds the `U3+CU3` block ansatz.
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitOutOfRange`] if `num_qubits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig};
+///
+/// # fn main() -> Result<(), qugeo_qsim::QsimError> {
+/// let circuit = u3_cu3_ansatz(AnsatzConfig::paper_default())?;
+/// assert_eq!(circuit.num_slots(), 576); // the paper's parameter count
+/// # Ok(())
+/// # }
+/// ```
+pub fn u3_cu3_ansatz(config: AnsatzConfig) -> Result<Circuit, QsimError> {
+    if config.num_qubits == 0 {
+        return Err(QsimError::QubitOutOfRange {
+            qubit: 0,
+            num_qubits: 0,
+        });
+    }
+    let mut circuit = Circuit::new(config.num_qubits);
+    for _ in 0..config.num_blocks {
+        append_block(&mut circuit, 0..config.num_qubits, config.entangle)?;
+    }
+    Ok(circuit)
+}
+
+/// Configuration of a grouped (ST-VQC) ansatz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupedAnsatzConfig {
+    /// Number of encoder groups (sub-VQCs).
+    pub num_groups: usize,
+    /// Qubits per group.
+    pub qubits_per_group: usize,
+    /// `U3+CU3` blocks inside each sub-VQC, applied before any inter-group
+    /// communication.
+    pub blocks_per_group: usize,
+    /// Blocks applied across the full register after the sub-VQCs, letting
+    /// groups exchange information ("gradually commute between groups").
+    pub mixing_blocks: usize,
+    /// Entanglement pattern used throughout.
+    pub entangle: EntangleOrder,
+}
+
+impl GroupedAnsatzConfig {
+    /// Trainable parameter count of this configuration.
+    pub fn num_params(&self) -> usize {
+        let sub = AnsatzConfig {
+            num_qubits: self.qubits_per_group,
+            num_blocks: self.blocks_per_group,
+            entangle: self.entangle,
+        };
+        let mix = AnsatzConfig {
+            num_qubits: self.num_groups * self.qubits_per_group,
+            num_blocks: self.mixing_blocks,
+            entangle: self.entangle,
+        };
+        self.num_groups * sub.num_params() + mix.num_params()
+    }
+}
+
+/// Builds the grouped ST-VQC: independent sub-VQCs per group followed by
+/// mixing blocks across all qubits.
+///
+/// # Errors
+///
+/// Returns [`QsimError::QubitOutOfRange`] if the register would be empty.
+pub fn grouped_ansatz(config: GroupedAnsatzConfig) -> Result<Circuit, QsimError> {
+    let total = config.num_groups * config.qubits_per_group;
+    if total == 0 {
+        return Err(QsimError::QubitOutOfRange {
+            qubit: 0,
+            num_qubits: 0,
+        });
+    }
+    let mut circuit = Circuit::new(total);
+    for g in 0..config.num_groups {
+        let range = g * config.qubits_per_group..(g + 1) * config.qubits_per_group;
+        for _ in 0..config.blocks_per_group {
+            append_block(&mut circuit, range.clone(), config.entangle)?;
+        }
+    }
+    for _ in 0..config.mixing_blocks {
+        append_block(&mut circuit, 0..total, config.entangle)?;
+    }
+    Ok(circuit)
+}
+
+/// Appends one `U3+CU3` block acting on the qubits of `range`.
+fn append_block(
+    circuit: &mut Circuit,
+    range: std::ops::Range<usize>,
+    entangle: EntangleOrder,
+) -> Result<(), QsimError> {
+    let qubits: Vec<usize> = range.collect();
+    for &q in &qubits {
+        let first = circuit.alloc_slots(3);
+        circuit.u3_slots(q, first)?;
+    }
+    if qubits.len() < 2 {
+        return Ok(());
+    }
+    let pairs: Vec<(usize, usize)> = match entangle {
+        EntangleOrder::Ring => (0..qubits.len())
+            .map(|i| (qubits[i], qubits[(i + 1) % qubits.len()]))
+            .collect(),
+        EntangleOrder::Linear => (0..qubits.len() - 1)
+            .map(|i| (qubits[i], qubits[i + 1]))
+            .collect(),
+    };
+    for (control, target) in pairs {
+        let first = circuit.alloc_slots(3);
+        circuit.cu3_slots(control, target, first)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::State;
+
+    #[test]
+    fn paper_default_has_576_params() {
+        let cfg = AnsatzConfig::paper_default();
+        assert_eq!(cfg.num_params(), 576);
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        assert_eq!(c.num_slots(), 576);
+        assert_eq!(c.num_trainable_refs(), 576);
+        assert_eq!(c.num_qubits(), 8);
+        // 12 blocks × (8 U3 + 8 CU3) ops.
+        assert_eq!(c.num_ops(), 12 * 16);
+    }
+
+    #[test]
+    fn param_count_formula_matches_circuit() {
+        for qubits in 1..6 {
+            for blocks in 0..4 {
+                for entangle in [EntangleOrder::Ring, EntangleOrder::Linear] {
+                    let cfg = AnsatzConfig {
+                        num_qubits: qubits,
+                        num_blocks: blocks,
+                        entangle,
+                    };
+                    let c = u3_cu3_ansatz(cfg).unwrap();
+                    assert_eq!(
+                        c.num_slots(),
+                        cfg.num_params(),
+                        "mismatch at qubits={qubits} blocks={blocks} {entangle:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_qubits_rejected() {
+        assert!(u3_cu3_ansatz(AnsatzConfig {
+            num_qubits: 0,
+            num_blocks: 1,
+            entangle: EntangleOrder::Ring,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn ansatz_runs_and_preserves_norm() {
+        let cfg = AnsatzConfig {
+            num_qubits: 4,
+            num_blocks: 3,
+            entangle: EntangleOrder::Ring,
+        };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let params: Vec<f64> = (0..c.num_slots()).map(|i| (i as f64) * 0.01 - 0.3).collect();
+        let out = c
+            .run(&State::from_real_normalized(&[1.0; 16]).unwrap(), &params)
+            .unwrap();
+        assert!((out.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_params_is_identity_on_basis_state() {
+        // U3(0,0,0) = I and CU3(0,0,0) = I, so the all-zeros parameter
+        // vector leaves any basis state unchanged.
+        let cfg = AnsatzConfig {
+            num_qubits: 3,
+            num_blocks: 2,
+            entangle: EntangleOrder::Ring,
+        };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let out = c.run(&State::zero(3), &vec![0.0; c.num_slots()]).unwrap();
+        assert!((out.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_ansatz_param_count() {
+        let cfg = GroupedAnsatzConfig {
+            num_groups: 2,
+            qubits_per_group: 3,
+            blocks_per_group: 2,
+            mixing_blocks: 1,
+            entangle: EntangleOrder::Ring,
+        };
+        let c = grouped_ansatz(cfg).unwrap();
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.num_slots(), cfg.num_params());
+    }
+
+    #[test]
+    fn grouped_ansatz_without_mixing_is_product() {
+        // With no mixing blocks, a product input stays a product across
+        // the group boundary: check via marginal purity of one group.
+        let cfg = GroupedAnsatzConfig {
+            num_groups: 2,
+            qubits_per_group: 2,
+            blocks_per_group: 1,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+        };
+        let c = grouped_ansatz(cfg).unwrap();
+        let params: Vec<f64> = (0..c.num_slots()).map(|i| 0.1 * i as f64).collect();
+        let input = State::from_real_normalized(&[1.0; 16]).unwrap();
+        let out = c.run(&input, &params).unwrap();
+        // Marginal over low group should have purity 1 (pure reduced
+        // state) because groups never interact. Purity via Schmidt:
+        // sum over blocks of |<block_i|block_j>| structure — here we use
+        // the fact that the 4x4 amplitude matrix (rows = high group,
+        // cols = low group) must be rank one.
+        let amps = out.amplitudes();
+        // Find the largest-magnitude row to use as reference.
+        let mut best_row = 0;
+        let mut best_norm = 0.0;
+        for r in 0..4 {
+            let n: f64 = (0..4).map(|c2| amps[r * 4 + c2].norm_sqr()).sum();
+            if n > best_norm {
+                best_norm = n;
+                best_row = r;
+            }
+        }
+        // Every other row must be proportional to the reference row.
+        for r in 0..4 {
+            if r == best_row {
+                continue;
+            }
+            // Cross-ratio check: a[r][i] * a[ref][j] == a[r][j] * a[ref][i].
+            for i in 0..4 {
+                for j in 0..4 {
+                    let lhs = amps[r * 4 + i] * amps[best_row * 4 + j];
+                    let rhs = amps[r * 4 + j] * amps[best_row * 4 + i];
+                    assert!((lhs - rhs).norm() < 1e-10, "state is entangled across groups");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_ansatz_zero_register_rejected() {
+        assert!(grouped_ansatz(GroupedAnsatzConfig {
+            num_groups: 0,
+            qubits_per_group: 4,
+            blocks_per_group: 1,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn two_qubit_ring_has_two_cu3() {
+        let cfg = AnsatzConfig {
+            num_qubits: 2,
+            num_blocks: 1,
+            entangle: EntangleOrder::Ring,
+        };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        // 2 U3 + 2 CU3 (0→1 and 1→0).
+        assert_eq!(c.num_ops(), 4);
+        assert_eq!(c.num_slots(), 12);
+    }
+
+    #[test]
+    fn single_qubit_block_has_no_entanglers() {
+        let cfg = AnsatzConfig {
+            num_qubits: 1,
+            num_blocks: 2,
+            entangle: EntangleOrder::Ring,
+        };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        assert_eq!(c.num_ops(), 2);
+        assert_eq!(c.num_slots(), 6);
+    }
+}

@@ -1,0 +1,645 @@
+use crate::{Matrix2, QsimError, State};
+
+/// Where a gate angle comes from: a literal value or a trainable slot.
+///
+/// Slots let several gates share one trainable parameter; gradients for a
+/// shared slot accumulate across all the gates that reference it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamSource {
+    /// A fixed, non-trainable angle.
+    Fixed(f64),
+    /// Index into the parameter vector bound at run time.
+    Slot(usize),
+}
+
+impl ParamSource {
+    /// Resolves the angle against a bound parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot index exceeds `params.len()`; circuits validate
+    /// slots at construction so this indicates a caller passing the wrong
+    /// vector (checked at [`Circuit::run`] entry).
+    pub fn resolve(&self, params: &[f64]) -> f64 {
+        match *self {
+            Self::Fixed(v) => v,
+            Self::Slot(i) => params[i],
+        }
+    }
+
+    /// The slot index, if trainable.
+    pub fn slot(&self) -> Option<usize> {
+        match *self {
+            Self::Fixed(_) => None,
+            Self::Slot(i) => Some(i),
+        }
+    }
+}
+
+/// A single-qubit gate kind, possibly parameterised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate1 {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S.
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T gate.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Rotation about X by one angle.
+    Rx(ParamSource),
+    /// Rotation about Y by one angle.
+    Ry(ParamSource),
+    /// Rotation about Z by one angle.
+    Rz(ParamSource),
+    /// Phase gate `diag(1, e^{iλ})`.
+    Phase(ParamSource),
+    /// General single-qubit gate with angles (θ, φ, λ).
+    U3(ParamSource, ParamSource, ParamSource),
+}
+
+impl Gate1 {
+    /// The gate's unitary for the given bound parameters.
+    pub fn matrix(&self, params: &[f64]) -> Matrix2 {
+        match self {
+            Self::X => Matrix2::x(),
+            Self::Y => Matrix2::y(),
+            Self::Z => Matrix2::z(),
+            Self::H => Matrix2::h(),
+            Self::S => Matrix2::s(),
+            Self::Sdg => Matrix2::sdg(),
+            Self::T => Matrix2::t(),
+            Self::Tdg => Matrix2::tdg(),
+            Self::Rx(t) => Matrix2::rx(t.resolve(params)),
+            Self::Ry(t) => Matrix2::ry(t.resolve(params)),
+            Self::Rz(t) => Matrix2::rz(t.resolve(params)),
+            Self::Phase(l) => Matrix2::phase(l.resolve(params)),
+            Self::U3(t, p, l) => {
+                Matrix2::u3(t.resolve(params), p.resolve(params), l.resolve(params))
+            }
+        }
+    }
+
+    /// Pairs of `(slot, ∂gate/∂slot-angle)` for every trainable angle of
+    /// this gate at the given parameters.
+    pub fn slot_derivatives(&self, params: &[f64]) -> Vec<(usize, Matrix2)> {
+        let mut out = Vec::new();
+        match self {
+            Self::X | Self::Y | Self::Z | Self::H | Self::S | Self::Sdg | Self::T | Self::Tdg => {}
+            Self::Rx(t) => {
+                if let Some(s) = t.slot() {
+                    out.push((s, Matrix2::rx_deriv(t.resolve(params))));
+                }
+            }
+            Self::Ry(t) => {
+                if let Some(s) = t.slot() {
+                    out.push((s, Matrix2::ry_deriv(t.resolve(params))));
+                }
+            }
+            Self::Rz(t) => {
+                if let Some(s) = t.slot() {
+                    out.push((s, Matrix2::rz_deriv(t.resolve(params))));
+                }
+            }
+            Self::Phase(l) => {
+                if let Some(s) = l.slot() {
+                    out.push((s, Matrix2::phase_deriv(l.resolve(params))));
+                }
+            }
+            Self::U3(t, p, l) => {
+                let (tv, pv, lv) = (t.resolve(params), p.resolve(params), l.resolve(params));
+                if let Some(s) = t.slot() {
+                    out.push((s, Matrix2::u3_dtheta(tv, pv, lv)));
+                }
+                if let Some(s) = p.slot() {
+                    out.push((s, Matrix2::u3_dphi(tv, pv, lv)));
+                }
+                if let Some(s) = l.slot() {
+                    out.push((s, Matrix2::u3_dlambda(tv, pv, lv)));
+                }
+            }
+        }
+        out
+    }
+
+    /// All trainable slots referenced by this gate.
+    pub fn slots(&self) -> Vec<usize> {
+        match self {
+            Self::Rx(t) | Self::Ry(t) | Self::Rz(t) | Self::Phase(t) => {
+                t.slot().into_iter().collect()
+            }
+            Self::U3(t, p, l) => [t.slot(), p.slot(), l.slot()]
+                .into_iter()
+                .flatten()
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One operation in a circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// A single-qubit gate on `qubit`.
+    Single {
+        /// The gate.
+        gate: Gate1,
+        /// Target qubit.
+        qubit: usize,
+    },
+    /// A controlled single-qubit gate.
+    Controlled {
+        /// The gate applied to `target` when `control` is 1.
+        gate: Gate1,
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// A SWAP of two qubits.
+    Swap {
+        /// First qubit.
+        a: usize,
+        /// Second qubit.
+        b: usize,
+    },
+}
+
+/// An ordered sequence of gates on a fixed-size qubit register, with
+/// trainable parameter slots.
+///
+/// Build circuits with the fluent gate methods, allocate trainable angles
+/// with [`Circuit::alloc_slot`] (or the `*_slots` conveniences), then
+/// execute with [`Circuit::run`].
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::{Circuit, State};
+///
+/// # fn main() -> Result<(), qugeo_qsim::QsimError> {
+/// let mut c = Circuit::new(2);
+/// c.h(0)?;
+/// c.cx(0, 1)?;
+/// let bell = c.run(&State::zero(2), &[])?;
+/// assert!((bell.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((bell.probability(0b11) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_slots: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            num_slots: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Register size.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of trainable parameter slots allocated so far.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operations in order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Mutable access to one op; used by the parameter-shift machinery to
+    /// pin a single gate angle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= self.num_ops()`.
+    pub(crate) fn op_mut(&mut self, idx: usize) -> &mut Op {
+        &mut self.ops[idx]
+    }
+
+    /// Allocates a fresh trainable parameter slot and returns its index.
+    pub fn alloc_slot(&mut self) -> usize {
+        self.num_slots += 1;
+        self.num_slots - 1
+    }
+
+    /// Allocates `n` consecutive slots, returning the first index.
+    pub fn alloc_slots(&mut self, n: usize) -> usize {
+        let first = self.num_slots;
+        self.num_slots += n;
+        first
+    }
+
+    fn check_qubit(&self, q: usize) -> Result<(), QsimError> {
+        if q >= self.num_qubits {
+            Err(QsimError::QubitOutOfRange {
+                qubit: q,
+                num_qubits: self.num_qubits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_source(&self, p: ParamSource) -> Result<(), QsimError> {
+        if let ParamSource::Slot(s) = p {
+            if s >= self.num_slots {
+                return Err(QsimError::SlotOutOfRange {
+                    slot: s,
+                    num_slots: self.num_slots,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a single-qubit gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `qubit` or any referenced slot is out of range.
+    pub fn push_single(&mut self, gate: Gate1, qubit: usize) -> Result<&mut Self, QsimError> {
+        self.check_qubit(qubit)?;
+        for s in gate.slots() {
+            self.check_source(ParamSource::Slot(s))?;
+        }
+        self.ops.push(Op::Single { gate, qubit });
+        Ok(self)
+    }
+
+    /// Appends a controlled single-qubit gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a qubit or slot is out of range or
+    /// `control == target`.
+    pub fn push_controlled(
+        &mut self,
+        gate: Gate1,
+        control: usize,
+        target: usize,
+    ) -> Result<&mut Self, QsimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(QsimError::ControlEqualsTarget { qubit: control });
+        }
+        for s in gate.slots() {
+            self.check_source(ParamSource::Slot(s))?;
+        }
+        self.ops.push(Op::Controlled {
+            gate,
+            control,
+            target,
+        });
+        Ok(self)
+    }
+
+    /// Appends a Hadamard gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `qubit` is out of range.
+    pub fn h(&mut self, qubit: usize) -> Result<&mut Self, QsimError> {
+        self.push_single(Gate1::H, qubit)
+    }
+
+    /// Appends a Pauli-X gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `qubit` is out of range.
+    pub fn x(&mut self, qubit: usize) -> Result<&mut Self, QsimError> {
+        self.push_single(Gate1::X, qubit)
+    }
+
+    /// Appends a CNOT.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a qubit is out of range or `control == target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> Result<&mut Self, QsimError> {
+        self.push_controlled(Gate1::X, control, target)
+    }
+
+    /// Appends a SWAP.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a qubit is out of range or `a == b`.
+    pub fn swap(&mut self, a: usize, b: usize) -> Result<&mut Self, QsimError> {
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        if a == b {
+            return Err(QsimError::ControlEqualsTarget { qubit: a });
+        }
+        self.ops.push(Op::Swap { a, b });
+        Ok(self)
+    }
+
+    /// Appends an RY gate reading its angle from `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `qubit` or `slot` is out of range.
+    pub fn ry_slot(&mut self, qubit: usize, slot: usize) -> Result<&mut Self, QsimError> {
+        self.check_source(ParamSource::Slot(slot))?;
+        self.push_single(Gate1::Ry(ParamSource::Slot(slot)), qubit)
+    }
+
+    /// Appends an RY gate with a fixed angle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `qubit` is out of range.
+    pub fn ry_fixed(&mut self, qubit: usize, theta: f64) -> Result<&mut Self, QsimError> {
+        self.push_single(Gate1::Ry(ParamSource::Fixed(theta)), qubit)
+    }
+
+    /// Appends a U3 gate whose three angles occupy `first_slot`,
+    /// `first_slot + 1`, `first_slot + 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `qubit` or any slot is out of range.
+    pub fn u3_slots(&mut self, qubit: usize, first_slot: usize) -> Result<&mut Self, QsimError> {
+        let gate = Gate1::U3(
+            ParamSource::Slot(first_slot),
+            ParamSource::Slot(first_slot + 1),
+            ParamSource::Slot(first_slot + 2),
+        );
+        self.push_single(gate, qubit)
+    }
+
+    /// Appends a controlled-U3 whose three angles occupy `first_slot..+3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a qubit or slot is out of range or
+    /// `control == target`.
+    pub fn cu3_slots(
+        &mut self,
+        control: usize,
+        target: usize,
+        first_slot: usize,
+    ) -> Result<&mut Self, QsimError> {
+        let gate = Gate1::U3(
+            ParamSource::Slot(first_slot),
+            ParamSource::Slot(first_slot + 1),
+            ParamSource::Slot(first_slot + 2),
+        );
+        self.push_controlled(gate, control, target)
+    }
+
+    /// Validates that a parameter vector matches this circuit's slot count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::ParamCountMismatch`] on length mismatch.
+    pub fn check_params(&self, params: &[f64]) -> Result<(), QsimError> {
+        if params.len() != self.num_slots {
+            return Err(QsimError::ParamCountMismatch {
+                expected: self.num_slots,
+                actual: params.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs the circuit on `input`, returning the output state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params.len() != self.num_slots()` or the input
+    /// state's qubit count differs from the circuit's.
+    pub fn run(&self, input: &State, params: &[f64]) -> Result<State, QsimError> {
+        self.check_params(params)?;
+        if input.num_qubits() != self.num_qubits {
+            return Err(QsimError::QubitCountMismatch {
+                expected: self.num_qubits,
+                actual: input.num_qubits(),
+            });
+        }
+        let mut state = input.clone();
+        self.apply_in_place(&mut state, params);
+        Ok(state)
+    }
+
+    /// Applies all ops to `state` in order (no validation; `run` is the
+    /// checked entry point).
+    pub(crate) fn apply_in_place(&self, state: &mut State, params: &[f64]) {
+        for op in &self.ops {
+            Self::apply_op(op, state, params, false);
+        }
+    }
+
+    /// Applies `op` (or its dagger) to `state`.
+    pub(crate) fn apply_op(op: &Op, state: &mut State, params: &[f64], dagger: bool) {
+        match op {
+            Op::Single { gate, qubit } => {
+                let m = gate.matrix(params);
+                let m = if dagger { m.dagger() } else { m };
+                state.apply_single(&m, *qubit);
+            }
+            Op::Controlled {
+                gate,
+                control,
+                target,
+            } => {
+                let m = gate.matrix(params);
+                let m = if dagger { m.dagger() } else { m };
+                state.apply_controlled(&m, *control, *target);
+            }
+            Op::Swap { a, b } => state.apply_swap(*a, *b),
+        }
+    }
+
+    /// Returns a copy of this circuit on a register widened by
+    /// `extra_qubits` new high-order qubits that no gate touches.
+    ///
+    /// This is exactly the QuBatch construction: because the new qubits are
+    /// the most significant ones and receive no gates, the widened circuit
+    /// acts as `I ⊗ U(θ)` — the same unitary applied to every batch block
+    /// of the statevector.
+    pub fn widened(&self, extra_qubits: usize) -> Self {
+        Self {
+            num_qubits: self.num_qubits + extra_qubits,
+            num_slots: self.num_slots,
+            ops: self.ops.clone(),
+        }
+    }
+
+    /// Total number of trainable angles across all gates (counting shared
+    /// slots once per reference).
+    pub fn num_trainable_refs(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Single { gate, .. } | Op::Controlled { gate, .. } => gate.slots().len(),
+                Op::Swap { .. } => 0,
+            })
+            .sum()
+    }
+
+    /// A loose circuit-depth proxy: the number of sequential ops.
+    ///
+    /// QuGeo's complexity discussion (Section 3.3.3) reasons about depth
+    /// growth; this simulator executes sequentially so op count is the
+    /// natural measure.
+    pub fn depth(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn builder_validates_qubits() {
+        let mut c = Circuit::new(2);
+        assert!(c.h(0).is_ok());
+        assert!(c.h(2).is_err());
+        assert!(c.cx(0, 0).is_err());
+        assert!(c.cx(0, 5).is_err());
+        assert!(c.swap(1, 1).is_err());
+    }
+
+    #[test]
+    fn builder_validates_slots() {
+        let mut c = Circuit::new(1);
+        assert!(c.ry_slot(0, 0).is_err()); // no slots allocated yet
+        let s = c.alloc_slot();
+        assert!(c.ry_slot(0, s).is_ok());
+        assert!(c.u3_slots(0, 5).is_err());
+    }
+
+    #[test]
+    fn run_validates_params_and_state() {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        assert!(matches!(
+            c.run(&State::zero(1), &[]),
+            Err(QsimError::ParamCountMismatch { .. })
+        ));
+        assert!(matches!(
+            c.run(&State::zero(2), &[0.5]),
+            Err(QsimError::QubitCountMismatch { .. })
+        ));
+        assert!(c.run(&State::zero(1), &[0.5]).is_ok());
+    }
+
+    #[test]
+    fn ry_pi_flips_qubit() {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        let out = c.run(&State::zero(1), &[PI]).unwrap();
+        assert!((out.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_params_need_no_binding() {
+        let mut c = Circuit::new(1);
+        c.ry_fixed(0, PI).unwrap();
+        let out = c.run(&State::zero(1), &[]).unwrap();
+        assert!((out.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_slot_used_twice() {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        c.ry_slot(0, s).unwrap();
+        // Two RY(π/2) compose to RY(π).
+        let out = c.run(&State::zero(1), &[PI / 2.0]).unwrap();
+        assert!((out.probability(1) - 1.0).abs() < 1e-12);
+        assert_eq!(c.num_slots(), 1);
+        assert_eq!(c.num_trainable_refs(), 2);
+    }
+
+    #[test]
+    fn u3_slots_allocate_three_angles() {
+        let mut c = Circuit::new(1);
+        let first = c.alloc_slots(3);
+        c.u3_slots(0, first).unwrap();
+        assert_eq!(c.num_slots(), 3);
+        // U3(π, 0, π) = X
+        let out = c.run(&State::zero(1), &[PI, 0.0, PI]).unwrap();
+        assert!((out.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cu3_acts_only_when_control_set() {
+        let mut c = Circuit::new(2);
+        let first = c.alloc_slots(3);
+        c.cu3_slots(0, 1, first).unwrap();
+        let out = c.run(&State::zero(2), &[PI, 0.0, PI]).unwrap();
+        // Control (qubit 0) is |0>, nothing happens.
+        assert!((out.probability(0) - 1.0).abs() < 1e-12);
+
+        let mut c2 = Circuit::new(2);
+        c2.x(0).unwrap();
+        let first = c2.alloc_slots(3);
+        c2.cu3_slots(0, 1, first).unwrap();
+        let out2 = c2.run(&State::zero(2), &[PI, 0.0, PI]).unwrap();
+        // Control set: target flipped; state |11>.
+        assert!((out2.probability(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dagger_run_inverts_circuit() {
+        let mut c = Circuit::new(2);
+        let s0 = c.alloc_slots(3);
+        c.h(0).unwrap();
+        c.u3_slots(1, s0).unwrap();
+        c.cx(0, 1).unwrap();
+        let params = [0.3, -0.8, 1.7];
+        let fwd = c.run(&State::zero(2), &params).unwrap();
+        // Apply ops daggered in reverse order.
+        let mut state = fwd;
+        for op in c.ops().iter().rev() {
+            Circuit::apply_op(op, &mut state, &params, true);
+        }
+        assert!((state.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_and_op_count() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap();
+        c.cx(0, 1).unwrap();
+        c.swap(0, 1).unwrap();
+        assert_eq!(c.num_ops(), 3);
+        assert_eq!(c.depth(), 3);
+    }
+}

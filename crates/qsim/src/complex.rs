@@ -1,0 +1,286 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// The offline dependency set contains no complex-number crate, so the
+/// simulator carries its own. Only the operations a statevector simulator
+/// needs are provided.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// assert_eq!(Complex64::new(3.0, 4.0).norm_sqr(), 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ} = cos θ + i sin θ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qugeo_qsim::Complex64;
+    ///
+    /// let half_turn = Complex64::cis(std::f64::consts::PI);
+    /// assert!((half_turn.re + 1.0).abs() < 1e-15);
+    /// ```
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `√(re² + im²)`.
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// `true` if both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Division by a complex zero produces non-finite components rather
+    /// than panicking, mirroring `f64` semantics.
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn constants() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(2.0, -3.0);
+        assert_eq!(z + Complex64::ZERO, z);
+        assert_eq!(z * Complex64::ONE, z);
+        assert_eq!(z - z, Complex64::ZERO);
+        assert_eq!(-z, Complex64::new(-2.0, 3.0));
+    }
+
+    #[test]
+    fn multiplication_formula() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        // (1+2i)(3-i) = 3 - i + 6i - 2i² = 5 + 5i
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(1.5, -0.5);
+        let b = Complex64::new(-2.0, 3.0);
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-12);
+        assert!((q.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!((z * z.conj()).im, 0.0);
+    }
+
+    #[test]
+    fn cis_special_angles() {
+        let e0 = Complex64::cis(0.0);
+        assert_eq!(e0, Complex64::ONE);
+        let e90 = Complex64::cis(FRAC_PI_2);
+        assert!(e90.re.abs() < 1e-15);
+        assert!((e90.im - 1.0).abs() < 1e-15);
+        let e180 = Complex64::cis(PI);
+        assert!((e180.re + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arg_of_quadrants() {
+        assert!((Complex64::new(1.0, 1.0).arg() - PI / 4.0).abs() < 1e-12);
+        assert!((Complex64::new(-1.0, 0.0).arg() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut z = Complex64::ONE;
+        z += Complex64::I;
+        z -= Complex64::ONE;
+        z *= Complex64::I;
+        assert_eq!(z, -Complex64::ONE);
+    }
+
+    #[test]
+    fn display_both_signs() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn from_real() {
+        let z: Complex64 = 4.5.into();
+        assert_eq!(z, Complex64::new(4.5, 0.0));
+    }
+
+    #[test]
+    fn scale_matches_real_mul() {
+        let z = Complex64::new(2.0, -1.0);
+        assert_eq!(z.scale(3.0), z * 3.0);
+    }
+}

@@ -1,0 +1,126 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the quantum simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::{Circuit, QsimError};
+///
+/// let mut c = Circuit::new(2);
+/// let err = c.h(5).unwrap_err();
+/// assert!(matches!(err, QsimError::QubitOutOfRange { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum QsimError {
+    /// A gate referenced a qubit index `qubit` on a register of `num_qubits`.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The circuit's register size.
+        num_qubits: usize,
+    },
+    /// A controlled gate used the same qubit as control and target.
+    ControlEqualsTarget {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+    /// A parameter vector of the wrong length was bound to a circuit.
+    ParamCountMismatch {
+        /// Slots the circuit declares.
+        expected: usize,
+        /// Parameters supplied.
+        actual: usize,
+    },
+    /// A gate referenced a parameter slot the circuit never allocated.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: usize,
+        /// Slots allocated so far.
+        num_slots: usize,
+    },
+    /// Statevector construction from data whose length is not a power of
+    /// two, or that cannot be normalised.
+    InvalidStateLength {
+        /// The provided amplitude count.
+        len: usize,
+    },
+    /// Data encoding was given an all-zero vector, which has no quantum
+    /// state representation.
+    ZeroVector,
+    /// A state and a circuit (or observable) disagree on qubit count.
+    QubitCountMismatch {
+        /// Qubits expected by the operation.
+        expected: usize,
+        /// Qubits of the supplied state.
+        actual: usize,
+    },
+    /// An encoding request that does not fit its constraints (e.g. group
+    /// sizes that are not powers of two, or batch index out of range).
+    InvalidEncoding {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit register")
+            }
+            Self::ControlEqualsTarget { qubit } => {
+                write!(f, "control and target are both qubit {qubit}")
+            }
+            Self::ParamCountMismatch { expected, actual } => {
+                write!(f, "circuit declares {expected} parameter slots, got {actual} values")
+            }
+            Self::SlotOutOfRange { slot, num_slots } => {
+                write!(f, "parameter slot {slot} out of range ({num_slots} allocated)")
+            }
+            Self::InvalidStateLength { len } => {
+                write!(f, "state length {len} is not a positive power of two")
+            }
+            Self::ZeroVector => write!(f, "cannot amplitude-encode an all-zero vector"),
+            Self::QubitCountMismatch { expected, actual } => {
+                write!(f, "expected a {expected}-qubit state, got {actual} qubits")
+            }
+            Self::InvalidEncoding { reason } => write!(f, "invalid encoding: {reason}"),
+        }
+    }
+}
+
+impl Error for QsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_specifics() {
+        let e = QsimError::QubitOutOfRange {
+            qubit: 9,
+            num_qubits: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+
+        let e = QsimError::ParamCountMismatch {
+            expected: 576,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("576"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<QsimError>();
+    }
+
+    #[test]
+    fn zero_vector_message() {
+        assert!(QsimError::ZeroVector.to_string().contains("zero"));
+    }
+}

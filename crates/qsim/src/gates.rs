@@ -1,0 +1,455 @@
+use crate::Complex64;
+
+/// A 2×2 complex matrix — the representation of every single-qubit gate.
+///
+/// Stored row-major: `m[row][col]`.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::Matrix2;
+///
+/// let h = Matrix2::h();
+/// assert!(h.is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix2 {
+    /// Matrix entries, row-major.
+    pub m: [[Complex64; 2]; 2],
+}
+
+impl Matrix2 {
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::ONE],
+            ],
+        }
+    }
+
+    /// The zero matrix (useful as a derivative of a constant gate).
+    pub fn zero() -> Self {
+        Self {
+            m: [[Complex64::ZERO; 2]; 2],
+        }
+    }
+
+    /// Pauli-X.
+    pub fn x() -> Self {
+        Self {
+            m: [
+                [Complex64::ZERO, Complex64::ONE],
+                [Complex64::ONE, Complex64::ZERO],
+            ],
+        }
+    }
+
+    /// Pauli-Y.
+    pub fn y() -> Self {
+        Self {
+            m: [
+                [Complex64::ZERO, -Complex64::I],
+                [Complex64::I, Complex64::ZERO],
+            ],
+        }
+    }
+
+    /// Pauli-Z.
+    pub fn z() -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, -Complex64::ONE],
+            ],
+        }
+    }
+
+    /// Hadamard.
+    pub fn h() -> Self {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        Self {
+            m: [
+                [Complex64::from_real(s), Complex64::from_real(s)],
+                [Complex64::from_real(s), Complex64::from_real(-s)],
+            ],
+        }
+    }
+
+    /// Phase gate S = diag(1, i).
+    pub fn s() -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::I],
+            ],
+        }
+    }
+
+    /// S-dagger = diag(1, -i).
+    pub fn sdg() -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, -Complex64::I],
+            ],
+        }
+    }
+
+    /// T gate = diag(1, e^{iπ/4}).
+    pub fn t() -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+            ],
+        }
+    }
+
+    /// T-dagger = diag(1, e^{-iπ/4}).
+    pub fn tdg() -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [
+                    Complex64::ZERO,
+                    Complex64::cis(-std::f64::consts::FRAC_PI_4),
+                ],
+            ],
+        }
+    }
+
+    /// Rotation about X: `RX(θ) = exp(-iθX/2)`.
+    pub fn rx(theta: f64) -> Self {
+        let c = Complex64::from_real((theta / 2.0).cos());
+        let s = Complex64::new(0.0, -(theta / 2.0).sin());
+        Self { m: [[c, s], [s, c]] }
+    }
+
+    /// Derivative of [`Matrix2::rx`] with respect to θ.
+    pub fn rx_deriv(theta: f64) -> Self {
+        let c = Complex64::from_real(-(theta / 2.0).sin() / 2.0);
+        let s = Complex64::new(0.0, -(theta / 2.0).cos() / 2.0);
+        Self { m: [[c, s], [s, c]] }
+    }
+
+    /// Rotation about Y: `RY(θ) = exp(-iθY/2)`.
+    pub fn ry(theta: f64) -> Self {
+        let c = Complex64::from_real((theta / 2.0).cos());
+        let s = (theta / 2.0).sin();
+        Self {
+            m: [
+                [c, Complex64::from_real(-s)],
+                [Complex64::from_real(s), c],
+            ],
+        }
+    }
+
+    /// Derivative of [`Matrix2::ry`] with respect to θ.
+    pub fn ry_deriv(theta: f64) -> Self {
+        let c = Complex64::from_real(-(theta / 2.0).sin() / 2.0);
+        let s = (theta / 2.0).cos() / 2.0;
+        Self {
+            m: [
+                [c, Complex64::from_real(-s)],
+                [Complex64::from_real(s), c],
+            ],
+        }
+    }
+
+    /// Rotation about Z: `RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+    pub fn rz(theta: f64) -> Self {
+        Self {
+            m: [
+                [Complex64::cis(-theta / 2.0), Complex64::ZERO],
+                [Complex64::ZERO, Complex64::cis(theta / 2.0)],
+            ],
+        }
+    }
+
+    /// Derivative of [`Matrix2::rz`] with respect to θ.
+    pub fn rz_deriv(theta: f64) -> Self {
+        Self {
+            m: [
+                [
+                    Complex64::cis(-theta / 2.0) * Complex64::new(0.0, -0.5),
+                    Complex64::ZERO,
+                ],
+                [
+                    Complex64::ZERO,
+                    Complex64::cis(theta / 2.0) * Complex64::new(0.0, 0.5),
+                ],
+            ],
+        }
+    }
+
+    /// Phase gate `P(λ) = diag(1, e^{iλ})`.
+    pub fn phase(lambda: f64) -> Self {
+        Self {
+            m: [
+                [Complex64::ONE, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::cis(lambda)],
+            ],
+        }
+    }
+
+    /// Derivative of [`Matrix2::phase`] with respect to λ.
+    pub fn phase_deriv(lambda: f64) -> Self {
+        Self {
+            m: [
+                [Complex64::ZERO, Complex64::ZERO],
+                [Complex64::ZERO, Complex64::cis(lambda) * Complex64::I],
+            ],
+        }
+    }
+
+    /// The general single-qubit gate
+    /// `U3(θ, φ, λ) = [[cos(θ/2), -e^{iλ} sin(θ/2)],
+    ///                [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]]`.
+    ///
+    /// This is the parameterised gate of the paper's `U3+CU3` ansatz
+    /// blocks (three trainable angles per gate).
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Self {
+        let (sin, cos) = (theta / 2.0).sin_cos();
+        Self {
+            m: [
+                [
+                    Complex64::from_real(cos),
+                    -(Complex64::cis(lambda) * sin),
+                ],
+                [
+                    Complex64::cis(phi) * sin,
+                    Complex64::cis(phi + lambda) * cos,
+                ],
+            ],
+        }
+    }
+
+    /// Partial derivative of [`Matrix2::u3`] with respect to θ.
+    pub fn u3_dtheta(theta: f64, phi: f64, lambda: f64) -> Self {
+        let (sin, cos) = (theta / 2.0).sin_cos();
+        Self {
+            m: [
+                [
+                    Complex64::from_real(-sin / 2.0),
+                    -(Complex64::cis(lambda) * (cos / 2.0)),
+                ],
+                [
+                    Complex64::cis(phi) * (cos / 2.0),
+                    Complex64::cis(phi + lambda) * (-sin / 2.0),
+                ],
+            ],
+        }
+    }
+
+    /// Partial derivative of [`Matrix2::u3`] with respect to φ.
+    pub fn u3_dphi(theta: f64, phi: f64, lambda: f64) -> Self {
+        let (sin, cos) = (theta / 2.0).sin_cos();
+        Self {
+            m: [
+                [Complex64::ZERO, Complex64::ZERO],
+                [
+                    Complex64::cis(phi) * Complex64::I * sin,
+                    Complex64::cis(phi + lambda) * Complex64::I * cos,
+                ],
+            ],
+        }
+    }
+
+    /// Partial derivative of [`Matrix2::u3`] with respect to λ.
+    pub fn u3_dlambda(theta: f64, phi: f64, lambda: f64) -> Self {
+        let (sin, cos) = (theta / 2.0).sin_cos();
+        Self {
+            m: [
+                [
+                    Complex64::ZERO,
+                    -(Complex64::cis(lambda) * Complex64::I * sin),
+                ],
+                [
+                    Complex64::ZERO,
+                    Complex64::cis(phi + lambda) * Complex64::I * cos,
+                ],
+            ],
+        }
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Self {
+        Self {
+            m: [
+                [self.m[0][0].conj(), self.m[1][0].conj()],
+                [self.m[0][1].conj(), self.m[1][1].conj()],
+            ],
+        }
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        let mut out = Self::zero();
+        for r in 0..2 {
+            for c in 0..2 {
+                out.m[r][c] =
+                    self.m[r][0] * rhs.m[0][c] + self.m[r][1] * rhs.m[1][c];
+            }
+        }
+        out
+    }
+
+    /// `true` when `self · self† = I` within `tol` per entry.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        let id = Self::identity();
+        for r in 0..2 {
+            for c in 0..2 {
+                if (p.m[r][c] - id.m[r][c]).norm() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: &Matrix2, b: &Matrix2, tol: f64) -> bool {
+        (0..2).all(|r| (0..2).all(|c| (a.m[r][c] - b.m[r][c]).norm() < tol))
+    }
+
+    #[test]
+    fn fixed_gates_are_unitary() {
+        for g in [
+            Matrix2::identity(),
+            Matrix2::x(),
+            Matrix2::y(),
+            Matrix2::z(),
+            Matrix2::h(),
+            Matrix2::s(),
+            Matrix2::sdg(),
+            Matrix2::t(),
+            Matrix2::tdg(),
+        ] {
+            assert!(g.is_unitary(EPS));
+        }
+    }
+
+    #[test]
+    fn rotations_are_unitary_for_many_angles() {
+        for i in 0..24 {
+            let t = i as f64 * PI / 6.0 - 2.0 * PI;
+            assert!(Matrix2::rx(t).is_unitary(EPS));
+            assert!(Matrix2::ry(t).is_unitary(EPS));
+            assert!(Matrix2::rz(t).is_unitary(EPS));
+            assert!(Matrix2::phase(t).is_unitary(EPS));
+            assert!(Matrix2::u3(t, 0.7 * t, -0.3 * t).is_unitary(EPS));
+        }
+    }
+
+    #[test]
+    fn zero_angle_rotations_are_identity() {
+        let id = Matrix2::identity();
+        assert!(close(&Matrix2::rx(0.0), &id, EPS));
+        assert!(close(&Matrix2::ry(0.0), &id, EPS));
+        assert!(close(&Matrix2::rz(0.0), &id, EPS));
+        assert!(close(&Matrix2::u3(0.0, 0.0, 0.0), &id, EPS));
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(θ, -π/2, π/2) = RX(θ)
+        let theta = 0.73;
+        assert!(close(
+            &Matrix2::u3(theta, -PI / 2.0, PI / 2.0),
+            &Matrix2::rx(theta),
+            EPS
+        ));
+        // U3(θ, 0, 0) = RY(θ)
+        assert!(close(&Matrix2::u3(theta, 0.0, 0.0), &Matrix2::ry(theta), EPS));
+        // U3(π, 0, π) = X
+        assert!(close(&Matrix2::u3(PI, 0.0, PI), &Matrix2::x(), EPS));
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        assert!(close(&Matrix2::s().matmul(&Matrix2::s()), &Matrix2::z(), EPS));
+        assert!(close(&Matrix2::t().matmul(&Matrix2::t()), &Matrix2::s(), EPS));
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        assert!(close(
+            &Matrix2::h().matmul(&Matrix2::h()),
+            &Matrix2::identity(),
+            EPS
+        ));
+    }
+
+    fn assert_deriv(
+        f: impl Fn(f64) -> Matrix2,
+        df: impl Fn(f64) -> Matrix2,
+        at: f64,
+    ) {
+        let h = 1e-6;
+        let num = {
+            let plus = f(at + h);
+            let minus = f(at - h);
+            let mut out = Matrix2::zero();
+            for r in 0..2 {
+                for c in 0..2 {
+                    out.m[r][c] = (plus.m[r][c] - minus.m[r][c]).scale(1.0 / (2.0 * h));
+                }
+            }
+            out
+        };
+        let ana = df(at);
+        assert!(
+            close(&num, &ana, 1e-6),
+            "analytic derivative disagrees with finite difference at {at}"
+        );
+    }
+
+    #[test]
+    fn rotation_derivatives_match_finite_difference() {
+        for &t in &[-2.1, -0.4, 0.0, 0.9, 2.7] {
+            assert_deriv(Matrix2::rx, Matrix2::rx_deriv, t);
+            assert_deriv(Matrix2::ry, Matrix2::ry_deriv, t);
+            assert_deriv(Matrix2::rz, Matrix2::rz_deriv, t);
+            assert_deriv(Matrix2::phase, Matrix2::phase_deriv, t);
+        }
+    }
+
+    #[test]
+    fn u3_partial_derivatives_match_finite_difference() {
+        let (theta, phi, lambda) = (0.83, -1.21, 2.02);
+        assert_deriv(
+            |t| Matrix2::u3(t, phi, lambda),
+            |t| Matrix2::u3_dtheta(t, phi, lambda),
+            theta,
+        );
+        assert_deriv(
+            |p| Matrix2::u3(theta, p, lambda),
+            |p| Matrix2::u3_dphi(theta, p, lambda),
+            phi,
+        );
+        assert_deriv(
+            |l| Matrix2::u3(theta, phi, l),
+            |l| Matrix2::u3_dlambda(theta, phi, l),
+            lambda,
+        );
+    }
+
+    #[test]
+    fn dagger_reverses_product() {
+        let a = Matrix2::u3(0.3, 1.0, -0.5);
+        let b = Matrix2::ry(0.8);
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(close(&lhs, &rhs, EPS));
+    }
+}

@@ -1,0 +1,402 @@
+//! Differentiation of circuit expectation values.
+//!
+//! QuGeo trains its VQC by gradient descent on losses that are functions of
+//! diagonal-observable expectations (per-qubit ⟨Z⟩ for the layer decoder,
+//! basis-state probabilities for the pixel decoder). All of those reduce,
+//! via the chain rule, to the gradient of a single effective diagonal
+//! observable — which this module computes three ways:
+//!
+//! * [`adjoint_gradient`] — the production path: one forward pass plus one
+//!   backward sweep, `O(ops)` gate applications total, exact.
+//! * [`parameter_shift_gradient`] — hardware-compatible shift rules
+//!   (two-term for plain gates, four-term for controlled gates); used as an
+//!   independent oracle in tests.
+//! * [`finite_difference_gradient`] — central differences; slow, but makes
+//!   no assumptions at all.
+
+use crate::circuit::{Circuit, Gate1, Op, ParamSource};
+use crate::{DiagonalObservable, QsimError, State};
+
+/// Evaluates `⟨ψ(θ)|O|ψ(θ)⟩` where `ψ(θ)` is the circuit output on
+/// `input`.
+///
+/// # Errors
+///
+/// Returns an error if the parameter count or qubit counts mismatch.
+pub fn expectation_of(
+    circuit: &Circuit,
+    params: &[f64],
+    input: &State,
+    obs: &DiagonalObservable,
+) -> Result<f64, QsimError> {
+    if obs.num_qubits() != circuit.num_qubits() {
+        return Err(QsimError::QubitCountMismatch {
+            expected: circuit.num_qubits(),
+            actual: obs.num_qubits(),
+        });
+    }
+    let out = circuit.run(input, params)?;
+    Ok(obs.expectation(&out))
+}
+
+/// Gradient of `⟨ψ(θ)|O|ψ(θ)⟩` with respect to every parameter slot, via
+/// adjoint differentiation.
+///
+/// The algorithm keeps two statevectors: `ket`, swept backwards from the
+/// output state by applying daggered gates, and `bra`, seeded with `O|ψ⟩`
+/// and swept the same way. Each parameterised gate contributes
+/// `2 Re ⟨bra| ∂U/∂θ |ket⟩`. Cost: `O(num_ops)` gate applications, one
+/// scratch vector, exact to machine precision for unitary circuits.
+///
+/// Returns `(expectation, gradient)` so callers get the loss for free.
+///
+/// # Errors
+///
+/// Returns an error if parameter counts or qubit counts mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::{adjoint_gradient, Circuit, DiagonalObservable, State};
+///
+/// # fn main() -> Result<(), qugeo_qsim::QsimError> {
+/// let mut c = Circuit::new(1);
+/// let s = c.alloc_slot();
+/// c.ry_slot(0, s)?;
+/// let z = DiagonalObservable::z(1, 0)?;
+/// let (val, grad) = adjoint_gradient(&c, &[0.3], &State::zero(1), &z)?;
+/// // <Z> = cos θ, d<Z>/dθ = -sin θ
+/// assert!((val - 0.3f64.cos()).abs() < 1e-12);
+/// assert!((grad[0] + 0.3f64.sin()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn adjoint_gradient(
+    circuit: &Circuit,
+    params: &[f64],
+    input: &State,
+    obs: &DiagonalObservable,
+) -> Result<(f64, Vec<f64>), QsimError> {
+    circuit.check_params(params)?;
+    if obs.num_qubits() != circuit.num_qubits() {
+        return Err(QsimError::QubitCountMismatch {
+            expected: circuit.num_qubits(),
+            actual: obs.num_qubits(),
+        });
+    }
+    let psi = circuit.run(input, params)?;
+    let value = obs.expectation(&psi);
+
+    let mut grad = vec![0.0; circuit.num_slots()];
+    if circuit.num_slots() == 0 {
+        return Ok((value, grad));
+    }
+
+    let mut ket = psi.clone();
+    let mut bra = obs.apply(&psi);
+    let mut scratch = State::zero(circuit.num_qubits());
+
+    for op in circuit.ops().iter().rev() {
+        // ket := U† ket  (the state *before* this gate).
+        Circuit::apply_op(op, &mut ket, params, true);
+
+        // Gradient contributions of this gate's trainable angles.
+        match op {
+            Op::Single { gate, qubit } => {
+                for (slot, dm) in gate.slot_derivatives(params) {
+                    ket.apply_matrix_into(&dm, None, *qubit, &mut scratch);
+                    let ip = bra.inner(&scratch)?;
+                    grad[slot] += 2.0 * ip.re;
+                }
+            }
+            Op::Controlled {
+                gate,
+                control,
+                target,
+            } => {
+                for (slot, dm) in gate.slot_derivatives(params) {
+                    ket.apply_matrix_into(&dm, Some(*control), *target, &mut scratch);
+                    let ip = bra.inner(&scratch)?;
+                    grad[slot] += 2.0 * ip.re;
+                }
+            }
+            Op::Swap { .. } => {}
+        }
+
+        // bra := U† bra for the next (earlier) gate.
+        Circuit::apply_op(op, &mut bra, params, true);
+    }
+
+    Ok((value, grad))
+}
+
+/// Gradient via parameter-shift rules, shifting each gate occurrence
+/// independently (correct even when several gates share a slot).
+///
+/// Plain parameterised gates use the two-term rule
+/// `(f(θ+π/2) − f(θ−π/2)) / 2`; controlled parameterised gates use the
+/// four-term rule with shifts ±π/2 and ±3π/2, which is exact for the
+/// frequency spectrum `{1/2, 1}` of controlled rotations.
+///
+/// This costs 2–4 circuit executions per trainable angle — it exists as a
+/// hardware-faithful oracle, not as the training path.
+///
+/// # Errors
+///
+/// Returns an error if parameter counts or qubit counts mismatch.
+pub fn parameter_shift_gradient(
+    circuit: &Circuit,
+    params: &[f64],
+    input: &State,
+    obs: &DiagonalObservable,
+) -> Result<Vec<f64>, QsimError> {
+    circuit.check_params(params)?;
+    if obs.num_qubits() != circuit.num_qubits() {
+        return Err(QsimError::QubitCountMismatch {
+            expected: circuit.num_qubits(),
+            actual: obs.num_qubits(),
+        });
+    }
+
+    let mut grad = vec![0.0; circuit.num_slots()];
+    let half_pi = std::f64::consts::FRAC_PI_2;
+
+    for (op_idx, op) in circuit.ops().iter().enumerate() {
+        let (gate, controlled) = match op {
+            Op::Single { gate, .. } => (gate, false),
+            Op::Controlled { gate, .. } => (gate, true),
+            Op::Swap { .. } => continue,
+        };
+        for (angle_idx, src) in gate.angle_sources().into_iter().enumerate() {
+            let Some(slot) = src.slot() else { continue };
+            let base = params[slot];
+            let eval = |shift: f64| -> Result<f64, QsimError> {
+                let shifted = override_angle(circuit, op_idx, angle_idx, base + shift);
+                expectation_of(&shifted, params, input, obs)
+            };
+            if controlled {
+                // Four-term rule: exact for frequencies {1/2, 1}.
+                let sqrt2 = std::f64::consts::SQRT_2;
+                let c1 = (sqrt2 + 1.0) / (4.0 * sqrt2);
+                let c2 = (sqrt2 - 1.0) / (4.0 * sqrt2);
+                let d = c1 * (eval(half_pi)? - eval(-half_pi)?)
+                    - c2 * (eval(3.0 * half_pi)? - eval(-3.0 * half_pi)?);
+                grad[slot] += d;
+            } else {
+                grad[slot] += (eval(half_pi)? - eval(-half_pi)?) / 2.0;
+            }
+        }
+    }
+    Ok(grad)
+}
+
+/// Central finite-difference gradient of the expectation — the
+/// assumption-free oracle, accurate to roughly `O(h²)`.
+///
+/// # Errors
+///
+/// Returns an error if parameter counts or qubit counts mismatch.
+pub fn finite_difference_gradient(
+    circuit: &Circuit,
+    params: &[f64],
+    input: &State,
+    obs: &DiagonalObservable,
+    h: f64,
+) -> Result<Vec<f64>, QsimError> {
+    circuit.check_params(params)?;
+    let mut grad = vec![0.0; params.len()];
+    let mut work = params.to_vec();
+    for i in 0..params.len() {
+        work[i] = params[i] + h;
+        let plus = expectation_of(circuit, &work, input, obs)?;
+        work[i] = params[i] - h;
+        let minus = expectation_of(circuit, &work, input, obs)?;
+        work[i] = params[i];
+        grad[i] = (plus - minus) / (2.0 * h);
+    }
+    Ok(grad)
+}
+
+/// Clones the circuit with one angle of one op replaced by a fixed value.
+fn override_angle(circuit: &Circuit, op_idx: usize, angle_idx: usize, value: f64) -> Circuit {
+    let mut out = circuit.clone();
+    let op = out.op_mut(op_idx);
+    if let Op::Single { gate, .. } | Op::Controlled { gate, .. } = op {
+        *gate = gate.with_angle_fixed(angle_idx, value);
+    }
+    out
+}
+
+impl Gate1 {
+    /// The gate's angle sources in declaration order (empty for constant
+    /// gates).
+    pub fn angle_sources(&self) -> Vec<ParamSource> {
+        match self {
+            Self::Rx(a) | Self::Ry(a) | Self::Rz(a) | Self::Phase(a) => vec![*a],
+            Self::U3(t, p, l) => vec![*t, *p, *l],
+            _ => Vec::new(),
+        }
+    }
+
+    /// A copy of the gate with angle `idx` pinned to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a valid angle index for this gate.
+    pub fn with_angle_fixed(&self, idx: usize, value: f64) -> Self {
+        let fixed = ParamSource::Fixed(value);
+        match (*self, idx) {
+            (Self::Rx(_), 0) => Self::Rx(fixed),
+            (Self::Ry(_), 0) => Self::Ry(fixed),
+            (Self::Rz(_), 0) => Self::Rz(fixed),
+            (Self::Phase(_), 0) => Self::Phase(fixed),
+            (Self::U3(_, p, l), 0) => Self::U3(fixed, p, l),
+            (Self::U3(t, _, l), 1) => Self::U3(t, fixed, l),
+            (Self::U3(t, p, _), 2) => Self::U3(t, p, fixed),
+            _ => panic!("gate {self:?} has no angle index {idx}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close_vec(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < tol,
+                "{what}: component {i} differs: {x} vs {y}"
+            );
+        }
+    }
+
+    fn ry_circuit() -> Circuit {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        c
+    }
+
+    #[test]
+    fn adjoint_matches_analytic_single_ry() {
+        let c = ry_circuit();
+        let z = DiagonalObservable::z(1, 0).unwrap();
+        for &theta in &[-1.0, 0.0, 0.4, 2.2] {
+            let (val, grad) = adjoint_gradient(&c, &[theta], &State::zero(1), &z).unwrap();
+            assert!((val - theta.cos()).abs() < 1e-12);
+            assert!((grad[0] + theta.sin()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_methods_agree_on_u3_cu3_circuit() {
+        let mut c = Circuit::new(3);
+        let s0 = c.alloc_slots(3);
+        let s1 = c.alloc_slots(3);
+        let s2 = c.alloc_slots(3);
+        c.h(0).unwrap();
+        c.u3_slots(0, s0).unwrap();
+        c.u3_slots(1, s1).unwrap();
+        c.cu3_slots(0, 1, s2).unwrap();
+        c.cx(1, 2).unwrap();
+
+        let params: Vec<f64> = (0..9).map(|i| 0.37 * (i as f64 + 1.0)).collect();
+        let input = State::from_real_normalized(&[1.0, 2.0, 0.5, -1.0, 0.3, 0.9, -0.7, 0.2])
+            .unwrap();
+        let obs = DiagonalObservable::weighted_sum(
+            &[
+                DiagonalObservable::z(3, 0).unwrap(),
+                DiagonalObservable::z(3, 2).unwrap(),
+                DiagonalObservable::projector(3, 5).unwrap(),
+            ],
+            &[0.7, -1.3, 2.0],
+        )
+        .unwrap();
+
+        let (_, adj) = adjoint_gradient(&c, &params, &input, &obs).unwrap();
+        let shift = parameter_shift_gradient(&c, &params, &input, &obs).unwrap();
+        let fd = finite_difference_gradient(&c, &params, &input, &obs, 1e-5).unwrap();
+
+        assert_close_vec(&adj, &fd, 1e-6, "adjoint vs finite-difference");
+        assert_close_vec(&adj, &shift, 1e-9, "adjoint vs parameter-shift");
+    }
+
+    #[test]
+    fn shared_slot_gradients_accumulate() {
+        // Two RY gates sharing one slot: <Z> = cos(2θ), gradient -2 sin(2θ).
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        c.ry_slot(0, s).unwrap();
+        let z = DiagonalObservable::z(1, 0).unwrap();
+        let theta = 0.63;
+        let (val, grad) = adjoint_gradient(&c, &[theta], &State::zero(1), &z).unwrap();
+        assert!((val - (2.0 * theta).cos()).abs() < 1e-12);
+        assert!((grad[0] + 2.0 * (2.0 * theta).sin()).abs() < 1e-12);
+
+        let shift = parameter_shift_gradient(&c, &[theta], &State::zero(1), &z).unwrap();
+        assert!((shift[0] - grad[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_angles_contribute_no_gradient() {
+        let mut c = Circuit::new(1);
+        c.ry_fixed(0, 0.8).unwrap();
+        let z = DiagonalObservable::z(1, 0).unwrap();
+        let (val, grad) = adjoint_gradient(&c, &[], &State::zero(1), &z).unwrap();
+        assert!((val - 0.8f64.cos()).abs() < 1e-12);
+        assert!(grad.is_empty());
+    }
+
+    #[test]
+    fn gradient_with_swap_gates() {
+        let mut c = Circuit::new(2);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        c.swap(0, 1).unwrap();
+        // After the swap, the rotation has moved to qubit 1.
+        let z1 = DiagonalObservable::z(2, 1).unwrap();
+        let theta = 1.1;
+        let (val, grad) = adjoint_gradient(&c, &[theta], &State::zero(2), &z1).unwrap();
+        assert!((val - theta.cos()).abs() < 1e-12);
+        assert!((grad[0] + theta.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controlled_rotation_four_term_rule_exact() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap();
+        let s = c.alloc_slots(3);
+        c.cu3_slots(0, 1, s).unwrap();
+        let params = [0.9, -0.4, 1.6];
+        let obs = DiagonalObservable::z(2, 1).unwrap();
+        let input = State::zero(2);
+
+        let (_, adj) = adjoint_gradient(&c, &params, &input, &obs).unwrap();
+        let shift = parameter_shift_gradient(&c, &params, &input, &obs).unwrap();
+        let fd = finite_difference_gradient(&c, &params, &input, &obs, 1e-5).unwrap();
+        assert_close_vec(&adj, &fd, 1e-6, "adjoint vs fd");
+        assert_close_vec(&shift, &adj, 1e-9, "shift vs adjoint");
+    }
+
+    #[test]
+    fn validates_mismatches() {
+        let c = ry_circuit();
+        let z2 = DiagonalObservable::z(2, 0).unwrap();
+        assert!(adjoint_gradient(&c, &[0.1], &State::zero(1), &z2).is_err());
+        let z1 = DiagonalObservable::z(1, 0).unwrap();
+        assert!(adjoint_gradient(&c, &[], &State::zero(1), &z1).is_err());
+        assert!(parameter_shift_gradient(&c, &[0.1, 0.2], &State::zero(1), &z1).is_err());
+    }
+
+    #[test]
+    fn expectation_of_matches_run_plus_expectation() {
+        let c = ry_circuit();
+        let z = DiagonalObservable::z(1, 0).unwrap();
+        let via_helper = expectation_of(&c, &[0.5], &State::zero(1), &z).unwrap();
+        let direct = z.expectation(&c.run(&State::zero(1), &[0.5]).unwrap());
+        assert_eq!(via_helper, direct);
+    }
+}

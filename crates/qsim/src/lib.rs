@@ -1,0 +1,68 @@
+//! Statevector quantum circuit simulation with exact gradients.
+//!
+//! This crate is the quantum substrate of the QuGeo reproduction. It plays
+//! the role TorchQuantum plays in the paper: it simulates parameterised
+//! quantum circuits (variational quantum circuits, VQCs) on a classical
+//! statevector and differentiates measurement outcomes with respect to the
+//! circuit parameters.
+//!
+//! # Architecture
+//!
+//! * [`Complex64`] — a self-contained complex number type (the offline
+//!   dependency set has no `num-complex`).
+//! * [`State`] — a little-endian statevector over `n` qubits with gate
+//!   application kernels and measurement helpers.
+//! * [`Circuit`] — an ordered list of gates whose angles either are fixed
+//!   or reference trainable parameter *slots*.
+//! * [`DiagonalObservable`] — the observables QuGeo needs (per-qubit Pauli-Z
+//!   and basis-state projectors) are all diagonal; gradients of any loss
+//!   expressible through diagonal-observable expectations flow through one
+//!   [`adjoint_gradient`] pass.
+//! * [`ansatz`] — the `U3+CU3` block ansatz of the paper (12 blocks × 8
+//!   qubits ⇒ 576 parameters).
+//! * [`encoding`] — amplitude encoding: plain, grouped (ST-Encoder) and
+//!   batched (QuBatch).
+//!
+//! # Qubit ordering
+//!
+//! Little-endian: qubit `q` is bit `q` of the basis-state index. Amplitude
+//! encoding therefore loads classical element `i` at basis index `i`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_qsim::{Circuit, State, DiagonalObservable};
+//!
+//! # fn main() -> Result<(), qugeo_qsim::QsimError> {
+//! // A one-qubit circuit that rotates |0> by a trainable RY angle.
+//! let mut circuit = Circuit::new(1);
+//! let slot = circuit.alloc_slot();
+//! circuit.ry_slot(0, slot)?;
+//!
+//! let state = circuit.run(&State::zero(1), &[std::f64::consts::PI])?;
+//! let z = DiagonalObservable::z(1, 0)?;
+//! assert!((z.expectation(&state) - (-1.0)).abs() < 1e-12); // RY(pi)|0> = |1>
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod complex;
+mod error;
+mod gates;
+mod observable;
+mod state;
+
+pub mod ansatz;
+pub mod complexity;
+pub mod encoding;
+pub mod gradient;
+pub mod noise;
+
+pub use circuit::{Circuit, Gate1, Op, ParamSource};
+pub use complex::Complex64;
+pub use error::QsimError;
+pub use gates::Matrix2;
+pub use gradient::{adjoint_gradient, finite_difference_gradient, parameter_shift_gradient};
+pub use observable::DiagonalObservable;
+pub use state::State;

@@ -1,0 +1,448 @@
+//! NISQ noise modelling: stochastic Pauli channels and readout error.
+//!
+//! The paper positions QuGeoVQC as "key to achieving practical usage of
+//! near-term noisy quantum computers". This module lets every experiment
+//! be re-run under a device-like noise model without leaving the
+//! statevector representation: noise channels are unravelled into random
+//! Pauli insertions (Monte-Carlo trajectories), and measurement error is
+//! applied to readout distributions directly.
+//!
+//! * [`NoiseModel`] — per-gate depolarizing probabilities (one- and
+//!   two-qubit) plus a symmetric readout bit-flip probability.
+//! * [`NoisyExecutor`] — runs a [`Circuit`] as an ensemble of noisy
+//!   trajectories and averages basis-state probabilities.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_qsim::noise::{NoiseModel, NoisyExecutor};
+//! use qugeo_qsim::{Circuit, State};
+//!
+//! # fn main() -> Result<(), qugeo_qsim::QsimError> {
+//! let mut circuit = Circuit::new(1);
+//! circuit.h(0)?;
+//! let noise = NoiseModel::uniform_depolarizing(0.01)?;
+//! let executor = NoisyExecutor::new(noise, 64, 7);
+//! let probs = executor.probabilities(&circuit, &State::zero(1), &[])?;
+//! assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::{Circuit, Op};
+use crate::{Matrix2, QsimError, State};
+
+/// A simple device noise model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability after every single-qubit gate.
+    pub single_qubit_depolarizing: f64,
+    /// Depolarizing probability (per involved qubit) after every
+    /// two-qubit gate.
+    pub two_qubit_depolarizing: f64,
+    /// Probability that a measured bit is reported flipped.
+    pub readout_flip: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model (all probabilities zero).
+    pub fn noiseless() -> Self {
+        Self {
+            single_qubit_depolarizing: 0.0,
+            two_qubit_depolarizing: 0.0,
+            readout_flip: 0.0,
+        }
+    }
+
+    /// Uniform depolarizing noise: `p` after single-qubit gates, `2p`
+    /// after two-qubit gates (the usual hardware ratio), no readout
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] unless `0 ≤ p ≤ 0.5`.
+    pub fn uniform_depolarizing(p: f64) -> Result<Self, QsimError> {
+        if !(0.0..=0.5).contains(&p) {
+            return Err(QsimError::InvalidEncoding {
+                reason: format!("depolarizing probability {p} outside [0, 0.5]"),
+            });
+        }
+        Ok(Self {
+            single_qubit_depolarizing: p,
+            two_qubit_depolarizing: (2.0 * p).min(0.5),
+            readout_flip: 0.0,
+        })
+    }
+
+    /// Adds a symmetric readout flip probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] unless `0 ≤ p ≤ 0.5`.
+    pub fn with_readout_flip(mut self, p: f64) -> Result<Self, QsimError> {
+        if !(0.0..=0.5).contains(&p) {
+            return Err(QsimError::InvalidEncoding {
+                reason: format!("readout flip probability {p} outside [0, 0.5]"),
+            });
+        }
+        self.readout_flip = p;
+        Ok(self)
+    }
+
+    /// `true` when every probability is zero.
+    pub fn is_noiseless(&self) -> bool {
+        self.single_qubit_depolarizing == 0.0
+            && self.two_qubit_depolarizing == 0.0
+            && self.readout_flip == 0.0
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        Self::noiseless()
+    }
+}
+
+/// Monte-Carlo executor of circuits under a [`NoiseModel`].
+///
+/// Each trajectory applies the ideal gate sequence, inserting a uniformly
+/// random Pauli (X, Y or Z) on the affected qubit(s) with the channel's
+/// probability after each gate — the standard stochastic unravelling of
+/// the depolarizing channel. Output probabilities are averaged over
+/// trajectories and then passed through the readout-error map.
+#[derive(Debug, Clone)]
+pub struct NoisyExecutor {
+    noise: NoiseModel,
+    trajectories: usize,
+    seed: u64,
+}
+
+impl NoisyExecutor {
+    /// Creates an executor averaging over `trajectories` runs.
+    pub fn new(noise: NoiseModel, trajectories: usize, seed: u64) -> Self {
+        Self {
+            noise,
+            trajectories: trajectories.max(1),
+            seed,
+        }
+    }
+
+    /// The noise model in use.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Number of Monte-Carlo trajectories.
+    pub fn trajectories(&self) -> usize {
+        self.trajectories
+    }
+
+    /// Noisy basis-state probabilities of the circuit output.
+    ///
+    /// For a noiseless model this collapses to one ideal execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit validation errors.
+    pub fn probabilities(
+        &self,
+        circuit: &Circuit,
+        input: &State,
+        params: &[f64],
+    ) -> Result<Vec<f64>, QsimError> {
+        circuit.check_params(params)?;
+        if input.num_qubits() != circuit.num_qubits() {
+            return Err(QsimError::QubitCountMismatch {
+                expected: circuit.num_qubits(),
+                actual: input.num_qubits(),
+            });
+        }
+        if self.noise.is_noiseless() {
+            let out = circuit.run(input, params)?;
+            return Ok(out.probabilities());
+        }
+
+        let dim = 1usize << circuit.num_qubits();
+        let mut acc = vec![0.0; dim];
+        for t in 0..self.trajectories {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(t as u64));
+            let mut state = input.clone();
+            for op in circuit.ops() {
+                Circuit::apply_op(op, &mut state, params, false);
+                self.insert_pauli_noise(op, &mut state, &mut rng);
+            }
+            for (a, p) in acc.iter_mut().zip(state.probabilities()) {
+                *a += p;
+            }
+        }
+        let inv = 1.0 / self.trajectories as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        Ok(self.apply_readout_error(&acc, circuit.num_qubits()))
+    }
+
+    /// Noisy per-qubit ⟨Z⟩ expectations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit validation errors.
+    pub fn z_expectations(
+        &self,
+        circuit: &Circuit,
+        input: &State,
+        params: &[f64],
+    ) -> Result<Vec<f64>, QsimError> {
+        let probs = self.probabilities(circuit, input, params)?;
+        let n = circuit.num_qubits();
+        Ok((0..n)
+            .map(|q| {
+                let mask = 1usize << q;
+                probs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| if i & mask == 0 { p } else { -p })
+                    .sum()
+            })
+            .collect())
+    }
+
+    fn insert_pauli_noise(&self, op: &Op, state: &mut State, rng: &mut StdRng) {
+        let (qubits, p): (Vec<usize>, f64) = match op {
+            Op::Single { qubit, .. } => (vec![*qubit], self.noise.single_qubit_depolarizing),
+            Op::Controlled {
+                control, target, ..
+            } => (
+                vec![*control, *target],
+                self.noise.two_qubit_depolarizing,
+            ),
+            Op::Swap { a, b } => (vec![*a, *b], self.noise.two_qubit_depolarizing),
+        };
+        if p == 0.0 {
+            return;
+        }
+        for q in qubits {
+            if rng.gen::<f64>() < p {
+                let pauli = match rng.gen_range(0..3) {
+                    0 => Matrix2::x(),
+                    1 => Matrix2::y(),
+                    _ => Matrix2::z(),
+                };
+                state.apply_single(&pauli, q);
+            }
+        }
+    }
+
+    /// Applies the symmetric readout-flip map to a probability vector:
+    /// each measured bit independently flips with probability `r`.
+    fn apply_readout_error(&self, probs: &[f64], num_qubits: usize) -> Vec<f64> {
+        let r = self.noise.readout_flip;
+        if r == 0.0 {
+            return probs.to_vec();
+        }
+        // Apply the single-bit confusion matrix qubit by qubit:
+        // p'(b) = (1-r)·p(b) + r·p(b with bit q flipped).
+        let mut current = probs.to_vec();
+        let mut next = vec![0.0; probs.len()];
+        for q in 0..num_qubits {
+            let mask = 1usize << q;
+            for (i, n) in next.iter_mut().enumerate() {
+                *n = (1.0 - r) * current[i] + r * current[i ^ mask];
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+}
+
+/// Draws `shots` measurement outcomes from a probability vector,
+/// returning per-basis-state counts — finite-shot statistics for
+/// hardware-faithful evaluation.
+///
+/// # Errors
+///
+/// Returns [`QsimError::InvalidStateLength`] if `probs` is empty, or
+/// [`QsimError::InvalidEncoding`] if probabilities are negative or do not
+/// sum to ~1.
+pub fn sample_counts(probs: &[f64], shots: usize, seed: u64) -> Result<Vec<usize>, QsimError> {
+    if probs.is_empty() {
+        return Err(QsimError::InvalidStateLength { len: 0 });
+    }
+    let total: f64 = probs.iter().sum();
+    if probs.iter().any(|&p| p < -1e-12) || (total - 1.0).abs() > 1e-6 {
+        return Err(QsimError::InvalidEncoding {
+            reason: format!("probabilities must be non-negative and sum to 1 (sum {total})"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0usize; probs.len()];
+    for _ in 0..shots {
+        let mut u: f64 = rng.gen::<f64>() * total;
+        let mut chosen = probs.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if u < p {
+                chosen = i;
+                break;
+            }
+            u -= p;
+        }
+        counts[chosen] += 1;
+    }
+    Ok(counts)
+}
+
+/// Converts sampled counts into an empirical probability vector.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty or all zero.
+pub fn empirical_probabilities(counts: &[usize]) -> Vec<f64> {
+    let total: usize = counts.iter().sum();
+    assert!(total > 0, "need at least one shot");
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).expect("valid");
+        c.cx(0, 1).expect("valid");
+        c
+    }
+
+    #[test]
+    fn noiseless_model_matches_ideal_run() {
+        let c = bell_circuit();
+        let exec = NoisyExecutor::new(NoiseModel::noiseless(), 10, 1);
+        let probs = exec.probabilities(&c, &State::zero(2), &[]).unwrap();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_model_validation() {
+        assert!(NoiseModel::uniform_depolarizing(-0.1).is_err());
+        assert!(NoiseModel::uniform_depolarizing(0.6).is_err());
+        assert!(NoiseModel::noiseless().with_readout_flip(0.7).is_err());
+        assert!(NoiseModel::noiseless().is_noiseless());
+        assert!(!NoiseModel::uniform_depolarizing(0.01).unwrap().is_noiseless());
+    }
+
+    #[test]
+    fn probabilities_stay_normalised_under_noise() {
+        let c = bell_circuit();
+        let noise = NoiseModel::uniform_depolarizing(0.05)
+            .unwrap()
+            .with_readout_flip(0.02)
+            .unwrap();
+        let exec = NoisyExecutor::new(noise, 32, 3);
+        let probs = exec.probabilities(&c, &State::zero(2), &[]).unwrap();
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn noise_degrades_bell_correlations() {
+        // Ideal Bell state: P(01) = P(10) = 0. Depolarizing noise leaks
+        // probability into those outcomes.
+        let c = bell_circuit();
+        let noise = NoiseModel::uniform_depolarizing(0.15).unwrap();
+        let exec = NoisyExecutor::new(noise, 256, 9);
+        let probs = exec.probabilities(&c, &State::zero(2), &[]).unwrap();
+        let leakage = probs[1] + probs[2];
+        assert!(leakage > 0.01, "noise should leak probability, got {leakage}");
+        // But the ideal outcomes still dominate at this noise level.
+        assert!(probs[0] + probs[3] > leakage);
+    }
+
+    #[test]
+    fn more_noise_means_more_degradation() {
+        let c = bell_circuit();
+        let leak = |p: f64| {
+            let noise = NoiseModel::uniform_depolarizing(p).unwrap();
+            let exec = NoisyExecutor::new(noise, 256, 11);
+            let probs = exec.probabilities(&c, &State::zero(2), &[]).unwrap();
+            probs[1] + probs[2]
+        };
+        assert!(leak(0.02) < leak(0.2));
+    }
+
+    #[test]
+    fn readout_error_mixes_towards_uniform() {
+        // Deterministic |0>: readout flip r gives P(1) = r on one qubit.
+        let mut c = Circuit::new(1);
+        c.x(0).unwrap(); // |1>
+        let noise = NoiseModel::noiseless().with_readout_flip(0.1).unwrap();
+        let exec = NoisyExecutor::new(noise, 1, 0);
+        let probs = exec.probabilities(&c, &State::zero(1), &[]).unwrap();
+        assert!((probs[0] - 0.1).abs() < 1e-9);
+        assert!((probs[1] - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_expectations_shrink_under_readout_error() {
+        let mut c = Circuit::new(1);
+        c.x(0).unwrap();
+        let ideal = NoisyExecutor::new(NoiseModel::noiseless(), 1, 0);
+        let noisy = NoisyExecutor::new(
+            NoiseModel::noiseless().with_readout_flip(0.25).unwrap(),
+            1,
+            0,
+        );
+        let zi = ideal.z_expectations(&c, &State::zero(1), &[]).unwrap()[0];
+        let zn = noisy.z_expectations(&c, &State::zero(1), &[]).unwrap()[0];
+        assert!((zi + 1.0).abs() < 1e-12);
+        // E[Z] scales by (1 - 2r) = 0.5.
+        assert!((zn + 0.5).abs() < 1e-9, "got {zn}");
+    }
+
+    #[test]
+    fn executor_is_deterministic_per_seed() {
+        let c = bell_circuit();
+        let noise = NoiseModel::uniform_depolarizing(0.1).unwrap();
+        let a = NoisyExecutor::new(noise, 16, 5)
+            .probabilities(&c, &State::zero(2), &[])
+            .unwrap();
+        let b = NoisyExecutor::new(noise, 16, 5)
+            .probabilities(&c, &State::zero(2), &[])
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_concentrates_with_shots() {
+        let probs = vec![0.25, 0.75];
+        let counts = sample_counts(&probs, 10_000, 42).unwrap();
+        let freq1 = counts[1] as f64 / 10_000.0;
+        assert!((freq1 - 0.75).abs() < 0.03, "empirical {freq1}");
+        let emp = empirical_probabilities(&counts);
+        assert!((emp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_validates_input() {
+        assert!(sample_counts(&[], 10, 0).is_err());
+        assert!(sample_counts(&[0.5, 0.2], 10, 0).is_err()); // sums to 0.7
+        assert!(sample_counts(&[-0.1, 1.1], 10, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn empirical_probabilities_needs_shots() {
+        let _ = empirical_probabilities(&[0, 0]);
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        let c = bell_circuit();
+        let exec = NoisyExecutor::new(NoiseModel::noiseless(), 1, 0);
+        assert!(exec.probabilities(&c, &State::zero(3), &[]).is_err());
+        assert!(exec.probabilities(&c, &State::zero(2), &[0.1]).is_err());
+    }
+}

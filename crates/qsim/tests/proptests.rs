@@ -1,0 +1,134 @@
+//! Property-based tests for the quantum simulator: unitarity, gradient
+//! agreement between independent methods, and encoding invariants.
+
+use proptest::prelude::*;
+use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+use qugeo_qsim::encoding::{encode_batched, encode_grouped};
+use qugeo_qsim::{
+    adjoint_gradient, finite_difference_gradient, parameter_shift_gradient, DiagonalObservable,
+    State,
+};
+
+fn angles(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-3.0f64..3.0, n)
+}
+
+fn nonzero_data(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, len).prop_filter("need nonzero", |v| {
+        v.iter().any(|x| x.abs() > 1e-3)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ansatz_preserves_norm(params in angles(36), seed_data in nonzero_data(8)) {
+        // 2 blocks on 3 qubits (ring): 2 * 3 * (3 + 3) = 36 params.
+        let cfg = AnsatzConfig { num_qubits: 3, num_blocks: 2, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        prop_assert_eq!(c.num_slots(), 36);
+        let input = State::from_real_normalized(&seed_data).unwrap();
+        let out = c.run(&input, &params).unwrap();
+        prop_assert!((out.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjoint_matches_finite_difference(params in angles(24)) {
+        // 1 block on 4 qubits: 24 params.
+        let cfg = AnsatzConfig { num_qubits: 4, num_blocks: 1, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let input = State::from_real_normalized(&[1.0; 16]).unwrap();
+        let obs = DiagonalObservable::weighted_sum(
+            &[
+                DiagonalObservable::z(4, 0).unwrap(),
+                DiagonalObservable::z(4, 3).unwrap(),
+            ],
+            &[1.0, -0.5],
+        ).unwrap();
+        let (_, adj) = adjoint_gradient(&c, &params, &input, &obs).unwrap();
+        let fd = finite_difference_gradient(&c, &params, &input, &obs, 1e-5).unwrap();
+        for (a, f) in adj.iter().zip(&fd) {
+            prop_assert!((a - f).abs() < 1e-5, "adjoint {} vs fd {}", a, f);
+        }
+    }
+
+    #[test]
+    fn adjoint_matches_parameter_shift(params in angles(12)) {
+        // 1 block on 2 qubits: 12 params, exercising CU3 four-term rule.
+        let cfg = AnsatzConfig { num_qubits: 2, num_blocks: 1, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let input = State::from_real_normalized(&[0.5, -1.0, 2.0, 0.25]).unwrap();
+        let obs = DiagonalObservable::z(2, 1).unwrap();
+        let (_, adj) = adjoint_gradient(&c, &params, &input, &obs).unwrap();
+        let shift = parameter_shift_gradient(&c, &params, &input, &obs).unwrap();
+        for (a, s) in adj.iter().zip(&shift) {
+            prop_assert!((a - s).abs() < 1e-8, "adjoint {} vs shift {}", a, s);
+        }
+    }
+
+    #[test]
+    fn z_expectations_bounded(params in angles(36), data in nonzero_data(8)) {
+        let cfg = AnsatzConfig { num_qubits: 3, num_blocks: 2, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let input = State::from_real_normalized(&data).unwrap();
+        let out = c.run(&input, &params).unwrap();
+        for z in out.z_expectations() {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&z));
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(params in angles(36), data in nonzero_data(8)) {
+        let cfg = AnsatzConfig { num_qubits: 3, num_blocks: 2, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let input = State::from_real_normalized(&data).unwrap();
+        let out = c.run(&input, &params).unwrap();
+        let total: f64 = out.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_encoding_marginals_match_group_data(
+        g0 in nonzero_data(4),
+        g1 in nonzero_data(4),
+    ) {
+        let mut data = g0.clone();
+        data.extend_from_slice(&g1);
+        let s = encode_grouped(&data, 2).unwrap();
+        prop_assert_eq!(s.num_qubits(), 4);
+        // Marginal over the low 2 qubits must equal group 0's own
+        // probability distribution (product state ⇒ exact factorisation).
+        let marg = s.marginal_low(2);
+        let expect = State::from_real_normalized(&g0).unwrap().probabilities();
+        for (m, e) in marg.iter().zip(&expect) {
+            prop_assert!((m - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qubatch_per_sample_decode_equals_individual_run(
+        s0 in nonzero_data(4),
+        s1 in nonzero_data(4),
+        params in angles(12),
+    ) {
+        // Batched execution of a 2-qubit ansatz over two samples must give
+        // each sample the same output it gets when run alone.
+        let cfg = AnsatzConfig { num_qubits: 2, num_blocks: 1, entangle: EntangleOrder::Ring };
+        let circuit = u3_cu3_ansatz(cfg).unwrap();
+
+        let batch = encode_batched(&[s0.clone(), s1.clone()]).unwrap();
+        let wide = circuit.widened(batch.batch_qubits());
+        let processed = wide.run(batch.state(), &params).unwrap();
+
+        for (i, sample) in [&s0, &s1].into_iter().enumerate() {
+            let from_batch = batch.sample_state(&processed, i).unwrap();
+            let alone = circuit
+                .run(&State::from_real_normalized(sample).unwrap(), &params)
+                .unwrap();
+            for (a, b) in from_batch.amplitudes().iter().zip(alone.amplitudes()) {
+                prop_assert!((*a - *b).norm() < 1e-9, "sample {} diverged", i);
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when array dimensions do not match the data supplied or
+/// when two arrays with incompatible shapes are combined.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_tensor::Array2;
+///
+/// let err = Array2::from_vec(2, 2, vec![1.0]).unwrap_err();
+/// assert!(err.to_string().contains("expected"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    expected: Vec<usize>,
+    actual: Vec<usize>,
+    context: &'static str,
+}
+
+impl ShapeError {
+    /// Creates a shape error recording the `expected` and `actual` shapes
+    /// along with a short static description of the operation that failed.
+    pub fn new(expected: Vec<usize>, actual: Vec<usize>, context: &'static str) -> Self {
+        Self {
+            expected,
+            actual,
+            context,
+        }
+    }
+
+    /// The shape (or element count) the operation required.
+    pub fn expected(&self) -> &[usize] {
+        &self.expected
+    }
+
+    /// The shape (or element count) that was actually provided.
+    pub fn actual(&self) -> &[usize] {
+        &self.actual
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected shape {:?}, got {:?}",
+            self.context, self.expected, self.actual
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_both_shapes() {
+        let err = ShapeError::new(vec![2, 2], vec![3], "from_vec");
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 2]"));
+        assert!(msg.contains("[3]"));
+        assert!(msg.contains("from_vec"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ShapeError::new(vec![4], vec![5], "ctx");
+        assert_eq!(err.expected(), &[4]);
+        assert_eq!(err.actual(), &[5]);
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ShapeError>();
+    }
+}

@@ -1,0 +1,39 @@
+//! Dense numeric arrays for the QuGeo workspace.
+//!
+//! This crate provides the small set of array primitives the rest of the
+//! workspace is built on:
+//!
+//! * [`Array2`] — a row-major 2-D array of `f64` (velocity maps, shot
+//!   gathers, images),
+//! * [`Array3`] — a 3-D array of `f64` (multi-source seismic cubes),
+//! * [`resample`] — nearest-neighbour and bilinear resampling, the
+//!   "D-Sample" baseline of the QuGeo paper,
+//! * [`norm`] — vector norms and the normalisations required when loading
+//!   classical data into quantum amplitudes.
+//!
+//! The types are deliberately minimal: row-major `Vec<f64>` storage, checked
+//! constructors, and panicking `Index` impls for ergonomic inner loops
+//! (bounds documented on each method).
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_tensor::Array2;
+//!
+//! # fn main() -> Result<(), qugeo_tensor::ShapeError> {
+//! let a = Array2::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! assert_eq!(a[(1, 2)], 6.0);
+//! assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod array2;
+mod array3;
+mod error;
+pub mod norm;
+pub mod resample;
+
+pub use array2::Array2;
+pub use array3::Array3;
+pub use error::ShapeError;

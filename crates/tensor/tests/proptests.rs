@@ -1,0 +1,107 @@
+//! Property-based tests for the tensor crate.
+
+use proptest::prelude::*;
+use qugeo_tensor::norm::{l2_norm, l2_normalized, min_max_scaled, standardized};
+use qugeo_tensor::{resample, Array2};
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..12
+}
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(rows in small_dim(), cols in small_dim(), seed in 0u64..1000) {
+        let a = Array2::from_fn(rows, cols, |r, c| {
+            ((r * 31 + c * 17 + seed as usize) % 101) as f64 - 50.0
+        });
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn resample_identity_shape(rows in small_dim(), cols in small_dim()) {
+        let a = Array2::from_fn(rows, cols, |r, c| (r * cols + c) as f64);
+        let same = resample::nearest2(&a, rows, cols);
+        prop_assert_eq!(same, a);
+    }
+
+    #[test]
+    fn nearest_resample_values_are_input_members(
+        rows in 2usize..10, cols in 2usize..10,
+        new_rows in 1usize..14, new_cols in 1usize..14,
+    ) {
+        let a = Array2::from_fn(rows, cols, |r, c| (r * 1000 + c) as f64);
+        let d = resample::nearest2(&a, new_rows, new_cols);
+        for &v in d.iter() {
+            prop_assert!(a.iter().any(|&x| x == v), "value {} not from input", v);
+        }
+    }
+
+    #[test]
+    fn bilinear_stays_in_range(
+        rows in 2usize..10, cols in 2usize..10,
+        new_rows in 1usize..14, new_cols in 1usize..14,
+        seed in 0u64..100,
+    ) {
+        let a = Array2::from_fn(rows, cols, |r, c| {
+            (((r * 13 + c * 7 + seed as usize) % 29) as f64) - 14.0
+        });
+        let d = resample::bilinear2(&a, new_rows, new_cols);
+        let (lo, hi) = (a.min(), a.max());
+        for &v in d.iter() {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn l2_normalized_is_unit_or_zero(v in finite_vec(64)) {
+        let u = l2_normalized(&v);
+        let n = l2_norm(&u);
+        if l2_norm(&v) == 0.0 {
+            prop_assert_eq!(n, 0.0);
+        } else {
+            prop_assert!((n - 1.0).abs() < 1e-9, "norm was {}", n);
+        }
+    }
+
+    #[test]
+    fn l2_normalization_preserves_direction(v in finite_vec(32)) {
+        prop_assume!(l2_norm(&v) > 1e-6);
+        let u = l2_normalized(&v);
+        for (a, b) in v.iter().zip(&u) {
+            prop_assert!(a.signum() == b.signum() || *a == 0.0 || b.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn min_max_bounds(v in finite_vec(64)) {
+        let s = min_max_scaled(&v);
+        for &x in &s {
+            prop_assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn standardized_zero_mean(v in finite_vec(64)) {
+        let s = standardized(&v);
+        if !s.is_empty() {
+            let mean = s.iter().sum::<f64>() / s.len() as f64;
+            prop_assert!(mean.abs() < 1e-8, "mean was {}", mean);
+        }
+    }
+
+    #[test]
+    fn matmul_associative_on_small(m in 1usize..5, n in 1usize..5, p in 1usize..5, q in 1usize..5) {
+        let a = Array2::from_fn(m, n, |r, c| (r + 2 * c) as f64);
+        let b = Array2::from_fn(n, p, |r, c| (2 * r + c) as f64);
+        let c = Array2::from_fn(p, q, |r, c| (r * c + 1) as f64);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.iter().zip(right.iter()) {
+            prop_assert!((x - y).abs() < 1e-6 * x.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Compare the three QuGeoData scaling routes on the same surveys —
+//! the analysis behind the paper's Figure 6.
+//!
+//! ```text
+//! cargo run --release --example data_scaling_study
+//! ```
+//!
+//! The physics-guided rescaling (Q-D-FW) is taken as the reference; the
+//! baseline (D-Sample) and the learned compressor (Q-D-CNN) are scored
+//! by SSIM against it, before and after the ℓ₂ normalisation amplitude
+//! encoding imposes. The paper's finding: naive resampling destroys the
+//! waveform (SSIM ≈ 0.06), the CNN tracks physics closely (SSIM ≈ 0.93).
+
+use qugeo::pipeline::{
+    quantum_normalized_waveform, scale_cnn, scale_d_sample, scale_forward_model,
+    scaled_waveform_image, train_cnn_scaler, CnnScalingConfig, FwScalingConfig,
+};
+use qugeo_geodata::scaling::ScaledLayout;
+use qugeo_geodata::{Dataset, DatasetConfig};
+use qugeo_metrics::ssim;
+use qugeo_wavesim::{Grid, SpaceOrder, Survey};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("QuGeoData scaling study (Figure 6 analysis)");
+    println!("===========================================");
+
+    let make = |num_samples: usize, seed: u64| -> Result<DatasetConfig, Box<dyn std::error::Error>> {
+        Ok(DatasetConfig {
+            num_samples,
+            grid: Grid::new(32, 32, 10.0, 0.001, 128)?,
+            survey: Survey::surface(32, 5, 32, 1)?,
+            wavelet_hz: 15.0,
+            space_order: SpaceOrder::Order4,
+            seed,
+        })
+    };
+
+    // Separate auxiliary samples train the CNN compressor (the paper
+    // uses 500 extra FlatVelA samples for this).
+    println!("synthesising evaluation + auxiliary surveys…");
+    let eval_set = Dataset::generate(&make(6, 4)?)?;
+    let aux_set = Dataset::generate(&make(6, 900)?)?;
+
+    let layout = ScaledLayout::paper_default();
+    let fw_cfg = FwScalingConfig {
+        extent_m: 320.0,
+        ..FwScalingConfig::default()
+    };
+
+    println!("training the Q-D-CNN compressor on auxiliary data…");
+    let compressor = train_cnn_scaler(
+        &aux_set,
+        &layout,
+        &fw_cfg,
+        &CnnScalingConfig {
+            epochs: 40,
+            initial_lr: 0.02,
+            seed: 5,
+        },
+    )?;
+
+    let fw = scale_forward_model(&eval_set, &layout, &fw_cfg)?;
+    let ds = scale_d_sample(&eval_set, &layout)?;
+    let cnn = scale_cnn(&eval_set, &compressor, &layout)?;
+
+    let mut raw_ds = 0.0;
+    let mut raw_cnn = 0.0;
+    let mut norm_ds = 0.0;
+    let mut norm_cnn = 0.0;
+    for ((f, d), c) in fw.samples.iter().zip(&ds.samples).zip(&cnn.samples) {
+        let f_img = scaled_waveform_image(&f.seismic, &layout)?;
+        let d_img = scaled_waveform_image(&d.seismic, &layout)?;
+        let c_img = scaled_waveform_image(&c.seismic, &layout)?;
+        raw_ds += ssim(&f_img, &d_img)?;
+        raw_cnn += ssim(&f_img, &c_img)?;
+
+        let fq = scaled_waveform_image(&quantum_normalized_waveform(&f.seismic, &layout)?, &layout)?;
+        let dq = scaled_waveform_image(&quantum_normalized_waveform(&d.seismic, &layout)?, &layout)?;
+        let cq = scaled_waveform_image(&quantum_normalized_waveform(&c.seismic, &layout)?, &layout)?;
+        norm_ds += ssim(&fq, &dq)?;
+        norm_cnn += ssim(&fq, &cq)?;
+    }
+    let n = fw.samples.len() as f64;
+
+    println!("\nwaveform SSIM against the Q-D-FW reference (mean over {} surveys):", n);
+    println!("  method     raw scaled data   after quantum normalisation");
+    println!("  Q-D-FW          1.0000 (ref)        1.0000 (ref)");
+    println!("  D-Sample        {:>6.4}              {:>6.4}", raw_ds / n, norm_ds / n);
+    println!("  Q-D-CNN         {:>6.4}              {:>6.4}", raw_cnn / n, norm_cnn / n);
+    println!("\npaper's shape: D-Sample ≪ Q-D-CNN, and normalisation lifts both");
+    println!("(paper numbers: D-Sample 0.0597 → 0.5253, Q-D-CNN 0.9255 → 0.9989)");
+    Ok(())
+}

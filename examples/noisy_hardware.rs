@@ -1,0 +1,81 @@
+//! Evaluate a trained QuGeo model under NISQ-device conditions.
+//!
+//! ```text
+//! cargo run --release --example noisy_hardware
+//! ```
+//!
+//! The paper targets "near-term noisy quantum computers"; this example
+//! measures how prediction quality degrades when the trained Q-M-LY
+//! circuit runs with (a) depolarizing gate noise + readout error, and
+//! (b) finite measurement shots instead of exact expectation values.
+
+use qugeo::model::{QuGeoVqc, VqcConfig};
+use qugeo::pipeline::{normalized_target, scale_d_sample};
+use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo_geodata::scaling::ScaledLayout;
+use qugeo_geodata::{Dataset, DatasetConfig};
+use qugeo_metrics::ssim;
+use qugeo_qsim::noise::{NoiseModel, NoisyExecutor};
+use qugeo_wavesim::{Grid, SpaceOrder, Survey};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("QuGeo under NISQ noise");
+    println!("======================");
+
+    // Train a model on clean simulation first.
+    let config = DatasetConfig {
+        num_samples: 10,
+        grid: Grid::new(32, 32, 10.0, 0.001, 128)?,
+        survey: Survey::surface(32, 5, 32, 1)?,
+        wavelet_hz: 15.0,
+        space_order: SpaceOrder::Order4,
+        seed: 13,
+    };
+    println!("synthesising data and training Q-M-LY (clean)…");
+    let dataset = Dataset::generate(&config)?;
+    let layout = ScaledLayout::paper_default();
+    let scaled = scale_d_sample(&dataset, &layout)?;
+    let (train, test) = scaled.split(7);
+    let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
+    let outcome = train_vqc(
+        &model,
+        &train,
+        &test,
+        &TrainConfig {
+            epochs: 40,
+            initial_lr: 0.1,
+            seed: 5,
+            eval_every: 0,
+        },
+    )?;
+    println!("clean test SSIM: {:.4}\n", outcome.final_ssim);
+
+    // (a) gate + readout noise sweep.
+    println!("depolarizing-noise sweep (64 trajectories, readout flip 1%):");
+    println!("  gate error   mean SSIM");
+    for p in [0.0, 0.001, 0.005, 0.02, 0.05] {
+        let noise = NoiseModel::uniform_depolarizing(p)?.with_readout_flip(0.01)?;
+        let executor = NoisyExecutor::new(noise, 64, 77);
+        let mut total = 0.0;
+        for s in &test {
+            let pred = model.predict_noisy(&s.seismic, &outcome.params, &executor)?;
+            total += ssim(&pred, &normalized_target(s))?;
+        }
+        println!("  {:>10.3}   {:.4}", p, total / test.len() as f64);
+    }
+
+    // (b) finite-shot sweep.
+    println!("\nfinite-shot sweep (ideal circuit, sampled readout):");
+    println!("  shots     mean SSIM");
+    for shots in [64usize, 256, 1024, 8192, 65536] {
+        let mut total = 0.0;
+        for (i, s) in test.iter().enumerate() {
+            let pred = model.predict_sampled(&s.seismic, &outcome.params, shots, 100 + i as u64)?;
+            total += ssim(&pred, &normalized_target(s))?;
+        }
+        println!("  {:>6}    {:.4}", shots, total / test.len() as f64);
+    }
+    println!("\nshape: quality degrades smoothly with gate error and recovers with shots —");
+    println!("the regime the paper targets (≤16 qubits, shallow ansatz) stays usable.");
+    Ok(())
+}

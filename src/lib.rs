@@ -1,0 +1,17 @@
+//! Workspace umbrella for the QuGeo reproduction.
+//!
+//! This crate exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`); it re-exports the
+//! member crates for convenience so examples can write `use
+//! qugeo_repro::qugeo::…`.
+//!
+//! See the [`qugeo`] crate for the framework itself and the repository
+//! `README.md` / `DESIGN.md` for the system inventory.
+
+pub use qugeo;
+pub use qugeo_geodata;
+pub use qugeo_metrics;
+pub use qugeo_nn;
+pub use qugeo_qsim;
+pub use qugeo_tensor;
+pub use qugeo_wavesim;

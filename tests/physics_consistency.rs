@@ -1,0 +1,128 @@
+//! Cross-crate physics consistency tests: the seismic data the geodata
+//! crate synthesises must carry the physical signatures the wavesim
+//! solver promises, and the QuGeoData scaling must preserve them in the
+//! way the paper argues.
+
+use qugeo::pipeline::{fw_scale_seismic, quantum_normalized_waveform, FwScalingConfig};
+use qugeo_geodata::scaling::{d_sample, ScaledLayout};
+use qugeo_geodata::{Dataset, DatasetConfig, FlatLayerGenerator};
+use qugeo_tensor::norm::l2_norm;
+use qugeo_wavesim::{Grid, SpaceOrder, Survey};
+
+fn dataset(seed: u64) -> Dataset {
+    let config = DatasetConfig {
+        num_samples: 2,
+        grid: Grid::new(32, 32, 10.0, 0.001, 150).expect("grid"),
+        survey: Survey::surface(32, 5, 32, 1).expect("survey"),
+        wavelet_hz: 15.0,
+        space_order: SpaceOrder::Order4,
+        seed,
+    };
+    Dataset::generate(&config).expect("generation")
+}
+
+#[test]
+fn first_arrivals_move_outward_from_source() {
+    // For a surface source, receivers further from the source see the
+    // wave later — moveout must be visible in the synthetic data.
+    let ds = dataset(10);
+    let sample = &ds.samples()[0];
+    let (_, nt, nr) = sample.seismic.shape();
+    let gather = sample.seismic.slice(0); // leftmost source (x = 0)
+
+    let first_arrival = |r: usize| -> usize {
+        let col: Vec<f64> = (0..nt).map(|t| gather[(t, r)]).collect();
+        let peak = col.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        col.iter()
+            .position(|v| v.abs() > 0.1 * peak)
+            .unwrap_or(nt)
+    };
+    let near = first_arrival(2);
+    let far = first_arrival(nr - 1);
+    assert!(
+        near < far,
+        "near receiver (step {near}) must hear the wave before the far one (step {far})"
+    );
+}
+
+#[test]
+fn faster_subsurface_shortens_travel_time() {
+    // Two handmade models: slow vs fast half-space. The fast model's
+    // wave must reach a far receiver earlier.
+    use qugeo_geodata::VelocityModel;
+    use qugeo_wavesim::{model_shots, RickerWavelet};
+
+    let grid = Grid::new(40, 40, 10.0, 0.001, 250).expect("grid");
+    let survey = Survey::surface(40, 1, 40, 1).expect("survey");
+    let wavelet = RickerWavelet::new(15.0, grid.dt()).expect("wavelet");
+
+    let arrival_for = |velocity: f64| -> usize {
+        let model =
+            VelocityModel::from_layers(40, 40, vec![0], vec![velocity]).expect("model");
+        let cube = model_shots(model.map(), &grid, &survey, &wavelet, SpaceOrder::Order4)
+            .expect("modelling");
+        let gather = cube.slice(0);
+        let col: Vec<f64> = (0..250).map(|t| gather[(t, 39)]).collect();
+        let peak = col.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        col.iter().position(|v| v.abs() > 0.1 * peak).expect("arrival")
+    };
+    assert!(arrival_for(3500.0) < arrival_for(1800.0));
+}
+
+#[test]
+fn fw_rescaling_keeps_layer_ordering_information() {
+    // Two models whose only difference is the depth of the fast layer
+    // must produce distinguishable physics-scaled vectors.
+    let generator = FlatLayerGenerator::new(32, 32).expect("generator");
+    let layout = ScaledLayout::paper_default();
+    let fw = FwScalingConfig {
+        extent_m: 320.0,
+        ..FwScalingConfig::default()
+    };
+
+    let a = generator.sample(3);
+    let b = generator.sample(4);
+    let sa = fw_scale_seismic(a.map(), &layout, &fw).expect("scale a");
+    let sb = fw_scale_seismic(b.map(), &layout, &fw).expect("scale b");
+    assert_eq!(sa.len(), 256);
+    let diff: f64 = sa.iter().zip(&sb).map(|(x, y)| (x - y).abs()).sum();
+    assert!(
+        diff > 1e-6,
+        "different subsurfaces must give different scaled seismic data"
+    );
+}
+
+#[test]
+fn d_sample_and_quantum_normalisation_compose() {
+    let ds = dataset(11);
+    let layout = ScaledLayout::paper_default();
+    let scaled = d_sample(&ds.samples()[0], &layout).expect("d-sample");
+    let qn = quantum_normalized_waveform(&scaled.seismic, &layout).expect("normalise");
+    // Each group must be a unit vector — the amplitude-encoding contract.
+    for chunk in qn.chunks(layout.group_len()) {
+        assert!((l2_norm(chunk) - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn scaled_velocity_targets_keep_flat_layers() {
+    let ds = dataset(12);
+    let layout = ScaledLayout::paper_default();
+    for sample in ds.iter() {
+        let scaled = d_sample(sample, &layout).expect("d-sample");
+        // Rows of the 8×8 target stay constant (flat layers survive
+        // scaling) and velocities stay within the FlatVelA range.
+        for r in 0..8 {
+            let row = scaled.velocity.row(r);
+            assert!(row.iter().all(|&v| v == row[0]), "row {r} not flat");
+            assert!(row[0] >= 1500.0 && row[0] <= 4000.0);
+        }
+        // Depth ordering preserved: velocity non-decreasing downward.
+        for r in 0..7 {
+            assert!(
+                scaled.velocity[(r + 1, 0)] >= scaled.velocity[(r, 0)],
+                "velocity must not decrease with depth after scaling"
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-crate quantum invariants, property-tested: encoding, batching
+//! and gradient correctness of the full QuGeoVQC stack (not just the
+//! qsim primitives).
+
+use proptest::prelude::*;
+use qugeo::decoder::Decoder;
+use qugeo::model::{QuGeoVqc, VqcConfig};
+use qugeo::qubatch::QuBatch;
+use qugeo_qsim::ansatz::EntangleOrder;
+use qugeo_tensor::Array2;
+
+fn small_model(decoder: Decoder) -> QuGeoVqc {
+    QuGeoVqc::new(VqcConfig {
+        seismic_len: 16,
+        num_groups: 1,
+        num_blocks: 2,
+        mixing_blocks: 0,
+        entangle: EntangleOrder::Ring,
+        decoder,
+        max_qubits: 16,
+    })
+    .expect("valid model")
+}
+
+fn seismic_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, 16).prop_filter("nonzero", |v| {
+        v.iter().map(|x| x * x).sum::<f64>() > 1e-6
+    })
+}
+
+fn params_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.5f64..1.5, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn predictions_are_finite_and_in_range(
+        seismic in seismic_strategy(),
+        params in params_strategy(48),
+    ) {
+        let model = small_model(Decoder::LayerWise { rows: 4 });
+        let map = model.predict(&seismic, &params).expect("prediction");
+        for &v in map.iter() {
+            prop_assert!(v.is_finite());
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "layer output {} not in [0,1]", v);
+        }
+    }
+
+    #[test]
+    fn pixel_predictions_nonnegative(
+        seismic in seismic_strategy(),
+        params in params_strategy(48),
+    ) {
+        let model = small_model(Decoder::PixelWise { side: 4 });
+        let map = model.predict(&seismic, &params).expect("prediction");
+        for &v in map.iter() {
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= 0.0, "magnitude decoding cannot be negative");
+        }
+    }
+
+    #[test]
+    fn encoding_is_scale_invariant(
+        seismic in seismic_strategy(),
+        params in params_strategy(48),
+        scale in 0.1f64..10.0,
+    ) {
+        // Amplitude encoding normalises, so rescaling the input must not
+        // change the prediction.
+        let model = small_model(Decoder::LayerWise { rows: 4 });
+        let map_a = model.predict(&seismic, &params).expect("prediction");
+        let scaled: Vec<f64> = seismic.iter().map(|v| v * scale).collect();
+        let map_b = model.predict(&scaled, &params).expect("prediction");
+        for (a, b) in map_a.iter().zip(map_b.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn adjoint_gradient_matches_finite_difference_through_decoder(
+        seismic in seismic_strategy(),
+        params in params_strategy(48),
+    ) {
+        let model = small_model(Decoder::LayerWise { rows: 4 });
+        let target = Array2::from_fn(4, 4, |r, _| 0.2 + 0.15 * r as f64);
+        let (_, grad) = model.loss_and_grad(&seismic, &target, &params).expect("grad");
+
+        let h = 1e-6;
+        for idx in [0usize, 18, 35] {
+            let mut p = params.clone();
+            p[idx] += h;
+            let (plus, _) = model.loss_and_grad(&seismic, &target, &p).expect("plus");
+            p[idx] -= 2.0 * h;
+            let (minus, _) = model.loss_and_grad(&seismic, &target, &p).expect("minus");
+            let fd = (plus - minus) / (2.0 * h);
+            prop_assert!(
+                (fd - grad[idx]).abs() < 1e-4 * fd.abs().max(1.0),
+                "param {}: fd {} vs adjoint {}", idx, fd, grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn qubatch_equals_sequential_for_any_batch(
+        s0 in seismic_strategy(),
+        s1 in seismic_strategy(),
+        s2 in seismic_strategy(),
+        params in params_strategy(48),
+    ) {
+        let model = small_model(Decoder::LayerWise { rows: 4 });
+        let qubatch = QuBatch::new(&model).expect("qubatch");
+        let batch = vec![s0, s1, s2];
+        let maps = qubatch.predict_batch(&batch, &params).expect("batch");
+        for (i, s) in batch.iter().enumerate() {
+            let solo = model.predict(s, &params).expect("solo");
+            for (a, b) in maps[i].iter().zip(solo.iter()) {
+                prop_assert!((a - b).abs() < 1e-9, "sample {} diverged", i);
+            }
+        }
+    }
+
+    #[test]
+    fn qubatch_gradient_equals_mean_gradient(
+        s0 in seismic_strategy(),
+        s1 in seismic_strategy(),
+        params in params_strategy(48),
+    ) {
+        let model = small_model(Decoder::LayerWise { rows: 4 });
+        let qubatch = QuBatch::new(&model).expect("qubatch");
+        let batch = vec![s0, s1];
+        let targets = vec![
+            Array2::filled(4, 4, 0.3),
+            Array2::from_fn(4, 4, |r, _| r as f64 * 0.2),
+        ];
+        let (bl, bg) = qubatch.loss_and_grad_batch(&batch, &targets, &params).expect("batch");
+
+        let mut ml = 0.0;
+        let mut mg = vec![0.0; params.len()];
+        for (s, t) in batch.iter().zip(&targets) {
+            let (l, g) = model.loss_and_grad(s, t, &params).expect("solo");
+            ml += l / 2.0;
+            for (acc, gi) in mg.iter_mut().zip(&g) {
+                *acc += gi / 2.0;
+            }
+        }
+        prop_assert!((bl - ml).abs() < 1e-9);
+        for (a, b) in bg.iter().zip(&mg) {
+            prop_assert!((a - b).abs() < 1e-8, "gradient diverged: {} vs {}", a, b);
+        }
+    }
+}
