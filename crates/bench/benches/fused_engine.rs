@@ -1,0 +1,195 @@
+//! Head-to-head benchmark of the gate-fused batched execution engine
+//! against the seed's serial per-sample path, on the acceptance workload:
+//! a 10-qubit, 12-block `U3+CU3` ansatz over a batch of 16 samples.
+//!
+//! `seed_serial_per_sample` reimplements the seed's kernels locally
+//! (masked full-array scans, one gate at a time, one sample at a time) so
+//! the baseline stays frozen even as the library's own kernels improve.
+//!
+//! Run with `cargo bench -p qugeo-bench --bench fused_engine`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+use qugeo_qsim::{
+    parameter_shift_gradient_batched, BatchedState, Circuit, Complex64, CompiledCircuit,
+    DiagonalObservable, Matrix2, Op, State,
+};
+
+const QUBITS: usize = 10;
+const BLOCKS: usize = 12;
+const BATCH: usize = 16;
+
+fn ansatz() -> Circuit {
+    u3_cu3_ansatz(AnsatzConfig {
+        num_qubits: QUBITS,
+        num_blocks: BLOCKS,
+        entangle: EntangleOrder::Ring,
+    })
+    .expect("valid ansatz")
+}
+
+fn params_for(circuit: &Circuit) -> Vec<f64> {
+    (0..circuit.num_slots())
+        .map(|i| (i as f64 * 0.13).sin() * 0.4)
+        .collect()
+}
+
+fn batch_states() -> Vec<State> {
+    (0..BATCH)
+        .map(|k| {
+            let data: Vec<f64> = (0..1usize << QUBITS)
+                .map(|i| ((i + k * 17) as f64 * 0.11).sin() + 0.2)
+                .collect();
+            State::from_real_normalized(&data).expect("valid state")
+        })
+        .collect()
+}
+
+/// The seed's gate kernels, frozen: full-index scans with mask tests.
+mod seed_baseline {
+    use super::*;
+
+    fn apply_single(amps: &mut [Complex64], gate: &Matrix2, q: usize) {
+        let mask = 1usize << q;
+        let [[m00, m01], [m10, m11]] = gate.m;
+        for i in 0..amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = amps[i];
+                let a1 = amps[j];
+                amps[i] = m00 * a0 + m01 * a1;
+                amps[j] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    fn apply_controlled(amps: &mut [Complex64], gate: &Matrix2, c: usize, t: usize) {
+        let cmask = 1usize << c;
+        let tmask = 1usize << t;
+        let [[m00, m01], [m10, m11]] = gate.m;
+        for i in 0..amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                let j = i | tmask;
+                let a0 = amps[i];
+                let a1 = amps[j];
+                amps[i] = m00 * a0 + m01 * a1;
+                amps[j] = m10 * a0 + m11 * a1;
+            }
+        }
+    }
+
+    fn apply_swap(amps: &mut [Complex64], a: usize, b: usize) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..amps.len() {
+            if i & amask != 0 && i & bmask == 0 {
+                let j = (i & !amask) | bmask;
+                amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Gate-by-gate execution of one sample, exactly as the seed ran it.
+    pub fn run(circuit: &Circuit, params: &[f64], input: &State) -> Vec<Complex64> {
+        let mut amps = input.amplitudes().to_vec();
+        for op in circuit.ops() {
+            match op {
+                Op::Single { gate, qubit } => {
+                    apply_single(&mut amps, &gate.matrix(params), *qubit)
+                }
+                Op::Controlled {
+                    gate,
+                    control,
+                    target,
+                } => apply_controlled(&mut amps, &gate.matrix(params), *control, *target),
+                Op::Swap { a, b } => apply_swap(&mut amps, *a, *b),
+            }
+        }
+        amps
+    }
+}
+
+fn bench_forward_batch(c: &mut Criterion) {
+    let circuit = ansatz();
+    let params = params_for(&circuit);
+    let states = batch_states();
+
+    let mut group = c.benchmark_group("forward_10q_12blocks_batch16");
+
+    group.bench_function("seed_serial_per_sample", |b| {
+        b.iter(|| {
+            for s in &states {
+                black_box(seed_baseline::run(&circuit, &params, s));
+            }
+        })
+    });
+
+    group.bench_function("fused_per_sample", |b| {
+        b.iter(|| {
+            let compiled = CompiledCircuit::compile(&circuit, &params).expect("compiles");
+            for s in &states {
+                black_box(compiled.run(s).expect("runs"));
+            }
+        })
+    });
+
+    group.bench_function("fused_batched_engine", |b| {
+        b.iter(|| {
+            // Compile + batch assembly included: this is the per-training-
+            // step cost, params change every step.
+            let compiled = CompiledCircuit::compile(&circuit, &params).expect("compiles");
+            let mut batch = BatchedState::from_states(&states).expect("batch");
+            batch.apply_compiled(&compiled).expect("applies");
+            black_box(batch.member_amps(BATCH - 1).expect("member").len())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_parameter_shift(c: &mut Criterion) {
+    // Parameter shift on a reduced depth so the serial oracle stays
+    // benchable: 10 qubits, 2 blocks, 120 params -> 480 circuit
+    // evaluations per gradient.
+    let circuit = u3_cu3_ansatz(AnsatzConfig {
+        num_qubits: QUBITS,
+        num_blocks: 2,
+        entangle: EntangleOrder::Ring,
+    })
+    .expect("valid ansatz");
+    let params = params_for(&circuit);
+    let input = batch_states().remove(0);
+    let obs = DiagonalObservable::z(QUBITS, 0).expect("valid observable");
+
+    let mut group = c.benchmark_group("parameter_shift_10q_2blocks");
+
+    group.bench_function("seed_serial_per_shift", |b| {
+        b.iter(|| {
+            qugeo_qsim::parameter_shift_gradient(&circuit, &params, &input, &obs).expect("grad")
+        })
+    });
+
+    group.bench_function("batched_engine_all_shifts", |b| {
+        b.iter(|| {
+            parameter_shift_gradient_batched(&circuit, &params, &input, &obs).expect("grad")
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_fusion_compile_overhead(c: &mut Criterion) {
+    let circuit = ansatz();
+    let params = params_for(&circuit);
+    c.bench_function("compile_10q_12blocks", |b| {
+        b.iter(|| CompiledCircuit::compile(black_box(&circuit), black_box(&params)).expect("ok"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_forward_batch,
+    bench_parameter_shift,
+    bench_fusion_compile_overhead
+);
+criterion_main!(benches);

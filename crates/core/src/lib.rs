@@ -26,6 +26,12 @@
 //! [`profile`] provides the vertical-velocity-profile analyses of
 //! Figures 7 and 9.
 //!
+//! Simulation-heavy paths (batch prediction, evaluation epochs, QuBatch
+//! forward passes) run through `qugeo_qsim`'s gate-fused batched engine
+//! — circuits are compiled once per parameter vector and swept across
+//! whole sample batches in one engine call; see
+//! [`model::QuGeoVqc::predict_many`] and `docs/ARCHITECTURE.md`.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -103,7 +103,9 @@ impl<'a> QuBatch<'a> {
     ) -> Result<Vec<Array2>, QuGeoError> {
         let batched = self.encode_batch(seismic_batch)?;
         let wide = self.model.circuit().widened(batched.batch_qubits());
-        let processed = wide.run(batched.state(), params)?;
+        // One fused sweep over the widened register instead of
+        // gate-by-gate execution.
+        let processed = wide.compile(params)?.run(batched.state())?;
 
         let mut maps = Vec::with_capacity(seismic_batch.len());
         for b in 0..batched.batch_count() {
@@ -140,7 +142,9 @@ impl<'a> QuBatch<'a> {
         }
         let batched = self.encode_batch(seismic_batch)?;
         let wide = self.model.circuit().widened(batched.batch_qubits());
-        let processed = wide.run(batched.state(), params)?;
+        // Fused forward for the loss; the adjoint pass below stays on the
+        // unfused ops (it differentiates through each source gate).
+        let processed = wide.compile(params)?.run(batched.state())?;
 
         let block_size = 1usize << self.model.data_qubits();
         let block_count = 1usize << batched.batch_qubits();

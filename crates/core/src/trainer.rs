@@ -83,12 +83,14 @@ pub struct TrainOutcome {
     pub final_ssim: f64,
 }
 
-/// Mean (MSE, SSIM) of a prediction function over samples, on
-/// normalised velocity maps.
-fn evaluate_predictions(
-    samples: &[ScaledSample],
-    mut predict: impl FnMut(&ScaledSample) -> Result<Array2, QuGeoError>,
-) -> Result<(f64, f64), QuGeoError> {
+/// Mean (MSE, SSIM) of per-sample predictions against the samples'
+/// normalised velocity targets.
+///
+/// # Panics
+///
+/// Panics (debug) if `preds.len() != samples.len()`.
+fn mean_mse_ssim(samples: &[ScaledSample], preds: &[Array2]) -> Result<(f64, f64), QuGeoError> {
+    debug_assert_eq!(samples.len(), preds.len());
     if samples.is_empty() {
         return Err(QuGeoError::Config {
             reason: "cannot evaluate on an empty set".into(),
@@ -96,18 +98,34 @@ fn evaluate_predictions(
     }
     let mut mse_total = 0.0;
     let mut ssim_total = 0.0;
-    for s in samples {
+    for (s, pred) in samples.iter().zip(preds) {
         let target = normalized_target(s);
-        let pred = predict(s)?;
-        mse_total += mse(&pred, &target)?;
-        ssim_total += ssim(&pred, &target)?;
+        mse_total += mse(pred, &target)?;
+        ssim_total += ssim(pred, &target)?;
     }
     let n = samples.len() as f64;
     Ok((mse_total / n, ssim_total / n))
 }
 
+/// Mean (MSE, SSIM) of a prediction function over samples, on
+/// normalised velocity maps.
+fn evaluate_predictions(
+    samples: &[ScaledSample],
+    mut predict: impl FnMut(&ScaledSample) -> Result<Array2, QuGeoError>,
+) -> Result<(f64, f64), QuGeoError> {
+    let preds = samples
+        .iter()
+        .map(&mut predict)
+        .collect::<Result<Vec<_>, _>>()?;
+    mean_mse_ssim(samples, &preds)
+}
+
 /// Evaluates a trained VQC on a sample set: mean (MSE, SSIM) against
 /// normalised targets.
+///
+/// The whole set runs through one gate-fused batched engine call
+/// ([`QuGeoVqc::predict_many`]): the ansatz is compiled once and swept
+/// across all encoded samples — the evaluation-epoch hot path.
 ///
 /// # Errors
 ///
@@ -117,7 +135,9 @@ pub fn evaluate_vqc(
     params: &[f64],
     samples: &[ScaledSample],
 ) -> Result<(f64, f64), QuGeoError> {
-    evaluate_predictions(samples, |s| model.predict(&s.seismic, params))
+    let seismic: Vec<&[f64]> = samples.iter().map(|s| s.seismic.as_slice()).collect();
+    let preds = model.predict_many(&seismic, params)?;
+    mean_mse_ssim(samples, &preds)
 }
 
 /// Trains a [`QuGeoVqc`] with per-sample Adam steps (the paper's

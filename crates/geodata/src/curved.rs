@@ -82,7 +82,8 @@ impl CurvedModel {
 /// # fn main() -> Result<(), qugeo_geodata::GeodataError> {
 /// let generator = CurvedLayerGenerator::new(70, 70, 6)?;
 /// let model = generator.sample(3);
-/// assert!(model.curvature() <= 6);
+/// // A sinusoid of amplitude ≤ 6 spans at most 12 cells peak-to-peak.
+/// assert!(model.curvature() <= 12);
 /// assert!(model.num_layers() >= 2);
 /// # Ok(())
 /// # }

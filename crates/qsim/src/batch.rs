@@ -1,0 +1,432 @@
+//! Batched statevector execution: many independent registers, one engine
+//! call.
+//!
+//! QuGeo's training hot path is not one big simulation but *many small
+//! ones*: a forward pass per sample, and two more per parameter for
+//! parameter-shift gradients. Running them one `State` at a time pays the
+//! per-call dispatch and cache-refill cost over and over. A
+//! [`BatchedState`] instead lays `B` statevectors out **contiguously** in
+//! one allocation and sweeps compiled (gate-fused) circuits across the
+//! whole batch:
+//!
+//! * [`BatchedState::apply_compiled`] applies one [`CompiledCircuit`] to
+//!   every member — each fused gate becomes a single pass over the
+//!   `B · 2^n` amplitude array (the kernels are block-oblivious).
+//! * [`BatchedState::apply_each`] applies member-specific circuits —
+//!   exactly the shape of a parameter-shift evaluation, where every
+//!   shifted circuit differs but shares the input state. Members are
+//!   distributed over worker threads in contiguous chunks.
+//!
+//! This is *simulator-level* batching, complementary to the paper's
+//! QuBatch ([`crate::encoding::encode_batched`]), which packs samples
+//! into one physical register at the cost of shared amplitude norm.
+//! `BatchedState` keeps every member an independent unit-norm register —
+//! no precision loss — and exists purely to make the classical simulation
+//! fast.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+//! use qugeo_qsim::{BatchedState, CompiledCircuit, State};
+//!
+//! # fn main() -> Result<(), qugeo_qsim::QsimError> {
+//! let cfg = AnsatzConfig { num_qubits: 3, num_blocks: 2, entangle: EntangleOrder::Ring };
+//! let circuit = u3_cu3_ansatz(cfg)?;
+//! let params = vec![0.1; circuit.num_slots()];
+//! let compiled = CompiledCircuit::compile(&circuit, &params)?;
+//!
+//! let input = State::from_real_normalized(&[1.0; 8])?;
+//! let mut batch = BatchedState::replicate(&input, 4);
+//! batch.apply_compiled(&compiled)?;
+//! // Every member got the same circuit, so all outputs match.
+//! assert_eq!(batch.member(0)?, batch.member(3)?);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::fusion::CompiledCircuit;
+use crate::kernels::simulation_threads;
+use crate::{Complex64, DiagonalObservable, QsimError, State};
+
+/// `B` independent statevectors stored contiguously, executed together.
+///
+/// Member `b` occupies amplitudes `b · 2^n .. (b+1) · 2^n`. See the
+/// [module docs](self) for how this differs from QuBatch encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedState {
+    num_qubits: usize,
+    batch: usize,
+    amps: Vec<Complex64>,
+}
+
+impl BatchedState {
+    /// A batch of `batch` copies of `|0…0⟩` on `num_qubits` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn zeros(num_qubits: usize, batch: usize) -> Self {
+        assert!(batch > 0, "empty batch");
+        let dim = 1usize << num_qubits;
+        let mut amps = vec![Complex64::ZERO; batch * dim];
+        for b in 0..batch {
+            amps[b * dim] = Complex64::ONE;
+        }
+        Self {
+            num_qubits,
+            batch,
+            amps,
+        }
+    }
+
+    /// A batch of `batch` copies of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn replicate(state: &State, batch: usize) -> Self {
+        assert!(batch > 0, "empty batch");
+        let dim = state.len();
+        let mut amps = Vec::with_capacity(batch * dim);
+        for _ in 0..batch {
+            amps.extend_from_slice(state.amplitudes());
+        }
+        Self {
+            num_qubits: state.num_qubits(),
+            batch,
+            amps,
+        }
+    }
+
+    /// A batch from distinct member states (all of the same width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] for an empty slice and
+    /// [`QsimError::QubitCountMismatch`] for width disagreements.
+    pub fn from_states(states: &[State]) -> Result<Self, QsimError> {
+        let first = states.first().ok_or_else(|| QsimError::InvalidEncoding {
+            reason: "empty batch".to_string(),
+        })?;
+        let num_qubits = first.num_qubits();
+        let mut amps = Vec::with_capacity(states.len() * first.len());
+        for s in states {
+            if s.num_qubits() != num_qubits {
+                return Err(QsimError::QubitCountMismatch {
+                    expected: num_qubits,
+                    actual: s.num_qubits(),
+                });
+            }
+            amps.extend_from_slice(s.amplitudes());
+        }
+        Ok(Self {
+            num_qubits,
+            batch: states.len(),
+            amps,
+        })
+    }
+
+    /// Qubits per member.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of members.
+    pub fn batch_len(&self) -> usize {
+        self.batch
+    }
+
+    /// Amplitudes per member (`2^n`).
+    pub fn member_dim(&self) -> usize {
+        1usize << self.num_qubits
+    }
+
+    /// Member `b`'s amplitudes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] if `b` is out of range.
+    pub fn member_amps(&self, b: usize) -> Result<&[Complex64], QsimError> {
+        if b >= self.batch {
+            return Err(QsimError::InvalidEncoding {
+                reason: format!("member {b} out of range ({} in batch)", self.batch),
+            });
+        }
+        let dim = self.member_dim();
+        Ok(&self.amps[b * dim..(b + 1) * dim])
+    }
+
+    /// Member `b` as an owned [`State`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] if `b` is out of range.
+    pub fn member(&self, b: usize) -> Result<State, QsimError> {
+        State::from_amplitudes(self.member_amps(b)?.to_vec())
+    }
+
+    /// Largest member dimension still executed circuit-major. A `2^14`
+    /// member is 256 KiB of amplitudes — around the point where running a
+    /// whole circuit over one member stops fitting in per-core cache and
+    /// gate-major whole-batch sweeps (which parallelise within a gate)
+    /// win instead.
+    const CIRCUIT_MAJOR_MAX_DIM: usize = 1 << 14;
+
+    /// Applies one compiled circuit to **every** member in one engine
+    /// call.
+    ///
+    /// Execution order adapts to the member size: small members run
+    /// *circuit-major* (each worker keeps one member's amplitudes hot in
+    /// cache through the whole gate sequence, members distributed across
+    /// threads), large members run *gate-major* (each fused gate sweeps
+    /// the whole `B · 2^n` array with chunk-parallel kernels).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitCountMismatch`] if the circuit width
+    /// differs from the members'.
+    pub fn apply_compiled(&mut self, circuit: &CompiledCircuit) -> Result<(), QsimError> {
+        if circuit.num_qubits() != self.num_qubits {
+            return Err(QsimError::QubitCountMismatch {
+                expected: self.num_qubits,
+                actual: circuit.num_qubits(),
+            });
+        }
+        let dim = self.member_dim();
+        if dim > Self::CIRCUIT_MAJOR_MAX_DIM || self.batch == 1 {
+            circuit.apply_amps(&mut self.amps);
+            return Ok(());
+        }
+        let threads = simulation_threads().min(self.batch);
+        // Spawning workers for a sweep smaller than the kernels' own
+        // parallel threshold costs more than it saves.
+        if threads <= 1 || self.amps.len() < crate::kernels::PARALLEL_MIN_AMPS {
+            for member in self.amps.chunks_mut(dim) {
+                circuit.apply_amps(member);
+            }
+            return Ok(());
+        }
+        let per = self.batch.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for members in self.amps.chunks_mut(per * dim) {
+                scope.spawn(move || {
+                    for member in members.chunks_mut(dim) {
+                        circuit.apply_amps(member);
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Applies circuit `i` to member `i` in one engine call — the
+    /// parameter-shift shape. Members are processed gate-serially but
+    /// member-parallel: contiguous member ranges go to worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] if `circuits.len()` differs
+    /// from the batch length, or [`QsimError::QubitCountMismatch`] if any
+    /// circuit's width differs from the members'.
+    pub fn apply_each(&mut self, circuits: &[CompiledCircuit]) -> Result<(), QsimError> {
+        if circuits.len() != self.batch {
+            return Err(QsimError::InvalidEncoding {
+                reason: format!(
+                    "{} circuits for a batch of {}",
+                    circuits.len(),
+                    self.batch
+                ),
+            });
+        }
+        for c in circuits {
+            if c.num_qubits() != self.num_qubits {
+                return Err(QsimError::QubitCountMismatch {
+                    expected: self.num_qubits,
+                    actual: c.num_qubits(),
+                });
+            }
+        }
+        let dim = self.member_dim();
+        let threads = simulation_threads().min(self.batch);
+        // Large members parallelise *inside* each gate kernel; adding
+        // member-level workers on top would oversubscribe (T² threads).
+        // Small members get member-level parallelism and serial kernels —
+        // but only once the whole batch clears the kernels' own
+        // minimum-work threshold; tiny batches run inline.
+        let member_parallel = threads > 1
+            && dim < crate::kernels::PARALLEL_MIN_AMPS
+            && self.amps.len() >= crate::kernels::PARALLEL_MIN_AMPS;
+        if !member_parallel {
+            for (member, circuit) in self.amps.chunks_mut(dim).zip(circuits) {
+                circuit.apply_amps(member);
+            }
+            return Ok(());
+        }
+        // Contiguous member ranges per thread: `chunks_mut` hands each
+        // worker a disjoint &mut sub-slice, so this needs no unsafe.
+        let per = self.batch.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, members) in self.amps.chunks_mut(per * dim).enumerate() {
+                let circuits = &circuits[t * per..];
+                scope.spawn(move || {
+                    for (member, circuit) in members.chunks_mut(dim).zip(circuits) {
+                        circuit.apply_amps(member);
+                    }
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Expectation of a diagonal observable on every member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitCountMismatch`] if the observable width
+    /// differs from the members'.
+    pub fn expectations(&self, obs: &DiagonalObservable) -> Result<Vec<f64>, QsimError> {
+        if obs.num_qubits() != self.num_qubits {
+            return Err(QsimError::QubitCountMismatch {
+                expected: self.num_qubits,
+                actual: obs.num_qubits(),
+            });
+        }
+        let dim = self.member_dim();
+        Ok(self
+            .amps
+            .chunks(dim)
+            .map(|member| {
+                member
+                    .iter()
+                    .zip(obs.diagonal())
+                    .map(|(a, d)| a.norm_sqr() * d)
+                    .sum()
+            })
+            .collect())
+    }
+
+    /// Probabilities of every member, concatenated (`B · 2^n` values).
+    pub fn probabilities_flat(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+    use crate::Circuit;
+
+    fn ansatz(n: usize, blocks: usize) -> Circuit {
+        u3_cu3_ansatz(AnsatzConfig {
+            num_qubits: n,
+            num_blocks: blocks,
+            entangle: EntangleOrder::Ring,
+        })
+        .unwrap()
+    }
+
+    fn params_for(c: &Circuit, scale: f64) -> Vec<f64> {
+        (0..c.num_slots()).map(|i| (i as f64 * 0.7).cos() * scale).collect()
+    }
+
+    fn sample_state(n: usize, seed: usize) -> State {
+        let data: Vec<f64> = (0..1usize << n)
+            .map(|i| ((i + seed * 13) as f64 * 0.37).sin() + 0.25)
+            .collect();
+        State::from_real_normalized(&data).unwrap()
+    }
+
+    #[test]
+    fn apply_compiled_matches_per_member_runs() {
+        let c = ansatz(4, 3);
+        let params = params_for(&c, 0.9);
+        let compiled = CompiledCircuit::compile(&c, &params).unwrap();
+        let members: Vec<State> = (0..5).map(|s| sample_state(4, s)).collect();
+
+        let mut batch = BatchedState::from_states(&members).unwrap();
+        batch.apply_compiled(&compiled).unwrap();
+
+        for (b, m) in members.iter().enumerate() {
+            let solo = c.run(m, &params).unwrap();
+            for (x, y) in batch.member_amps(b).unwrap().iter().zip(solo.amplitudes()) {
+                assert!((*x - *y).norm() < 1e-10, "member {b} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_each_runs_distinct_circuits() {
+        let c = ansatz(3, 2);
+        let input = sample_state(3, 0);
+        let param_sets: Vec<Vec<f64>> =
+            (0..4).map(|k| params_for(&c, 0.2 + 0.3 * k as f64)).collect();
+        let compiled: Vec<CompiledCircuit> = param_sets
+            .iter()
+            .map(|p| CompiledCircuit::compile(&c, p).unwrap())
+            .collect();
+
+        let mut batch = BatchedState::replicate(&input, 4);
+        batch.apply_each(&compiled).unwrap();
+
+        for (b, p) in param_sets.iter().enumerate() {
+            let solo = c.run(&input, p).unwrap();
+            for (x, y) in batch.member_amps(b).unwrap().iter().zip(solo.amplitudes()) {
+                assert!((*x - *y).norm() < 1e-10, "member {b} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn expectations_match_single_state_path() {
+        let c = ansatz(3, 2);
+        let params = params_for(&c, 0.8);
+        let compiled = CompiledCircuit::compile(&c, &params).unwrap();
+        let members: Vec<State> = (0..3).map(|s| sample_state(3, s + 10)).collect();
+        let obs = DiagonalObservable::z(3, 1).unwrap();
+
+        let mut batch = BatchedState::from_states(&members).unwrap();
+        batch.apply_compiled(&compiled).unwrap();
+        let batched = batch.expectations(&obs).unwrap();
+
+        for (b, m) in members.iter().enumerate() {
+            let solo = obs.expectation(&c.run(m, &params).unwrap());
+            assert!((batched[b] - solo).abs() < 1e-10, "member {b}");
+        }
+    }
+
+    #[test]
+    fn zeros_and_replicate_layouts() {
+        let z = BatchedState::zeros(2, 3);
+        assert_eq!(z.batch_len(), 3);
+        assert_eq!(z.member_dim(), 4);
+        for b in 0..3 {
+            let m = z.member(b).unwrap();
+            assert!((m.probability(0) - 1.0).abs() < 1e-12);
+        }
+
+        let s = sample_state(2, 4);
+        let r = BatchedState::replicate(&s, 2);
+        assert_eq!(r.member(0).unwrap(), s);
+        assert_eq!(r.member(1).unwrap(), s);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let c = ansatz(3, 1);
+        let compiled = CompiledCircuit::compile(&c, &params_for(&c, 0.5)).unwrap();
+        assert!(BatchedState::from_states(&[]).is_err());
+        assert!(
+            BatchedState::from_states(&[State::zero(2), State::zero(3)]).is_err()
+        );
+        let mut wrong_width = BatchedState::zeros(2, 2);
+        assert!(wrong_width.apply_compiled(&compiled).is_err());
+        assert!(wrong_width.apply_each(&[compiled.clone()]).is_err()); // count mismatch
+        let mut right_count = BatchedState::zeros(2, 1);
+        assert!(right_count.apply_each(std::slice::from_ref(&compiled)).is_err()); // width mismatch
+        assert!(wrong_width.member(5).is_err());
+        let obs3 = DiagonalObservable::z(3, 0).unwrap();
+        assert!(wrong_width.expectations(&obs3).is_err());
+    }
+}

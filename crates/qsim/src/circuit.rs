@@ -480,6 +480,18 @@ impl Circuit {
         }
     }
 
+    /// Lowers this circuit into a gate-fused [`crate::CompiledCircuit`]
+    /// bound to `params` — the fast path for repeated execution of the
+    /// same circuit (batch prediction, benchmark loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::ParamCountMismatch`] on parameter-count
+    /// mismatch.
+    pub fn compile(&self, params: &[f64]) -> Result<crate::CompiledCircuit, QsimError> {
+        crate::CompiledCircuit::compile(self, params)
+    }
+
     /// Returns a copy of this circuit on a register widened by
     /// `extra_qubits` new high-order qubits that no gate touches.
     ///

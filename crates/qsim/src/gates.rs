@@ -311,6 +311,150 @@ impl Matrix2 {
     }
 }
 
+/// A 4×4 complex matrix — the representation of a fused two-qubit gate.
+///
+/// Stored row-major. The 4-dimensional basis is ordered by the two qubits
+/// of the gate's support `(a, b)` with `a < b`: basis index
+/// `k = bit_a + 2·bit_b`, i.e. `|b a⟩` ordering `00, 01, 10, 11`.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::{Matrix2, Matrix4};
+///
+/// // CNOT with the control on the low qubit of the pair.
+/// let cnot = Matrix4::controlled(&Matrix2::x(), true);
+/// assert!(cnot.is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matrix4 {
+    /// Matrix entries, row-major.
+    pub m: [[Complex64; 4]; 4],
+}
+
+impl Matrix4 {
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut m = [[Complex64::ZERO; 4]; 4];
+        for (r, row) in m.iter_mut().enumerate() {
+            row[r] = Complex64::ONE;
+        }
+        Self { m }
+    }
+
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Self {
+            m: [[Complex64::ZERO; 4]; 4],
+        }
+    }
+
+    /// Embeds a single-qubit gate on the **low** qubit of the pair:
+    /// `I ⊗ g` in the `|b a⟩` ordering.
+    pub fn single_on_low(g: &Matrix2) -> Self {
+        let mut out = Self::zero();
+        for hb in 0..2 {
+            for r in 0..2 {
+                for c in 0..2 {
+                    out.m[2 * hb + r][2 * hb + c] = g.m[r][c];
+                }
+            }
+        }
+        out
+    }
+
+    /// Embeds a single-qubit gate on the **high** qubit of the pair:
+    /// `g ⊗ I` in the `|b a⟩` ordering.
+    pub fn single_on_high(g: &Matrix2) -> Self {
+        let mut out = Self::zero();
+        for la in 0..2 {
+            for r in 0..2 {
+                for c in 0..2 {
+                    out.m[2 * r + la][2 * c + la] = g.m[r][c];
+                }
+            }
+        }
+        out
+    }
+
+    /// A controlled single-qubit gate on the pair. With
+    /// `control_on_low = true` the low qubit controls `g` on the high
+    /// qubit; otherwise the high qubit controls `g` on the low one.
+    pub fn controlled(g: &Matrix2, control_on_low: bool) -> Self {
+        let mut out = Self::identity();
+        if control_on_low {
+            // Control bit = bit_a = 1: basis indices 1 (|01⟩) and 3 (|11⟩);
+            // g acts on bit_b between them.
+            let idx = [1usize, 3];
+            for r in 0..2 {
+                for c in 0..2 {
+                    out.m[idx[r]][idx[c]] = g.m[r][c];
+                }
+            }
+        } else {
+            // Control bit = bit_b = 1: basis indices 2 (|10⟩) and 3 (|11⟩);
+            // g acts on bit_a between them.
+            let idx = [2usize, 3];
+            for r in 0..2 {
+                for c in 0..2 {
+                    out.m[idx[r]][idx[c]] = g.m[r][c];
+                }
+            }
+        }
+        out
+    }
+
+    /// The SWAP gate on the pair.
+    pub fn swap() -> Self {
+        let mut out = Self::zero();
+        out.m[0][0] = Complex64::ONE;
+        out.m[1][2] = Complex64::ONE;
+        out.m[2][1] = Complex64::ONE;
+        out.m[3][3] = Complex64::ONE;
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        let mut out = Self::zero();
+        for r in 0..4 {
+            for c in 0..4 {
+                let mut acc = Complex64::ZERO;
+                for k in 0..4 {
+                    acc += self.m[r][k] * rhs.m[k][c];
+                }
+                out.m[r][c] = acc;
+            }
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> Self {
+        let mut out = Self::zero();
+        for r in 0..4 {
+            for c in 0..4 {
+                out.m[r][c] = self.m[c][r].conj();
+            }
+        }
+        out
+    }
+
+    /// `true` when `self · self† = I` within `tol` per entry.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        let p = self.matmul(&self.dagger());
+        let id = Self::identity();
+        for r in 0..4 {
+            for c in 0..4 {
+                if (p.m[r][c] - id.m[r][c]).norm() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,5 +595,55 @@ mod tests {
         let lhs = a.matmul(&b).dagger();
         let rhs = b.dagger().matmul(&a.dagger());
         assert!(close(&lhs, &rhs, EPS));
+    }
+
+    fn close4(a: &Matrix4, b: &Matrix4, tol: f64) -> bool {
+        (0..4).all(|r| (0..4).all(|c| (a.m[r][c] - b.m[r][c]).norm() < tol))
+    }
+
+    #[test]
+    fn matrix4_embeddings_are_unitary() {
+        let g = Matrix2::u3(0.7, -0.2, 1.9);
+        assert!(Matrix4::single_on_low(&g).is_unitary(EPS));
+        assert!(Matrix4::single_on_high(&g).is_unitary(EPS));
+        assert!(Matrix4::controlled(&g, true).is_unitary(EPS));
+        assert!(Matrix4::controlled(&g, false).is_unitary(EPS));
+        assert!(Matrix4::swap().is_unitary(EPS));
+    }
+
+    #[test]
+    fn matrix4_single_embeddings_commute_across_qubits() {
+        let g = Matrix2::u3(0.4, 0.8, -1.1);
+        let h = Matrix2::ry(0.9);
+        let lo_then_hi = Matrix4::single_on_high(&h).matmul(&Matrix4::single_on_low(&g));
+        let hi_then_lo = Matrix4::single_on_low(&g).matmul(&Matrix4::single_on_high(&h));
+        assert!(close4(&lo_then_hi, &hi_then_lo, EPS));
+    }
+
+    #[test]
+    fn controlled_embedding_is_block_identity_on_control_zero() {
+        let g = Matrix2::x();
+        let cx = Matrix4::controlled(&g, true);
+        // Control (low bit) = 0 -> basis 0 and 2 untouched.
+        assert_eq!(cx.m[0][0], Complex64::ONE);
+        assert_eq!(cx.m[2][2], Complex64::ONE);
+        // Control = 1 -> X block between basis 1 and 3.
+        assert_eq!(cx.m[1][3], Complex64::ONE);
+        assert_eq!(cx.m[3][1], Complex64::ONE);
+    }
+
+    #[test]
+    fn swap_matrix_squares_to_identity() {
+        let s = Matrix4::swap();
+        assert!(close4(&s.matmul(&s), &Matrix4::identity(), EPS));
+    }
+
+    #[test]
+    fn matrix4_dagger_reverses_product() {
+        let a = Matrix4::controlled(&Matrix2::u3(0.3, 1.0, -0.5), false);
+        let b = Matrix4::single_on_low(&Matrix2::ry(0.8));
+        let lhs = a.matmul(&b).dagger();
+        let rhs = b.dagger().matmul(&a.dagger());
+        assert!(close4(&lhs, &rhs, EPS));
     }
 }

@@ -224,22 +224,28 @@ impl State {
 
     /// Applies a single-qubit gate in place.
     ///
+    /// Delegates to the crate's branch-free kernels, which switch to
+    /// chunked data-parallelism on large registers.
+    ///
     /// # Panics
     ///
     /// Panics if `q >= self.num_qubits()`.
     pub fn apply_single(&mut self, gate: &Matrix2, q: usize) {
         assert!(q < self.num_qubits, "qubit {q} out of range");
-        let mask = 1usize << q;
-        let [[m00, m01], [m10, m11]] = gate.m;
-        for i in 0..self.amps.len() {
-            if i & mask == 0 {
-                let j = i | mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m00 * a0 + m01 * a1;
-                self.amps[j] = m10 * a0 + m11 * a1;
-            }
-        }
+        crate::kernels::apply_one(&mut self.amps, gate, q);
+    }
+
+    /// Applies a fused two-qubit gate (4×4 unitary) to the qubit pair
+    /// `(a, b)` with `a < b`, using the [`crate::Matrix4`] basis
+    /// convention `index = bit_a + 2·bit_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit is out of range or `a >= b`.
+    pub fn apply_two_qubit(&mut self, gate: &crate::Matrix4, a: usize, b: usize) {
+        assert!(a < b, "pair must be ordered: {a} >= {b}");
+        assert!(b < self.num_qubits, "qubit {b} out of range");
+        crate::kernels::apply_two(&mut self.amps, gate, a, b);
     }
 
     /// Applies a controlled single-qubit gate in place (gate acts on
@@ -254,18 +260,7 @@ impl State {
             "qubit out of range"
         );
         assert_ne!(control, target, "control equals target");
-        let cmask = 1usize << control;
-        let tmask = 1usize << target;
-        let [[m00, m01], [m10, m11]] = gate.m;
-        for i in 0..self.amps.len() {
-            if i & cmask != 0 && i & tmask == 0 {
-                let j = i | tmask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m00 * a0 + m01 * a1;
-                self.amps[j] = m10 * a0 + m11 * a1;
-            }
-        }
+        crate::kernels::apply_controlled(&mut self.amps, gate, control, target);
     }
 
     /// Applies a SWAP gate in place.
@@ -276,15 +271,7 @@ impl State {
     pub fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
         assert_ne!(a, b, "swap qubits must differ");
-        let amask = 1usize << a;
-        let bmask = 1usize << b;
-        for i in 0..self.amps.len() {
-            // Visit each (01, 10) pair once: a-bit set, b-bit clear.
-            if i & amask != 0 && i & bmask == 0 {
-                let j = (i & !amask) | bmask;
-                self.amps.swap(i, j);
-            }
-        }
+        crate::kernels::apply_swap(&mut self.amps, a, b);
     }
 
     /// Writes `gate|self⟩` restricted to the controlled subspace into

@@ -5,9 +5,57 @@ use proptest::prelude::*;
 use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
 use qugeo_qsim::encoding::{encode_batched, encode_grouped};
 use qugeo_qsim::{
-    adjoint_gradient, finite_difference_gradient, parameter_shift_gradient, DiagonalObservable,
-    State,
+    adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,
+    parameter_shift_gradient_batched, BatchedState, Circuit, CompiledCircuit, DiagonalObservable,
+    Gate1, ParamSource, State,
 };
+
+/// Builds an arbitrary 4-qubit circuit from raw draw tuples:
+/// `(kind, qubit, other, angle)`. Out-of-range structure is folded back
+/// into range so every draw yields a valid circuit.
+fn arbitrary_circuit(draws: &[(usize, usize, usize, f64)]) -> Circuit {
+    const N: usize = 4;
+    let mut c = Circuit::new(N);
+    for &(kind, q, other, angle) in draws {
+        let q = q % N;
+        let other = if other % N == q { (q + 1) % N } else { other % N };
+        match kind % 7 {
+            0 => {
+                c.push_single(Gate1::U3(
+                    ParamSource::Fixed(angle),
+                    ParamSource::Fixed(angle * 0.7),
+                    ParamSource::Fixed(-angle * 1.3),
+                ), q)
+                .unwrap();
+            }
+            1 => {
+                c.push_single(Gate1::Ry(ParamSource::Fixed(angle)), q).unwrap();
+            }
+            2 => {
+                c.h(q).unwrap();
+            }
+            3 => {
+                c.push_controlled(Gate1::Rz(ParamSource::Fixed(angle)), q, other)
+                    .unwrap();
+            }
+            4 => {
+                c.push_controlled(Gate1::U3(
+                    ParamSource::Fixed(angle),
+                    ParamSource::Fixed(angle + 0.4),
+                    ParamSource::Fixed(angle - 0.9),
+                ), q, other)
+                .unwrap();
+            }
+            5 => {
+                c.swap(q, other).unwrap();
+            }
+            _ => {
+                c.x(q).unwrap();
+            }
+        }
+    }
+    c
+}
 
 fn angles(n: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-3.0f64..3.0, n)
@@ -103,6 +151,66 @@ proptest! {
         let expect = State::from_real_normalized(&g0).unwrap().probabilities();
         for (m, e) in marg.iter().zip(&expect) {
             prop_assert!((m - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fused_compilation_preserves_semantics(
+        draws in prop::collection::vec(
+            (0usize..7, 0usize..4, 0usize..4, -3.0f64..3.0),
+            1..48,
+        ),
+        data in nonzero_data(16),
+    ) {
+        // A compiled (gate-fused, commutation-aware) circuit must produce
+        // the same final state as naive gate-by-gate execution, for any
+        // gate sequence.
+        let circuit = arbitrary_circuit(&draws);
+        let input = State::from_real_normalized(&data).unwrap();
+        let unfused = circuit.run(&input, &[]).unwrap();
+        let compiled = CompiledCircuit::compile(&circuit, &[]).unwrap();
+        prop_assert!(compiled.num_fused_ops() <= circuit.num_ops());
+        let fused = compiled.run(&input).unwrap();
+        for (i, (a, b)) in fused.amplitudes().iter().zip(unfused.amplitudes()).enumerate() {
+            prop_assert!((*a - *b).norm() < 1e-10, "amplitude {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn batched_state_matches_per_sample_simulation(
+        draws in prop::collection::vec(
+            (0usize..7, 0usize..4, 0usize..4, -3.0f64..3.0),
+            1..24,
+        ),
+        s0 in nonzero_data(16),
+        s1 in nonzero_data(16),
+        s2 in nonzero_data(16),
+    ) {
+        let circuit = arbitrary_circuit(&draws);
+        let compiled = CompiledCircuit::compile(&circuit, &[]).unwrap();
+        let members = [s0, s1, s2].map(|d| State::from_real_normalized(&d).unwrap());
+
+        let mut batch = BatchedState::from_states(&members).unwrap();
+        batch.apply_compiled(&compiled).unwrap();
+
+        for (b, m) in members.iter().enumerate() {
+            let solo = circuit.run(m, &[]).unwrap();
+            for (x, y) in batch.member_amps(b).unwrap().iter().zip(solo.amplitudes()) {
+                prop_assert!((*x - *y).norm() < 1e-10, "member {} diverged", b);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_parameter_shift_matches_adjoint(params in angles(12)) {
+        let cfg = AnsatzConfig { num_qubits: 2, num_blocks: 1, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let input = State::from_real_normalized(&[0.5, -1.0, 2.0, 0.25]).unwrap();
+        let obs = DiagonalObservable::z(2, 1).unwrap();
+        let (_, adj) = adjoint_gradient(&c, &params, &input, &obs).unwrap();
+        let batched = parameter_shift_gradient_batched(&c, &params, &input, &obs).unwrap();
+        for (a, s) in adj.iter().zip(&batched) {
+            prop_assert!((a - s).abs() < 1e-8, "adjoint {} vs batched shift {}", a, s);
         }
     }
 

@@ -1,7 +1,7 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, SerializeStruct, Serializer};
 
 use crate::ShapeError;
 
@@ -20,11 +20,44 @@ use crate::ShapeError;
 /// a[(0, 1)] = 3.5;
 /// assert_eq!(a.sum(), 3.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Array2 {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+// The vendored serde shim has no derive macros; the flat struct impls are
+// written out by hand (field order is the wire format).
+impl Serialize for Array2 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Array2", 3)?;
+        s.serialize_field("rows", &self.rows)?;
+        s.serialize_field("cols", &self.cols)?;
+        s.serialize_field("data", &self.data)?;
+        s.end()
+    }
+}
+
+impl Deserialize for Array2 {
+    fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.begin_struct("Array2")?;
+        deserializer.field("rows")?;
+        let rows = usize::deserialize(deserializer)?;
+        deserializer.field("cols")?;
+        let cols = usize::deserialize(deserializer)?;
+        deserializer.field("data")?;
+        let data = Vec::<f64>::deserialize(deserializer)?;
+        deserializer.end_struct()?;
+        if data.len() != rows * cols {
+            return Err(deserializer.invalid(&format!(
+                "Array2 {rows}x{cols} needs {} values, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
 }
 
 impl Array2 {

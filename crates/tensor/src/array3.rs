@@ -1,6 +1,6 @@
 use std::ops::{Index, IndexMut};
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Deserializer, Serialize, SerializeStruct, Serializer};
 
 use crate::{Array2, ShapeError};
 
@@ -19,12 +19,48 @@ use crate::{Array2, ShapeError};
 /// cube[(1, 2, 3)] = 7.0;
 /// assert_eq!(cube.slice(1)[(2, 3)], 7.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Array3 {
     d0: usize,
     d1: usize,
     d2: usize,
     data: Vec<f64>,
+}
+
+// Hand-written (the vendored serde shim has no derive macros); field order
+// is the wire format.
+impl Serialize for Array3 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Array3", 4)?;
+        s.serialize_field("d0", &self.d0)?;
+        s.serialize_field("d1", &self.d1)?;
+        s.serialize_field("d2", &self.d2)?;
+        s.serialize_field("data", &self.data)?;
+        s.end()
+    }
+}
+
+impl Deserialize for Array3 {
+    fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.begin_struct("Array3")?;
+        deserializer.field("d0")?;
+        let d0 = usize::deserialize(deserializer)?;
+        deserializer.field("d1")?;
+        let d1 = usize::deserialize(deserializer)?;
+        deserializer.field("d2")?;
+        let d2 = usize::deserialize(deserializer)?;
+        deserializer.field("data")?;
+        let data = Vec::<f64>::deserialize(deserializer)?;
+        deserializer.end_struct()?;
+        if data.len() != d0 * d1 * d2 {
+            return Err(deserializer.invalid(&format!(
+                "Array3 {d0}x{d1}x{d2} needs {} values, got {}",
+                d0 * d1 * d2,
+                data.len()
+            )));
+        }
+        Ok(Self { d0, d1, d2, data })
+    }
 }
 
 impl Array3 {

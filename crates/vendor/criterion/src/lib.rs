@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a minimal benchmark harness compatible with the `criterion` API surface
+//! its benches use: [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is wall-clock: each benchmark is warmed up briefly, then
+//! timed in batches until `QUGEO_BENCH_MS` milliseconds (default 150) of
+//! samples accumulate; the median batch time per iteration is printed as
+//!
+//! ```text
+//! bench_name              time: 12345 ns/iter  (n iters)
+//! ```
+//!
+//! There are no statistical comparisons against saved baselines — pipe the
+//! output to a file and diff across commits instead.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark, in milliseconds.
+fn measure_ms() -> u64 {
+    std::env::var("QUGEO_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (a no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `{name}/{parameter}`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration wall-clock estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch takes at least ~1ms, so Instant overhead stays negligible.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let budget = Duration::from_millis(measure_ms());
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < budget || samples.len() < 3 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            total += elapsed;
+            iters += batch;
+            if samples.len() > 10_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+        self.iters = iters;
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.ns_per_iter {
+        Some(ns) => {
+            let unit = if ns >= 1e6 {
+                format!("{:.3} ms/iter", ns / 1e6)
+            } else if ns >= 1e3 {
+                format!("{:.3} µs/iter", ns / 1e3)
+            } else {
+                format!("{ns:.0} ns/iter")
+            };
+            println!("{name:<48} time: {unit:>16}  ({} iters)", b.iters);
+        }
+        None => println!("{name:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Declares `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("QUGEO_BENCH_MS", "5");
+        let mut b = Bencher::default();
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.ns_per_iter.expect("measured") > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("QUGEO_BENCH_MS", "2");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2) * 2));
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of the `proptest` surface its test suites use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `arg in strategy` bindings,
+//! * [`strategy::Strategy`] implementations for numeric ranges and
+//!   tuples,
+//! * [`prop::collection::vec()`](strategy::vec) with fixed or ranged
+//!   lengths,
+//! * the [`prop_map`](strategy::Strategy::prop_map) /
+//!   [`prop_filter`](strategy::Strategy::prop_filter) combinators,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case panics
+//! with the generated inputs left in the assertion message. Generation is
+//! deterministic per test (seeded from the test's module path and name),
+//! so failures reproduce exactly under plain `cargo test`.
+//!
+//! # Examples
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!     #[test]
+//!     fn squares_are_nonnegative(x in -10.0f64..10.0) {
+//!         prop_assert!(x * x >= 0.0);
+//!     }
+//! }
+//! ```
+//!
+//! (`#[test]` functions only exist under `cfg(test)`, so the example just
+//! shows the shape; the shim's own unit tests execute the macro.)
+
+pub mod strategy;
+
+/// Runtime configuration of a [`proptest!`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Support machinery used by the generated test bodies.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic generator for one named test: the seed is a hash of
+    /// the fully-qualified test name, so every `cargo test` run explores
+    /// the same cases and failures reproduce.
+    pub fn rng_for(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// The strategy namespace (`prop::collection::vec` etc.).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+}
+
+/// Everything a proptest-style test file imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` against `cases` random
+/// bindings of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident ( $($argname:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(
+                        let $argname =
+                            $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    // prop_assume! exits this closure to skip the case.
+                    let mut body = || $body;
+                    body();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!` — this shim has no shrinking phase to report into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..2.0, n in 1usize..10) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0.0f64..1.0, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn ranged_vec_lengths(v in prop::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn filters_hold(v in prop::collection::vec(-1.0f64..1.0, 4)
+            .prop_filter("nonzero", |v| v.iter().any(|x| x.abs() > 1e-6)))
+        {
+            prop_assert!(v.iter().any(|x| x.abs() > 1e-6));
+        }
+
+        #[test]
+        fn maps_apply(y in (0usize..5, 0usize..5).prop_map(|(a, b)| a + b)) {
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn macro_produces_runnable_tests() {
+        ranges_stay_in_bounds();
+        vec_lengths_respected();
+    }
+}

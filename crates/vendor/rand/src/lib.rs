@@ -1,0 +1,277 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the tiny slice of the `rand` 0.8 API its members actually use:
+//!
+//! * [`SeedableRng::seed_from_u64`] construction,
+//! * [`Rng::gen_range`] over half-open and inclusive numeric ranges,
+//! * [`Rng::gen`] for `f64`/`f32`/`bool`,
+//! * [`seq::SliceRandom::shuffle`].
+//!
+//! [`rngs::StdRng`] is a xoshiro256** generator seeded through SplitMix64 —
+//! deterministic for a given seed on every platform, which the QuGeo
+//! reproduction relies on for reproducible datasets and initialisations.
+//! It is **not** the same stream as upstream `rand`'s `StdRng`; nothing in
+//! this workspace depends on the exact stream, only on determinism.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x = rng.gen_range(-1.0..1.0);
+//! assert!((-1.0..1.0).contains(&x));
+//! let mut again = StdRng::seed_from_u64(7);
+//! assert_eq!(x, again.gen_range(-1.0..1.0));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A type that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core random-number interface: a raw `u64` stream plus typed helpers.
+pub trait Rng {
+    /// The next 64 raw pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform draw in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits -> uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform draw from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: Into<UniformRange<T>>,
+        Self: Sized,
+    {
+        T::sample(range.into(), self)
+    }
+
+    /// A uniform draw of a whole type (`f64`/`f32` in `[0, 1)`, fair
+    /// `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+/// Marker for types [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: Rng>(rng: &mut R) -> Self {
+        rng.next_f64() as f32
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A resolved uniform sampling interval with inclusive/exclusive upper end.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformRange<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy> From<Range<T>> for UniformRange<T> {
+    fn from(r: Range<T>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+            inclusive: false,
+        }
+    }
+}
+
+impl<T: Copy> From<RangeInclusive<T>> for UniformRange<T> {
+    fn from(r: RangeInclusive<T>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end(),
+            inclusive: true,
+        }
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Draws one value from `range`.
+    fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self {
+        assert!(range.hi >= range.lo, "empty float range");
+        range.lo + rng.next_f64() * (range.hi - range.lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self {
+        assert!(range.hi >= range.lo, "empty float range");
+        range.lo + (rng.next_f64() as f32) * (range.hi - range.lo)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: Rng>(range: UniformRange<Self>, rng: &mut R) -> Self {
+                let lo = range.lo as i128;
+                let hi = range.hi as i128;
+                let span = if range.inclusive { hi - lo + 1 } else { hi - lo };
+                assert!(span > 0, "empty integer range");
+                // Modulo bias is negligible for the small spans this
+                // workspace draws (layer counts, indices, jitters).
+                (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's deterministic generator: xoshiro256** seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into four non-zero words.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next() | 1],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let u = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&u));
+            let i = rng.gen_range(0..3);
+            assert!((0..3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mean: f64 = (0..2000).map(|_| rng.gen::<f64>()).sum::<f64>() / 2000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..32).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "32 elements should not shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig);
+    }
+}

@@ -1,0 +1,336 @@
+//! Reference JSON-ish implementation of the shim's data model.
+//!
+//! Structs serialise as `{"field":value,...}` objects and sequences as
+//! `[v0,v1,...]`. The deserializer requires fields in declaration order —
+//! enough for same-version round-trips, which is all the workspace's
+//! checkpointing needs.
+
+use crate::{
+    Deserialize, Deserializer, SerdeError, Serialize, SerializeSeq, SerializeStruct, Serializer,
+};
+
+/// Serialises `value` to the reference text format.
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    value
+        .serialize(JsonSerializer { out: &mut out })
+        .expect("string serialisation cannot fail");
+    out
+}
+
+/// Parses a value from the reference text format.
+///
+/// # Errors
+///
+/// Returns [`SerdeError`] on malformed input or type mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, SerdeError> {
+    let mut de = JsonDeserializer {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = T::deserialize(&mut de)?;
+    de.skip_ws();
+    if de.pos != de.bytes.len() {
+        return Err(SerdeError::msg("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+/// Writer-backed serializer for the reference format.
+pub struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+/// Sequence writer for [`JsonSerializer`].
+pub struct JsonSeq<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+/// Struct writer for [`JsonSerializer`].
+pub struct JsonStruct<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = SerdeError;
+    type SerializeSeq = JsonSeq<'a>;
+    type SerializeStruct = JsonStruct<'a>;
+
+    fn serialize_f64(self, v: f64) -> Result<(), SerdeError> {
+        if v == v.trunc() && v.is_finite() && v.abs() < 1e15 {
+            // Trim ".0" so integers stay compact; the parser accepts both.
+            self.out.push_str(&format!("{}", v as i64));
+        } else {
+            self.out.push_str(&format!("{v}"));
+        }
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), SerdeError> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<(), SerdeError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), SerdeError> {
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: usize) -> Result<JsonSeq<'a>, SerdeError> {
+        self.out.push('[');
+        Ok(JsonSeq {
+            out: self.out,
+            first: true,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonStruct<'a>, SerdeError> {
+        self.out.push('{');
+        Ok(JsonStruct {
+            out: self.out,
+            first: true,
+        })
+    }
+}
+
+impl SerializeSeq for JsonSeq<'_> {
+    type Ok = ();
+    type Error = SerdeError;
+
+    fn serialize_element<T: Serialize>(&mut self, value: &T) -> Result<(), SerdeError> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), SerdeError> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+impl SerializeStruct for JsonStruct<'_> {
+    type Ok = ();
+    type Error = SerdeError;
+
+    fn serialize_field<T: Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), SerdeError> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\":");
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), SerdeError> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+/// Cursor-based parser for the reference format.
+pub struct JsonDeserializer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonDeserializer<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), SerdeError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(SerdeError::msg(format!(
+                "expected '{}' at byte {}",
+                c as char, self.pos
+            )))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn number_token(&mut self) -> Result<&str, SerdeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(SerdeError::msg(format!("expected number at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| SerdeError::msg("invalid utf-8 in number"))
+    }
+}
+
+impl Deserializer for JsonDeserializer<'_> {
+    type Error = SerdeError;
+
+    fn invalid(&mut self, message: &str) -> SerdeError {
+        SerdeError::msg(message)
+    }
+
+    fn deserialize_f64(&mut self) -> Result<f64, SerdeError> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| SerdeError::msg(format!("bad float '{tok}'")))
+    }
+
+    fn deserialize_u64(&mut self) -> Result<u64, SerdeError> {
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| SerdeError::msg(format!("bad integer '{tok}'")))
+    }
+
+    fn deserialize_bool(&mut self) -> Result<bool, SerdeError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(SerdeError::msg("expected boolean"))
+        }
+    }
+
+    fn deserialize_string(&mut self) -> Result<String, SerdeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(SerdeError::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(&c) => out.push(c as char),
+                        None => return Err(SerdeError::msg("dangling escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn begin_seq(&mut self) -> Result<usize, SerdeError> {
+        self.expect(b'[')?;
+        // Count elements by scanning ahead (flat or nested).
+        let mut depth = 1usize;
+        let mut count = 0usize;
+        let mut saw_value = false;
+        let mut i = self.pos;
+        while i < self.bytes.len() && depth > 0 {
+            match self.bytes[i] {
+                b'[' | b'{' => depth += 1,
+                b']' | b'}' => depth -= 1,
+                b',' if depth == 1 => count += 1,
+                c if !c.is_ascii_whitespace() => saw_value = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        if depth != 0 {
+            return Err(SerdeError::msg("unterminated sequence"));
+        }
+        Ok(if saw_value { count + 1 } else { 0 })
+    }
+
+    fn element_separator(&mut self) -> Result<(), SerdeError> {
+        self.expect(b',')
+    }
+
+    fn end_seq(&mut self) -> Result<(), SerdeError> {
+        self.expect(b']')
+    }
+
+    fn begin_struct(&mut self, _name: &'static str) -> Result<usize, SerdeError> {
+        self.expect(b'{')?;
+        Ok(0)
+    }
+
+    fn field(&mut self, key: &'static str) -> Result<(), SerdeError> {
+        if self.peek() == Some(b',') {
+            self.pos += 1;
+        }
+        self.expect(b'"')?;
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+            self.pos += 1;
+        }
+        let found = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| SerdeError::msg("invalid utf-8 in key"))?;
+        if found != key {
+            return Err(SerdeError::msg(format!(
+                "expected field '{key}', found '{found}'"
+            )));
+        }
+        self.pos += 1; // closing quote
+        self.expect(b':')
+    }
+
+    fn end_struct(&mut self) -> Result<(), SerdeError> {
+        self.expect(b'}')
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_f64().map(|v| v as f32)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `serde` data model.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! a deliberately small serialisation framework under the `serde` name:
+//! the [`Serialize`]/[`Serializer`] and [`Deserialize`]/[`Deserializer`]
+//! trait pairs over the handful of shapes the QuGeo crates persist —
+//! primitives, sequences of primitives, and flat structs of those.
+//!
+//! There are **no derive macros** (a proc-macro crate cannot be vendored
+//! as a single file); containers implement the traits by hand, which for
+//! the flat `Array2`/`Array3` structs is a few lines each.
+//!
+//! The [`json`] module provides a line-oriented JSON-ish reference format
+//! so checkpoints can round-trip without any external crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use serde::json;
+//!
+//! let text = json::to_string(&vec![1.0, 2.5]);
+//! assert_eq!(text, "[1,2.5]");
+//! let back: Vec<f64> = json::from_str(&text).unwrap();
+//! assert_eq!(back, vec![1.0, 2.5]);
+//! ```
+
+use std::fmt;
+
+/// Error raised by the reference serializer/deserializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerdeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.message)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+impl SerdeError {
+    /// Creates an error from any displayable message.
+    pub fn msg(message: impl fmt::Display) -> Self {
+        Self {
+            message: message.to_string(),
+        }
+    }
+}
+
+/// A value that can be fed into any [`Serializer`].
+pub trait Serialize {
+    /// Drives `serializer` with this value's structure.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for the shim's data model (primitives, sequences, structs).
+pub trait Serializer: Sized {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Sequence sub-serializer.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Struct sub-serializer.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serialises an `f64`.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a `u64`.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a `bool`.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serialises a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Begins a sequence of `len` elements.
+    fn serialize_seq(self, len: usize) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Incremental sequence serialisation.
+pub trait SerializeSeq {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Appends one element.
+    fn serialize_element<T: Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Incremental struct serialisation.
+pub trait SerializeStruct {
+    /// Value returned on success.
+    type Ok;
+    /// Error type.
+    type Error;
+    /// Appends one named field.
+    fn serialize_field<T: Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value reconstructable from any [`Deserializer`].
+pub trait Deserialize: Sized {
+    /// Reads one value.
+    fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error>;
+}
+
+/// A source for the shim's data model.
+pub trait Deserializer {
+    /// Error type.
+    type Error;
+
+    /// An error value for container-level validation failures (e.g. a
+    /// struct whose decoded fields violate the type's invariants).
+    fn invalid(&mut self, message: &str) -> Self::Error;
+
+    /// Reads an `f64`.
+    fn deserialize_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Reads a `u64`.
+    fn deserialize_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Reads a `bool`.
+    fn deserialize_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Reads a string.
+    fn deserialize_string(&mut self) -> Result<String, Self::Error>;
+    /// Opens a sequence, returning its length.
+    fn begin_seq(&mut self) -> Result<usize, Self::Error>;
+    /// Consumes the separator between two sequence elements, if the
+    /// format has one (defaults to nothing).
+    fn element_separator(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Closes the innermost sequence.
+    fn end_seq(&mut self) -> Result<(), Self::Error>;
+    /// Opens a struct, returning its field count.
+    fn begin_struct(&mut self, name: &'static str) -> Result<usize, Self::Error>;
+    /// Positions on the named field.
+    fn field(&mut self, key: &'static str) -> Result<(), Self::Error>;
+    /// Closes the innermost struct.
+    fn end_struct(&mut self) -> Result<(), Self::Error>;
+}
+
+macro_rules! impl_primitive {
+    ($t:ty, $ser:ident, $de:ident, $conv:expr, $back:expr) => {
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                #[allow(clippy::redundant_closure_call)]
+                serializer.$ser(($conv)(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error> {
+                #[allow(clippy::redundant_closure_call)]
+                deserializer.$de().map($back)
+            }
+        }
+    };
+}
+
+impl_primitive!(f64, serialize_f64, deserialize_f64, |v| v, |v| v);
+impl_primitive!(u64, serialize_u64, deserialize_u64, |v| v, |v| v);
+impl_primitive!(usize, serialize_u64, deserialize_u64, |v| v as u64, |v| v as usize);
+impl_primitive!(u32, serialize_u64, deserialize_u64, |v| u64::from(v), |v| v as u32);
+impl_primitive!(bool, serialize_bool, deserialize_bool, |v| v, |v| v);
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(self.len())?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize<D: Deserializer>(deserializer: &mut D) -> Result<Self, D::Error> {
+        let len = deserializer.begin_seq()?;
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            if i > 0 {
+                deserializer.element_separator()?;
+            }
+            out.push(T::deserialize(deserializer)?);
+        }
+        deserializer.end_seq()?;
+        Ok(out)
+    }
+}
+
+pub mod json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0.0f64, -1.5, 1e300] {
+            let s = json::to_string(&v);
+            assert_eq!(json::from_str::<f64>(&s).unwrap(), v);
+        }
+        assert_eq!(json::from_str::<usize>(&json::to_string(&7usize)).unwrap(), 7);
+        assert_eq!(json::from_str::<bool>(&json::to_string(&true)).unwrap(), true);
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec![1.0, -2.25, 3.5];
+        let s = json::to_string(&v);
+        assert_eq!(json::from_str::<Vec<f64>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(json::from_str::<f64>("nonsense").is_err());
+        assert!(json::from_str::<Vec<f64>>("[1,2").is_err());
+    }
+}

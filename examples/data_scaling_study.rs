@@ -1,5 +1,6 @@
-//! Compare the three QuGeoData scaling routes on the same surveys —
-//! the analysis behind the paper's Figure 6.
+//! Compare the three QuGeoData scaling routes (D-Sample, Q-D-FW,
+//! Q-D-CNN) on the same surveys — the analysis behind the paper's
+//! Figure 6.
 //!
 //! ```text
 //! cargo run --release --example data_scaling_study

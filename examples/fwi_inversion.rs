@@ -1,5 +1,6 @@
 //! Full-waveform inversion with physics-guided scaling — the paper's
-//! headline scenario.
+//! headline scenario: the vertical-profile / interface-recovery analysis
+//! of Figures 7 and 9 (Q-D-FW data scaling + Q-M-LY model).
 //!
 //! ```text
 //! cargo run --release --example fwi_inversion

@@ -1,4 +1,6 @@
-//! Evaluate a trained QuGeo model under NISQ-device conditions.
+//! Evaluate a trained QuGeo model under NISQ-device conditions — the
+//! "near-term noisy quantum computers" deployment target the paper's
+//! Section 1 motivates (depolarizing noise, readout error, finite shots).
 //!
 //! ```text
 //! cargo run --release --example noisy_hardware

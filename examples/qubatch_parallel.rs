@@ -1,4 +1,6 @@
-//! QuBatch: processing a batch of surveys in one circuit execution.
+//! QuBatch: processing a batch of surveys in one circuit execution —
+//! the paper's Figure 3 construction and Table 1 qubit-overhead
+//! accounting, executed through the workspace's gate-fused engine.
 //!
 //! ```text
 //! cargo run --release --example qubatch_parallel

@@ -1,5 +1,6 @@
-//! Quickstart: train the paper's Q-M-LY quantum model on a small
-//! synthetic FlatVelA-style dataset.
+//! Quickstart: train the paper's Q-M-LY quantum model (the Table 2
+//! layer-wise configuration) on a small synthetic FlatVelA-style
+//! dataset, end to end in under a minute.
 //!
 //! ```text
 //! cargo run --release --example quickstart

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Repository verification: tier-1 build/tests plus documentation checks.
+#
+#   ./scripts/verify.sh          # everything
+#   ./scripts/verify.sh docs     # documentation gate only
+#
+# The docs gate enforces that `cargo doc --no-deps` stays warning-free
+# (warnings are promoted to errors via RUSTDOCFLAGS) and that every
+# doctest passes — run it before sending any PR that touches public API
+# or documentation.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs_gate() {
+    echo "==> cargo doc --no-deps (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+    echo "==> cargo test --doc"
+    cargo test -q --doc --workspace
+}
+
+tier1() {
+    echo "==> cargo build --release"
+    cargo build --release
+    echo "==> cargo test -q"
+    cargo test -q
+    echo "==> cargo test -q --workspace"
+    cargo test -q --workspace
+}
+
+case "${1:-all}" in
+    docs) docs_gate ;;
+    tier1) tier1 ;;
+    all)
+        tier1
+        docs_gate
+        ;;
+    *)
+        echo "usage: $0 [all|tier1|docs]" >&2
+        exit 2
+        ;;
+esac
+
+echo "verify: OK"

@@ -5,8 +5,10 @@
 //! member crates for convenience so examples can write `use
 //! qugeo_repro::qugeo::…`.
 //!
-//! See the [`qugeo`] crate for the framework itself and the repository
-//! `README.md` / `DESIGN.md` for the system inventory.
+//! See the [`qugeo`] crate for the framework itself, the repository
+//! `README.md` for the workspace map and quickstart, and
+//! `docs/ARCHITECTURE.md` for the end-to-end dataflow and the fused /
+//! batched execution path.
 
 pub use qugeo;
 pub use qugeo_geodata;
