@@ -12,7 +12,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
 use qugeo_qsim::{
     parameter_shift_gradient_batched, BatchedState, Circuit, Complex64, CompiledCircuit,
-    DiagonalObservable, Matrix2, Op, State,
+    DiagonalObservable, Matrix2, NaiveBackend, Op, QuantumBackend, ShotSamplerBackend, State,
+    StatevectorBackend,
 };
 
 const QUBITS: usize = 10;
@@ -178,6 +179,54 @@ fn bench_parameter_shift(c: &mut Criterion) {
     group.finish();
 }
 
+/// Execution-backend throughput on the paper ansatz: one forward sweep of
+/// the batch plus per-member ⟨Z₀⟩ estimation, per backend. Series are
+/// labelled with each backend's `name()` so output lines read as
+/// `backend_forward_.../statevector`, `/naive`, `/shot-sampler-1k`, …
+///
+/// `statevector` vs `naive` is the engineered-vs-reference gap;
+/// `shot-sampler` adds the cost of drawing finite measurement shots on
+/// top of exact evolution (1k and 100k shots bracket the convergence
+/// study in `examples/shot_budget.rs`).
+fn bench_execution_backends(c: &mut Criterion) {
+    let circuit = ansatz();
+    let params = params_for(&circuit);
+    let states = batch_states();
+    let compiled = CompiledCircuit::compile(&circuit, &params).expect("compiles");
+    let obs = DiagonalObservable::z(QUBITS, 0).expect("valid observable");
+
+    let backends: Vec<(String, Box<dyn QuantumBackend>)> = vec![
+        (
+            StatevectorBackend::default().name().to_string(),
+            Box::new(StatevectorBackend::default()),
+        ),
+        (
+            NaiveBackend::default().name().to_string(),
+            Box::new(NaiveBackend::default()),
+        ),
+        (
+            format!("{}-1k", ShotSamplerBackend::new(1_000, 7).name()),
+            Box::new(ShotSamplerBackend::new(1_000, 7)),
+        ),
+        (
+            format!("{}-100k", ShotSamplerBackend::new(100_000, 7).name()),
+            Box::new(ShotSamplerBackend::new(100_000, 7)),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("backend_forward_10q_12blocks_batch16");
+    for (label, backend) in &backends {
+        group.bench_function(label.as_str(), |b| {
+            b.iter(|| {
+                let mut batch = BatchedState::from_states(&states).expect("batch");
+                backend.run_batch(&compiled, &mut batch).expect("runs");
+                black_box(backend.expectations(&batch, &obs).expect("measures"))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_fusion_compile_overhead(c: &mut Criterion) {
     let circuit = ansatz();
     let params = params_for(&circuit);
@@ -190,6 +239,7 @@ criterion_group!(
     benches,
     bench_forward_batch,
     bench_parameter_shift,
+    bench_execution_backends,
     bench_fusion_compile_overhead
 );
 criterion_main!(benches);

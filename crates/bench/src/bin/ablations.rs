@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let layout = ScaledLayout::paper_default();
     let triple = build_scaled_triple(&preset)?;
-    let (train, test) = triple.fw.split(preset.train_count);
+    let (train, test) = triple.fw.try_split(preset.train_count)?;
     let train_cfg = TrainConfig {
         epochs: preset.epochs,
         initial_lr: 0.1,
@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..FwScalingConfig::default()
         };
         let scaled = scale_forward_model(&dataset, &layout, &fw_cfg)?;
-        let (tr, te) = scaled.split(preset.train_count);
+        let (tr, te) = scaled.try_split(preset.train_count)?;
         let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
         let out = train_vqc(&model, &tr, &te, &train_cfg)?;
         println!("  {hz:>4.0} Hz   {:>7.4}   {:.6}", out.final_ssim, out.final_mse);

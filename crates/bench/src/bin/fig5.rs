@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Q-D-CNN", &triple.cnn),
     ] {
         eprintln!("[fig5] training Q-M-PX on {label}…");
-        let (train, test) = scaled.split(preset.train_count);
+        let (train, test) = scaled.try_split(preset.train_count)?;
         let outcome = train_vqc(&model, &train, &test, &train_cfg)?;
 
         println!("convergence on {label} (Figures 5b/5c):");

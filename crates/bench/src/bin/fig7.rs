@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Q-D-CNN", &triple.cnn, 0.9742),
     ] {
         eprintln!("[fig7] training Q-M-PX on {label}…");
-        let (train, test) = scaled.split(preset.train_count);
+        let (train, test) = scaled.try_split(preset.train_count)?;
         let outcome = train_vqc(&model, &train, &test, &train_cfg)?;
 
         // The paper visualises one representative test sample.

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Q-D-FW", &triple.fw),
         ("Q-D-CNN", &triple.cnn),
     ] {
-        let (train, test) = scaled.split(preset.train_count);
+        let (train, test) = scaled.try_split(preset.train_count)?;
         eprintln!("[fig8] training Q-M-PX on {label}…");
         let px_out = train_vqc(&px, &train, &test, &train_cfg)?;
         eprintln!("[fig8] training Q-M-LY on {label}…");

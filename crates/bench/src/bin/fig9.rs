@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut reports = Vec::new();
     for (label, model, scaled, paper) in combos {
         eprintln!("[fig9] training {label}…");
-        let (train, test) = scaled.split(preset.train_count);
+        let (train, test) = scaled.try_split(preset.train_count)?;
         let outcome = train_vqc(model, &train, &test, &train_cfg)?;
         let report = analyze(
             &format!("{label} (map SSIM {:.4})", outcome.final_ssim),

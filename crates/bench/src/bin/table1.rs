@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("Table 1 — QuBatch with different batch sizes (Q-M-LY on Q-D-FW)", &preset);
 
     let triple = build_scaled_triple(&preset)?;
-    let (train, test) = triple.fw.split(preset.train_count);
+    let (train, test) = triple.fw.try_split(preset.train_count)?;
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
     let qubatch = QuBatch::new(&model)?;
     let train_cfg = TrainConfig {

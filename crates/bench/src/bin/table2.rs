@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // results[model][dataset] = (ssim, mse); datasets = [Q-D-FW, Q-D-CNN].
-    let mut table: Vec<(String, usize, Vec<(f64, f64)>)> = Vec::new();
+    type TableRow = (String, usize, Vec<(f64, f64)>);
+    let mut table: Vec<TableRow> = Vec::new();
 
     for (model_label, is_pixel, is_quantum) in [
         ("CNN-PX", true, false),
@@ -53,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut params_count = 0usize;
         for (ds_label, scaled) in [("Q-D-FW", &triple.fw), ("Q-D-CNN", &triple.cnn)] {
             eprintln!("[table2] training {model_label} on {ds_label}…");
-            let (train, test) = scaled.split(preset.train_count);
+            let (train, test) = scaled.try_split(preset.train_count)?;
             let (ssim, mse, n_params) = if is_quantum {
                 let model = if is_pixel { &qm_px } else { &qm_ly };
                 let out = train_vqc(model, &train, &test, &train_cfg)?;

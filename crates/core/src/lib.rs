@@ -32,6 +32,16 @@
 //! whole sample batches in one engine call; see
 //! [`model::QuGeoVqc::predict_many`] and `docs/ARCHITECTURE.md`.
 //!
+//! Execution is **backend-pluggable**: every simulation-heavy entry
+//! point has a `_with` variant taking a
+//! [`qugeo_qsim::QuantumBackend`] — exact statevector (the default),
+//! reference gate-by-gate, finite-shot sampling, or NISQ noise — and
+//! gradient computation routes between adjoint differentiation and
+//! through-the-backend parameter shift on the backend's capability
+//! flags. [`session::InferenceSession`] packages the serving shape:
+//! backend + circuit compiled once per parameter vector + recycled
+//! batch buffers.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -58,6 +68,7 @@ pub mod model;
 pub mod pipeline;
 pub mod profile;
 pub mod qubatch;
+pub mod session;
 pub mod trainer;
 pub mod viz;
 

@@ -5,7 +5,10 @@ use qugeo_qsim::ansatz::{
     grouped_ansatz, u3_cu3_ansatz, AnsatzConfig, EntangleOrder, GroupedAnsatzConfig,
 };
 use qugeo_qsim::encoding::{encode_grouped, GroupLayout};
-use qugeo_qsim::{adjoint_gradient, Circuit, DiagonalObservable, State};
+use qugeo_qsim::{
+    adjoint_gradient, parameter_shift_gradient_backend, BatchedState, Circuit, DiagonalObservable,
+    QuantumBackend, State, StatevectorBackend,
+};
 use qugeo_tensor::Array2;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -213,6 +216,27 @@ impl QuGeoVqc {
         self.config.decoder.decode(&state.probabilities())
     }
 
+    /// [`QuGeoVqc::predict`] through an execution backend: the circuit
+    /// runs — and the output distribution is estimated — via `backend`,
+    /// so the same model serves exact simulation, finite-shot readout
+    /// ([`qugeo_qsim::ShotSamplerBackend`]) or NISQ noise
+    /// ([`qugeo_qsim::NoisyBackend`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures, parameter-count
+    /// mismatches, or backend failures.
+    pub fn predict_with(
+        &self,
+        seismic: &[f64],
+        params: &[f64],
+        backend: &dyn QuantumBackend,
+    ) -> Result<Array2, QuGeoError> {
+        let mut maps =
+            self.predict_many_with(std::slice::from_ref(&seismic), params, backend)?;
+        Ok(maps.pop().expect("one sample yields one map"))
+    }
+
     /// Predicts velocity maps for many samples through one gate-fused
     /// batched engine call: the ansatz is compiled once
     /// ([`qugeo_qsim::CompiledCircuit`]) and swept across all encoded
@@ -231,6 +255,24 @@ impl QuGeoVqc {
         seismic: &[S],
         params: &[f64],
     ) -> Result<Vec<Array2>, QuGeoError> {
+        self.predict_many_with(seismic, params, &StatevectorBackend::default())
+    }
+
+    /// [`QuGeoVqc::predict_many`] through an execution backend
+    /// ([`qugeo_qsim::QuantumBackend`]): the compiled ansatz and each
+    /// batch sweep are handed to `backend`, which owns how circuits
+    /// execute and how measurement distributions are estimated.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures, parameter-count
+    /// mismatches, or backend failures.
+    pub fn predict_many_with<S: AsRef<[f64]>>(
+        &self,
+        seismic: &[S],
+        params: &[f64],
+        backend: &dyn QuantumBackend,
+    ) -> Result<Vec<Array2>, QuGeoError> {
         if seismic.is_empty() {
             return Ok(Vec::new());
         }
@@ -246,15 +288,10 @@ impl QuGeoVqc {
                 .iter()
                 .map(|s| self.encode(s.as_ref()))
                 .collect::<Result<Vec<_>, _>>()?;
-            let mut batch = qugeo_qsim::BatchedState::from_states(&states)?;
+            let mut batch = BatchedState::from_states(&states)?;
             drop(states); // `from_states` copies; free before the sweep
-            batch.apply_compiled(&compiled)?;
-            for b in 0..batch.batch_len() {
-                let probs: Vec<f64> = batch
-                    .member_amps(b)?
-                    .iter()
-                    .map(|a| a.norm_sqr())
-                    .collect();
+            backend.run_batch(&compiled, &mut batch)?;
+            for probs in backend.probabilities(&batch)? {
                 maps.push(self.config.decoder.decode(&probs)?);
             }
         }
@@ -328,6 +365,49 @@ impl QuGeoVqc {
             .loss_and_prob_grad(&probs, target_normalized)?;
         let obs = DiagonalObservable::from_diagonal(prob_grad)?;
         let (_, grad) = adjoint_gradient(&self.circuit, params, &encoded, &obs)?;
+        Ok((loss, grad))
+    }
+
+    /// [`QuGeoVqc::loss_and_grad`] through an execution backend. The
+    /// forward pass (and therefore the loss) always executes via
+    /// `backend`; the gradient **routes** on the backend's capabilities:
+    /// exact backends ([`QuantumBackend::supports_adjoint_gradient`]) get
+    /// the one-pass adjoint gradient (which by its nature reads exact
+    /// amplitudes on the engine directly), while sampling/noisy backends
+    /// fall back to batched parameter-shift executed through the backend
+    /// itself ([`qugeo_qsim::parameter_shift_gradient_backend`]) — the
+    /// only gradient a device without amplitude access can physically
+    /// produce.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for shape mismatches, simulation failures, or
+    /// backend failures.
+    pub fn loss_and_grad_with(
+        &self,
+        seismic: &[f64],
+        target_normalized: &Array2,
+        params: &[f64],
+        backend: &dyn QuantumBackend,
+    ) -> Result<(f64, Vec<f64>), QuGeoError> {
+        let encoded = self.encode(seismic)?;
+        let compiled = self.circuit.compile(params)?;
+        let mut batch = BatchedState::replicate(&encoded, 1);
+        backend.run_batch(&compiled, &mut batch)?;
+        let probs = backend
+            .probabilities(&batch)?
+            .pop()
+            .expect("batch of one has one distribution");
+        let (loss, prob_grad) = self
+            .config
+            .decoder
+            .loss_and_prob_grad(&probs, target_normalized)?;
+        let obs = DiagonalObservable::from_diagonal(prob_grad)?;
+        let grad = if backend.supports_adjoint_gradient() {
+            adjoint_gradient(&self.circuit, params, &encoded, &obs)?.1
+        } else {
+            parameter_shift_gradient_backend(&self.circuit, params, &encoded, &obs, backend)?
+        };
         Ok((loss, grad))
     }
 }
@@ -555,6 +635,87 @@ mod tests {
         };
         assert!(err_for(100_000) < err_for(100));
         assert!(m.predict_sampled(&seismic, &params, 0, 0).is_err());
+    }
+
+    #[test]
+    fn backend_swap_statevector_vs_naive_is_equivalent() {
+        use qugeo_qsim::{NaiveBackend, StatevectorBackend};
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(6);
+        let samples: Vec<Vec<f64>> = (0..3)
+            .map(|k| {
+                (0..256)
+                    .map(|i| ((i + k * 101) as f64 * 0.23).sin() + 0.15)
+                    .collect()
+            })
+            .collect();
+        let exact = m
+            .predict_many_with(&samples, &params, &StatevectorBackend::default())
+            .unwrap();
+        let naive = m
+            .predict_many_with(&samples, &params, &NaiveBackend::default())
+            .unwrap();
+        for (k, (a, b)) in exact.iter().zip(&naive).enumerate() {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-10, "sample {k}: {x} vs {y}");
+            }
+        }
+        // Single-sample path too.
+        let pa = m
+            .predict_with(&samples[0], &params, &StatevectorBackend::default())
+            .unwrap();
+        let pb = m.predict_with(&samples[0], &params, &NaiveBackend::default()).unwrap();
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gradient_routes_to_parameter_shift_on_sampling_backends() {
+        use qugeo_qsim::ShotSamplerBackend;
+        let cfg = VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 1,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::LayerWise { rows: 4 },
+            max_qubits: 16,
+        };
+        let m = QuGeoVqc::new(cfg).unwrap();
+        let seismic = ramp_seismic(16);
+        let target = Array2::from_fn(4, 4, |r, _| r as f64 * 0.2 + 0.1);
+        let params = m.init_params(2);
+        let (adj_loss, adj_grad) = m.loss_and_grad(&seismic, &target, &params).unwrap();
+
+        // A heavy shot budget: the parameter-shift route through the
+        // sampler must land near the exact adjoint gradient.
+        let backend = ShotSamplerBackend::new(200_000, 5);
+        let (loss, grad) = m
+            .loss_and_grad_with(&seismic, &target, &params, &backend)
+            .unwrap();
+        assert!((loss - adj_loss).abs() < 0.05, "{loss} vs {adj_loss}");
+        assert_eq!(grad.len(), adj_grad.len());
+        let max_err = grad
+            .iter()
+            .zip(&adj_grad)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_err < 0.05, "shot gradient drifted {max_err}");
+        // And exact backends take the adjoint route: same loss and
+        // gradient up to fused-vs-unfused rounding noise.
+        let (l2, g2) = m
+            .loss_and_grad_with(
+                &seismic,
+                &target,
+                &params,
+                &qugeo_qsim::StatevectorBackend::default(),
+            )
+            .unwrap();
+        assert!((l2 - adj_loss).abs() < 1e-12);
+        for (a, b) in g2.iter().zip(&adj_grad) {
+            assert!((a - b).abs() < 1e-10);
+        }
     }
 
     #[test]

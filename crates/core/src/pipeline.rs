@@ -72,15 +72,35 @@ impl ScaledDataset {
 
     /// Splits into `(first n, rest)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n > self.len()`.
-    pub fn split(&self, n: usize) -> (Vec<ScaledSample>, Vec<ScaledSample>) {
-        assert!(n <= self.samples.len(), "split beyond dataset");
-        (
+    /// Returns [`QuGeoError::Config`] if `n > self.len()` — an oversized
+    /// train split is a recoverable configuration mistake (e.g. a preset
+    /// applied to a smoke-sized dataset), not a programming error.
+    pub fn try_split(&self, n: usize) -> Result<(Vec<ScaledSample>, Vec<ScaledSample>), QuGeoError> {
+        if n > self.samples.len() {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "cannot take a train split of {n} from {} samples",
+                    self.samples.len()
+                ),
+            });
+        }
+        Ok((
             self.samples[..n].to_vec(),
             self.samples[n..].to_vec(),
-        )
+        ))
+    }
+
+    /// Splits into `(first n, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`; prefer [`ScaledDataset::try_split`],
+    /// which reports that as a [`QuGeoError::Config`] instead.
+    #[deprecated(since = "0.2.0", note = "use `try_split`, which returns a Result instead of panicking")]
+    pub fn split(&self, n: usize) -> (Vec<ScaledSample>, Vec<ScaledSample>) {
+        self.try_split(n).expect("split beyond dataset")
     }
 }
 
@@ -526,9 +546,18 @@ mod tests {
         let ds = tiny_dataset(3);
         let layout = ScaledLayout::paper_default();
         let scaled = scale_d_sample(&ds, &layout).unwrap();
-        let (train, test) = scaled.split(2);
+        let (train, test) = scaled.try_split(2).unwrap();
         assert_eq!(train.len(), 2);
         assert_eq!(test.len(), 1);
+        assert!(scaled.try_split(3).is_ok());
+        assert!(matches!(
+            scaled.try_split(4),
+            Err(QuGeoError::Config { .. })
+        ));
+        // The deprecated wrapper still works for in-range splits.
+        #[allow(deprecated)]
+        let (legacy_train, _) = scaled.split(2);
+        assert_eq!(legacy_train.len(), 2);
     }
 
     #[test]

@@ -125,14 +125,14 @@ mod tests {
     fn stepped(depths: &[(usize, f64)], len: usize) -> Vec<f64> {
         // depths: (start_index, value) pairs, ascending.
         let mut v = vec![0.0; len];
-        for i in 0..len {
+        for (i, slot) in v.iter_mut().enumerate() {
             let mut val = depths[0].1;
             for &(start, value) in depths {
                 if i >= start {
                     val = value;
                 }
             }
-            v[i] = val;
+            *slot = val;
         }
         v
     }

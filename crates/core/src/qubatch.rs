@@ -19,7 +19,10 @@
 //! degradation Table 1 reports.
 
 use qugeo_qsim::encoding::{encode_batched, BatchedState};
-use qugeo_qsim::{adjoint_gradient, DiagonalObservable};
+use qugeo_qsim::{
+    adjoint_gradient, parameter_shift_gradient_backend, DiagonalObservable, QuantumBackend,
+    StatevectorBackend,
+};
 use qugeo_tensor::Array2;
 
 use crate::model::QuGeoVqc;
@@ -101,16 +104,59 @@ impl<'a> QuBatch<'a> {
         seismic_batch: &[Vec<f64>],
         params: &[f64],
     ) -> Result<Vec<Array2>, QuGeoError> {
+        self.predict_batch_with(seismic_batch, params, &StatevectorBackend::default())
+    }
+
+    /// [`QuBatch::predict_batch`] through an execution backend: the
+    /// widened (batch-register) circuit runs via `backend`, and the
+    /// per-sample distributions are recovered by conditioning the
+    /// backend-estimated full-register distribution on each batch index.
+    ///
+    /// Conditioning normalises each block by its estimated mass, so
+    /// sampling backends stay self-consistent (their empirical block mass
+    /// replaces the exact encoding weight). A block that received **no**
+    /// probability mass at all — possible under a small shot budget,
+    /// since the whole register's shots are shared by all `B` samples —
+    /// degrades to the maximum-entropy (uniform) conditional distribution
+    /// rather than failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty batches, length mismatches or backend
+    /// failures.
+    pub fn predict_batch_with(
+        &self,
+        seismic_batch: &[Vec<f64>],
+        params: &[f64],
+        backend: &dyn QuantumBackend,
+    ) -> Result<Vec<Array2>, QuGeoError> {
         let batched = self.encode_batch(seismic_batch)?;
         let wide = self.model.circuit().widened(batched.batch_qubits());
         // One fused sweep over the widened register instead of
         // gate-by-gate execution.
-        let processed = wide.compile(params)?.run(batched.state())?;
+        let compiled = wide.compile(params)?;
+        let mut engine_batch = qugeo_qsim::BatchedState::replicate(batched.state(), 1);
+        backend.run_batch(&compiled, &mut engine_batch)?;
+        let full_probs = backend
+            .probabilities(&engine_batch)?
+            .pop()
+            .expect("batch of one has one distribution");
 
+        let block_size = 1usize << self.model.data_qubits();
         let mut maps = Vec::with_capacity(seismic_batch.len());
         for b in 0..batched.batch_count() {
-            let sample_state = batched.sample_state(&processed, b)?;
-            maps.push(self.model.decoder().decode(&sample_state.probabilities())?);
+            let block = &full_probs[b * block_size..(b + 1) * block_size];
+            let mass: f64 = block.iter().sum();
+            let cond: Vec<f64> = if mass > 0.0 {
+                block.iter().map(|p| p / mass).collect()
+            } else {
+                // Zero observed mass (e.g. a sampling backend whose shot
+                // budget missed this block entirely): fall back to the
+                // uniform distribution — "no information" — instead of
+                // failing every sample in the batch.
+                vec![1.0 / block_size as f64; block_size]
+            };
+            maps.push(self.model.decoder().decode(&cond)?);
         }
         Ok(maps)
     }
@@ -131,6 +177,31 @@ impl<'a> QuBatch<'a> {
         targets_normalized: &[Array2],
         params: &[f64],
     ) -> Result<(f64, Vec<f64>), QuGeoError> {
+        self.loss_and_grad_batch_with(
+            seismic_batch,
+            targets_normalized,
+            params,
+            &StatevectorBackend::default(),
+        )
+    }
+
+    /// [`QuBatch::loss_and_grad_batch`] through an execution backend,
+    /// with gradient routing on the backend's capabilities: exact
+    /// backends get the single adjoint pass; others fall back to batched
+    /// parameter-shift of the widened circuit executed through the
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty batches, mismatched lengths or backend
+    /// failures.
+    pub fn loss_and_grad_batch_with(
+        &self,
+        seismic_batch: &[Vec<f64>],
+        targets_normalized: &[Array2],
+        params: &[f64],
+        backend: &dyn QuantumBackend,
+    ) -> Result<(f64, Vec<f64>), QuGeoError> {
         if seismic_batch.len() != targets_normalized.len() || seismic_batch.is_empty() {
             return Err(QuGeoError::Config {
                 reason: format!(
@@ -142,9 +213,15 @@ impl<'a> QuBatch<'a> {
         }
         let batched = self.encode_batch(seismic_batch)?;
         let wide = self.model.circuit().widened(batched.batch_qubits());
-        // Fused forward for the loss; the adjoint pass below stays on the
-        // unfused ops (it differentiates through each source gate).
-        let processed = wide.compile(params)?.run(batched.state())?;
+        // Fused forward for the loss; the gradient pass below stays on
+        // the unfused ops (it differentiates through each source gate).
+        let compiled = wide.compile(params)?;
+        let mut engine_batch = qugeo_qsim::BatchedState::replicate(batched.state(), 1);
+        backend.run_batch(&compiled, &mut engine_batch)?;
+        let full_probs = backend
+            .probabilities(&engine_batch)?
+            .pop()
+            .expect("batch of one has one distribution");
 
         let block_size = 1usize << self.model.data_qubits();
         let block_count = 1usize << batched.batch_qubits();
@@ -155,10 +232,10 @@ impl<'a> QuBatch<'a> {
         let mut diag = vec![0.0; block_size * block_count];
         for (b, target) in targets_normalized.iter().enumerate() {
             let weight = batched.block_weights()[b];
-            // Probabilities conditioned on batch index b.
-            let block = processed.block(b, block_count)?;
-            let cond_probs: Vec<f64> = block
-                .probabilities()
+            // Probabilities conditioned on batch index b. The exact
+            // encoding weight (not the estimated block mass) keeps the
+            // diagonal below consistent with the chain rule.
+            let cond_probs: Vec<f64> = full_probs[b * block_size..(b + 1) * block_size]
                 .iter()
                 .map(|p| p / weight)
                 .collect();
@@ -175,7 +252,11 @@ impl<'a> QuBatch<'a> {
         }
 
         let obs = DiagonalObservable::from_diagonal(diag)?;
-        let (_, grad) = adjoint_gradient(&wide, params, batched.state(), &obs)?;
+        let grad = if backend.supports_adjoint_gradient() {
+            adjoint_gradient(&wide, params, batched.state(), &obs)?.1
+        } else {
+            parameter_shift_gradient_backend(&wide, params, batched.state(), &obs, backend)?
+        };
         Ok((total_loss, grad))
     }
 }
@@ -307,6 +388,59 @@ mod tests {
         for (i, (a, b)) in batched_grad.iter().zip(&mean_grad).enumerate() {
             assert!((a - b).abs() < 1e-9, "grad {i}: batched {a} vs mean {b}");
         }
+    }
+
+    #[test]
+    fn batched_forward_is_backend_equivalent() {
+        use qugeo_qsim::{NaiveBackend, StatevectorBackend};
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(9);
+        let batch = vec![sample(0), sample(1), sample(2)];
+        let exact = qb
+            .predict_batch_with(&batch, &params, &StatevectorBackend::default())
+            .unwrap();
+        let naive = qb
+            .predict_batch_with(&batch, &params, &NaiveBackend::default())
+            .unwrap();
+        for (i, (a, b)) in exact.iter().zip(&naive).enumerate() {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-10, "sample {i}");
+            }
+        }
+        // And the default path equals the explicit statevector path.
+        let default_path = qb.predict_batch(&batch, &params).unwrap();
+        for (a, b) in exact.iter().zip(&default_path) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradient_routes_through_sampling_backend() {
+        use qugeo_qsim::ShotSamplerBackend;
+        let m = small_model(Decoder::LayerWise { rows: 4 });
+        let qb = QuBatch::new(&m).unwrap();
+        let params = m.init_params(4);
+        let batch = vec![sample(0), sample(1)];
+        let targets = vec![
+            Array2::from_fn(4, 4, |r, _| r as f64 * 0.25),
+            Array2::filled(4, 4, 0.5),
+        ];
+        let (exact_loss, exact_grad) =
+            qb.loss_and_grad_batch(&batch, &targets, &params).unwrap();
+        let backend = ShotSamplerBackend::new(100_000, 3);
+        let (loss, grad) = qb
+            .loss_and_grad_batch_with(&batch, &targets, &params, &backend)
+            .unwrap();
+        assert!((loss - exact_loss).abs() < 0.05);
+        let max_err = grad
+            .iter()
+            .zip(&exact_grad)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_err < 0.1, "sampled QuBatch gradient drifted {max_err}");
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Reusable inference sessions: compile once, predict many requests.
+//!
+//! Training recompiles the ansatz every step because the parameters
+//! change every step. Serving is the opposite shape: parameters are
+//! frozen after training and the same circuit answers every request, so
+//! per-request compilation and per-request batch allocation are pure
+//! waste. An [`InferenceSession`] holds
+//!
+//! * a trained [`QuGeoVqc`] plus its parameter vector,
+//! * the ansatz compiled **once** per parameter vector
+//!   ([`qugeo_qsim::CompiledCircuit`]),
+//! * an execution backend ([`qugeo_qsim::QuantumBackend`]) chosen at
+//!   session construction (exact, finite-shot, noisy…),
+//! * a reusable [`qugeo_qsim::BatchedState`] whose allocation is
+//!   recycled across requests ([`qugeo_qsim::BatchedState::load_states`]).
+//!
+//! The session counts its compilations and buffer reuses so callers (and
+//! tests) can assert the "no recompilation per request" contract instead
+//! of trusting it.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo::model::{QuGeoVqc, VqcConfig};
+//! use qugeo::session::InferenceSession;
+//!
+//! # fn main() -> Result<(), qugeo::QuGeoError> {
+//! let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
+//! let params = model.init_params(3);
+//! let mut session = InferenceSession::new(model, &params)?;
+//!
+//! let request: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+//! let first = session.predict(&request)?;
+//! let second = session.predict(&request)?;
+//! assert_eq!(first, second);
+//! assert_eq!(session.compilations(), 1); // compiled once, served twice
+//! # Ok(())
+//! # }
+//! ```
+
+use qugeo_qsim::{BatchedState, CompiledCircuit, QuantumBackend, StatevectorBackend};
+use qugeo_tensor::Array2;
+
+use crate::model::QuGeoVqc;
+use crate::QuGeoError;
+
+/// A long-lived serving handle: backend + circuit compiled once per
+/// parameter vector + recycled batch buffers. See the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct InferenceSession<B: QuantumBackend = StatevectorBackend> {
+    model: QuGeoVqc,
+    backend: B,
+    params: Vec<f64>,
+    compiled: CompiledCircuit,
+    buffer: Option<BatchedState>,
+    compilations: usize,
+    requests: usize,
+    buffer_reuses: usize,
+}
+
+impl InferenceSession<StatevectorBackend> {
+    /// A session on the default exact statevector backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` does not match the model's slot
+    /// count.
+    pub fn new(model: QuGeoVqc, params: &[f64]) -> Result<Self, QuGeoError> {
+        Self::with_backend(model, params, StatevectorBackend::default())
+    }
+}
+
+impl<B: QuantumBackend> InferenceSession<B> {
+    /// A session on an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` does not match the model's slot
+    /// count.
+    pub fn with_backend(model: QuGeoVqc, params: &[f64], backend: B) -> Result<Self, QuGeoError> {
+        let compiled = model.circuit().compile(params)?;
+        Ok(Self {
+            model,
+            backend,
+            params: params.to_vec(),
+            compiled,
+            buffer: None,
+            compilations: 1,
+            requests: 0,
+            buffer_reuses: 0,
+        })
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &QuGeoVqc {
+        &self.model
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The current parameter vector.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// How many times the ansatz has been compiled over the session's
+    /// lifetime (exactly once per parameter vector — never per request).
+    pub fn compilations(&self) -> usize {
+        self.compilations
+    }
+
+    /// Requests served so far (one per sample).
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// How many engine calls recycled the existing batch allocation
+    /// instead of allocating a fresh one.
+    pub fn buffer_reuses(&self) -> usize {
+        self.buffer_reuses
+    }
+
+    /// Replaces the parameter vector, recompiling the circuit **once**.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` does not match the model's slot
+    /// count.
+    pub fn set_params(&mut self, params: &[f64]) -> Result<(), QuGeoError> {
+        self.compiled = self.model.circuit().compile(params)?;
+        self.compilations += 1;
+        self.params = params.to_vec();
+        Ok(())
+    }
+
+    /// Predicts one velocity map from one scaled seismic vector, reusing
+    /// the compiled circuit and the batch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures or backend failures.
+    pub fn predict(&mut self, seismic: &[f64]) -> Result<Array2, QuGeoError> {
+        let mut maps = self.predict_many(std::slice::from_ref(&seismic))?;
+        Ok(maps.pop().expect("one request yields one map"))
+    }
+
+    /// Predicts velocity maps for a whole request batch through the
+    /// session's backend, sweeping the pre-compiled circuit over chunks
+    /// executed in the recycled batch buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for encoding failures or backend failures.
+    pub fn predict_many<S: AsRef<[f64]>>(
+        &mut self,
+        seismic: &[S],
+    ) -> Result<Vec<Array2>, QuGeoError> {
+        if seismic.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Same working-set bound as the training paths: ~2^22 amplitudes
+        // per engine call.
+        let member_dim = 1usize << self.model.data_qubits();
+        let chunk_members = ((1usize << 22) / member_dim).max(1);
+        let mut maps = Vec::with_capacity(seismic.len());
+        for group in seismic.chunks(chunk_members) {
+            let states = group
+                .iter()
+                .map(|s| self.model.encode(s.as_ref()))
+                .collect::<Result<Vec<_>, _>>()?;
+            let batch = match self.buffer.as_mut() {
+                Some(buffer) => {
+                    buffer.load_states(&states)?;
+                    self.buffer_reuses += 1;
+                    buffer
+                }
+                None => self.buffer.insert(BatchedState::from_states(&states)?),
+            };
+            self.backend.run_batch(&self.compiled, batch)?;
+            for probs in self.backend.probabilities(batch)? {
+                maps.push(self.model.decoder().decode(&probs)?);
+            }
+        }
+        self.requests += seismic.len();
+        Ok(maps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::model::VqcConfig;
+    use qugeo_qsim::ansatz::EntangleOrder;
+    use qugeo_qsim::ShotSamplerBackend;
+
+    fn small_model() -> QuGeoVqc {
+        QuGeoVqc::new(VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 2,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::LayerWise { rows: 4 },
+            max_qubits: 16,
+        })
+        .unwrap()
+    }
+
+    fn request(seed: usize) -> Vec<f64> {
+        (0..16)
+            .map(|i| ((i + seed * 29) as f64 * 0.41).sin() + 0.3)
+            .collect()
+    }
+
+    #[test]
+    fn session_matches_direct_prediction() {
+        let model = small_model();
+        let params = model.init_params(7);
+        let mut session = InferenceSession::new(model.clone(), &params).unwrap();
+        for k in 0..4 {
+            let via_session = session.predict(&request(k)).unwrap();
+            let direct = model.predict(&request(k), &params).unwrap();
+            for (a, b) in via_session.iter().zip(direct.iter()) {
+                assert!((a - b).abs() < 1e-12, "request {k} diverged");
+            }
+        }
+        assert_eq!(session.requests(), 4);
+    }
+
+    #[test]
+    fn compiles_once_and_reuses_buffers_across_requests() {
+        let model = small_model();
+        let params = model.init_params(1);
+        let mut session = InferenceSession::new(model, &params).unwrap();
+        for k in 0..10 {
+            session.predict(&request(k)).unwrap();
+        }
+        // The no-recompilation-per-request contract, asserted:
+        assert_eq!(session.compilations(), 1);
+        // First request allocates the buffer, the other nine recycle it.
+        assert_eq!(session.buffer_reuses(), 9);
+        assert_eq!(session.requests(), 10);
+    }
+
+    #[test]
+    fn set_params_recompiles_exactly_once() {
+        let model = small_model();
+        let p0 = model.init_params(1);
+        let p1 = model.init_params(2);
+        let mut session = InferenceSession::new(model.clone(), &p0).unwrap();
+        session.predict(&request(0)).unwrap();
+        session.set_params(&p1).unwrap();
+        let after = session.predict(&request(0)).unwrap();
+        assert_eq!(session.compilations(), 2);
+        let direct = model.predict(&request(0), &p1).unwrap();
+        for (a, b) in after.iter().zip(direct.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(session.set_params(&[0.0]).is_err()); // wrong length
+    }
+
+    #[test]
+    fn predict_many_matches_per_request_calls() {
+        let model = small_model();
+        let params = model.init_params(5);
+        let mut session = InferenceSession::new(model.clone(), &params).unwrap();
+        let requests: Vec<Vec<f64>> = (0..5).map(request).collect();
+        let batched = session.predict_many(&requests).unwrap();
+        assert_eq!(batched.len(), 5);
+        for (k, r) in requests.iter().enumerate() {
+            let direct = model.predict(r, &params).unwrap();
+            for (a, b) in batched[k].iter().zip(direct.iter()) {
+                assert!((a - b).abs() < 1e-12, "request {k}");
+            }
+        }
+        assert!(session.predict_many::<Vec<f64>>(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sampled_session_is_reproducible_per_seed() {
+        let model = small_model();
+        let params = model.init_params(3);
+        let run = |seed: u64| {
+            let backend = ShotSamplerBackend::new(2048, seed);
+            let mut session =
+                InferenceSession::with_backend(model.clone(), &params, backend).unwrap();
+            session.predict(&request(1)).unwrap()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        let model = small_model();
+        assert!(InferenceSession::new(model.clone(), &[0.1, 0.2]).is_err());
+        let params = model.init_params(0);
+        let mut session = InferenceSession::new(model, &params).unwrap();
+        assert!(session.predict(&[1.0; 8]).is_err()); // wrong seismic length
+    }
+}

@@ -10,6 +10,7 @@ use qugeo_metrics::{mse, ssim};
 use qugeo_nn::models::{CnnRegressor, RegressorHead};
 use qugeo_nn::optim::{Adam, CosineAnnealing};
 use qugeo_nn::Model;
+use qugeo_qsim::{QuantumBackend, StatevectorBackend};
 use qugeo_tensor::norm::l2_normalized;
 use qugeo_tensor::Array2;
 use rand::rngs::StdRng;
@@ -135,8 +136,24 @@ pub fn evaluate_vqc(
     params: &[f64],
     samples: &[ScaledSample],
 ) -> Result<(f64, f64), QuGeoError> {
+    evaluate_vqc_with(model, params, samples, &StatevectorBackend::default())
+}
+
+/// [`evaluate_vqc`] through an execution backend: the whole set runs via
+/// [`QuGeoVqc::predict_many_with`], so evaluation can be re-run under
+/// finite shots or gate noise by swapping the backend.
+///
+/// # Errors
+///
+/// Returns an error for empty sets or prediction failures.
+pub fn evaluate_vqc_with(
+    model: &QuGeoVqc,
+    params: &[f64],
+    samples: &[ScaledSample],
+    backend: &dyn QuantumBackend,
+) -> Result<(f64, f64), QuGeoError> {
     let seismic: Vec<&[f64]> = samples.iter().map(|s| s.seismic.as_slice()).collect();
-    let preds = model.predict_many(&seismic, params)?;
+    let preds = model.predict_many_with(&seismic, params, backend)?;
     mean_mse_ssim(samples, &preds)
 }
 
@@ -151,6 +168,26 @@ pub fn train_vqc(
     train: &[ScaledSample],
     test: &[ScaledSample],
     config: &TrainConfig,
+) -> Result<TrainOutcome, QuGeoError> {
+    train_vqc_with(model, train, test, config, &StatevectorBackend::default())
+}
+
+/// [`train_vqc`] through an execution backend: every loss/gradient step
+/// runs via [`QuGeoVqc::loss_and_grad_with`] (adjoint on exact backends,
+/// parameter-shift through the backend otherwise) and every evaluation
+/// via [`evaluate_vqc_with`]. Training under finite shots or gate noise
+/// is the same call with a different backend.
+///
+/// # Errors
+///
+/// Returns an error for empty datasets, simulation failures, or backend
+/// failures.
+pub fn train_vqc_with(
+    model: &QuGeoVqc,
+    train: &[ScaledSample],
+    test: &[ScaledSample],
+    config: &TrainConfig,
+    backend: &dyn QuantumBackend,
 ) -> Result<TrainOutcome, QuGeoError> {
     if train.is_empty() || test.is_empty() {
         return Err(QuGeoError::Config {
@@ -171,7 +208,8 @@ pub fn train_vqc(
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
         for &i in &order {
-            let (loss, grad) = model.loss_and_grad(&train[i].seismic, &targets[i], &params)?;
+            let (loss, grad) =
+                model.loss_and_grad_with(&train[i].seismic, &targets[i], &params, backend)?;
             adam.step(&mut params, &grad);
             loss_sum += loss;
         }
@@ -180,7 +218,7 @@ pub fn train_vqc(
         let evaluate = epoch + 1 == config.epochs
             || (config.eval_every > 0 && epoch % config.eval_every == 0);
         let (test_mse, test_ssim) = if evaluate {
-            let (m, s) = evaluate_vqc(model, &params, test)?;
+            let (m, s) = evaluate_vqc_with(model, &params, test, backend)?;
             (Some(m), Some(s))
         } else {
             (None, None)
@@ -193,7 +231,7 @@ pub fn train_vqc(
         });
     }
 
-    let (final_mse, final_ssim) = evaluate_vqc(model, &params, test)?;
+    let (final_mse, final_ssim) = evaluate_vqc_with(model, &params, test, backend)?;
     Ok(TrainOutcome {
         params,
         history,
@@ -215,6 +253,32 @@ pub fn train_vqc_batched(
     test: &[ScaledSample],
     config: &TrainConfig,
     batch_size: usize,
+) -> Result<TrainOutcome, QuGeoError> {
+    train_vqc_batched_with(
+        model,
+        train,
+        test,
+        config,
+        batch_size,
+        &StatevectorBackend::default(),
+    )
+}
+
+/// [`train_vqc_batched`] through an execution backend (QuBatch steps via
+/// [`QuBatch::loss_and_grad_batch_with`], evaluation via
+/// [`evaluate_vqc_with`]).
+///
+/// # Errors
+///
+/// Returns an error for empty datasets, multi-group models, simulation
+/// failures, or backend failures.
+pub fn train_vqc_batched_with(
+    model: &QuGeoVqc,
+    train: &[ScaledSample],
+    test: &[ScaledSample],
+    config: &TrainConfig,
+    batch_size: usize,
+    backend: &dyn QuantumBackend,
 ) -> Result<TrainOutcome, QuGeoError> {
     if train.is_empty() || test.is_empty() || batch_size == 0 {
         return Err(QuGeoError::Config {
@@ -240,7 +304,7 @@ pub fn train_vqc_batched(
             let seismic: Vec<Vec<f64>> =
                 chunk.iter().map(|&i| train[i].seismic.clone()).collect();
             let tgt: Vec<Array2> = chunk.iter().map(|&i| targets[i].clone()).collect();
-            let (loss, grad) = qubatch.loss_and_grad_batch(&seismic, &tgt, &params)?;
+            let (loss, grad) = qubatch.loss_and_grad_batch_with(&seismic, &tgt, &params, backend)?;
             adam.step(&mut params, &grad);
             loss_sum += loss;
             steps += 1;
@@ -250,7 +314,7 @@ pub fn train_vqc_batched(
         let evaluate = epoch + 1 == config.epochs
             || (config.eval_every > 0 && epoch % config.eval_every == 0);
         let (test_mse, test_ssim) = if evaluate {
-            let (m, s) = evaluate_vqc(model, &params, test)?;
+            let (m, s) = evaluate_vqc_with(model, &params, test, backend)?;
             (Some(m), Some(s))
         } else {
             (None, None)
@@ -263,7 +327,7 @@ pub fn train_vqc_batched(
         });
     }
 
-    let (final_mse, final_ssim) = evaluate_vqc(model, &params, test)?;
+    let (final_mse, final_ssim) = evaluate_vqc_with(model, &params, test, backend)?;
     Ok(TrainOutcome {
         params,
         history,
@@ -489,6 +553,50 @@ mod tests {
         let first = outcome.history.first().unwrap().train_loss;
         let last = outcome.history.last().unwrap().train_loss;
         assert!(last < first, "batched loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_outcome_is_backend_invariant_across_exact_backends() {
+        use qugeo_qsim::NaiveBackend;
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(4, 16, 4);
+        let (train, test) = (samples[..3].to_vec(), samples[3..].to_vec());
+        let cfg = TrainConfig {
+            epochs: 4,
+            initial_lr: 0.1,
+            seed: 3,
+            eval_every: 0,
+        };
+        let default_run = train_vqc(&model, &train, &test, &cfg).unwrap();
+        let naive_run =
+            train_vqc_with(&model, &train, &test, &cfg, &NaiveBackend::default()).unwrap();
+        // Swapping one exact backend for another changes nothing: same
+        // trained parameters, same metrics, to within rounding noise.
+        for (a, b) in default_run.params.iter().zip(&naive_run.params) {
+            assert!((a - b).abs() < 1e-10, "params diverged: {a} vs {b}");
+        }
+        assert!((default_run.final_mse - naive_run.final_mse).abs() < 1e-10);
+        assert!((default_run.final_ssim - naive_run.final_ssim).abs() < 1e-10);
+    }
+
+    #[test]
+    fn batched_training_runs_through_explicit_backend() {
+        use qugeo_qsim::StatevectorBackend;
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(4, 16, 4);
+        let (train, test) = (samples[..2].to_vec(), samples[2..].to_vec());
+        let cfg = TrainConfig::smoke(3);
+        let a = train_vqc_batched(&model, &train, &test, &cfg, 2).unwrap();
+        let b = train_vqc_batched_with(
+            &model,
+            &train,
+            &test,
+            &cfg,
+            2,
+            &StatevectorBackend::default(),
+        )
+        .unwrap();
+        assert_eq!(a.params, b.params);
     }
 
     #[test]

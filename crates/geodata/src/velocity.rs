@@ -312,8 +312,8 @@ mod tests {
         let g = FlatLayerGenerator::new(40, 30).unwrap();
         let m = g.sample(3);
         let p = m.profile_at(7);
-        for z in 0..40 {
-            assert_eq!(p[z], m.map()[(z, 7)]);
+        for (z, v) in p.iter().enumerate() {
+            assert_eq!(*v, m.map()[(z, 7)]);
         }
     }
 }

@@ -449,7 +449,7 @@ mod tests {
     fn regressor_rejects_wrong_input() {
         let px = CnnRegressor::new(RegressorConfig::pixel_wise(), 1).unwrap();
         assert!(px.forward(&vec![0.5; 100]).is_err());
-        assert!(px.loss_and_grad(&vec![0.5; 256], &vec![0.0; 8]).is_err());
+        assert!(px.loss_and_grad(&vec![0.5; 256], &[0.0; 8]).is_err());
     }
 
     #[test]

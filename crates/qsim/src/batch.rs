@@ -106,11 +106,32 @@ impl BatchedState {
     /// Returns [`QsimError::InvalidEncoding`] for an empty slice and
     /// [`QsimError::QubitCountMismatch`] for width disagreements.
     pub fn from_states(states: &[State]) -> Result<Self, QsimError> {
+        let mut batch = Self {
+            num_qubits: 0,
+            batch: 0,
+            amps: Vec::new(),
+        };
+        batch.load_states(states)?;
+        Ok(batch)
+    }
+
+    /// Reloads this batch from member states, **reusing the existing
+    /// amplitude allocation** where capacity permits — the buffer-reuse
+    /// entry point for serving-style loops that execute many requests
+    /// through one long-lived batch (e.g. `qugeo`'s `InferenceSession`).
+    ///
+    /// The batch takes the width and length of `states`; prior contents
+    /// are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] for an empty slice and
+    /// [`QsimError::QubitCountMismatch`] for width disagreements.
+    pub fn load_states(&mut self, states: &[State]) -> Result<(), QsimError> {
         let first = states.first().ok_or_else(|| QsimError::InvalidEncoding {
             reason: "empty batch".to_string(),
         })?;
         let num_qubits = first.num_qubits();
-        let mut amps = Vec::with_capacity(states.len() * first.len());
         for s in states {
             if s.num_qubits() != num_qubits {
                 return Err(QsimError::QubitCountMismatch {
@@ -118,13 +139,15 @@ impl BatchedState {
                     actual: s.num_qubits(),
                 });
             }
-            amps.extend_from_slice(s.amplitudes());
         }
-        Ok(Self {
-            num_qubits,
-            batch: states.len(),
-            amps,
-        })
+        self.amps.clear();
+        self.amps.reserve(states.len() * first.len());
+        for s in states {
+            self.amps.extend_from_slice(s.amplitudes());
+        }
+        self.num_qubits = num_qubits;
+        self.batch = states.len();
+        Ok(())
     }
 
     /// Qubits per member.
@@ -166,6 +189,14 @@ impl BatchedState {
         State::from_amplitudes(self.member_amps(b)?.to_vec())
     }
 
+    /// Mutable view of the whole contiguous amplitude array (`B · 2^n`
+    /// values; member `b` occupies `b · 2^n .. (b+1) · 2^n`). Execution
+    /// backends use this to drive member slices through their own gate
+    /// loops.
+    pub fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
     /// Largest member dimension still executed circuit-major. A `2^14`
     /// member is 256 KiB of amplitudes — around the point where running a
     /// whole circuit over one member stops fitting in per-core cache and
@@ -187,6 +218,22 @@ impl BatchedState {
     /// Returns [`QsimError::QubitCountMismatch`] if the circuit width
     /// differs from the members'.
     pub fn apply_compiled(&mut self, circuit: &CompiledCircuit) -> Result<(), QsimError> {
+        self.apply_compiled_threaded(circuit, simulation_threads())
+    }
+
+    /// [`BatchedState::apply_compiled`] with an explicit worker-thread
+    /// budget (the execution-backend entry point; `threads == 1` forces
+    /// fully serial execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::QubitCountMismatch`] if the circuit width
+    /// differs from the members'.
+    pub fn apply_compiled_threaded(
+        &mut self,
+        circuit: &CompiledCircuit,
+        threads: usize,
+    ) -> Result<(), QsimError> {
         if circuit.num_qubits() != self.num_qubits {
             return Err(QsimError::QubitCountMismatch {
                 expected: self.num_qubits,
@@ -195,15 +242,15 @@ impl BatchedState {
         }
         let dim = self.member_dim();
         if dim > Self::CIRCUIT_MAJOR_MAX_DIM || self.batch == 1 {
-            circuit.apply_amps(&mut self.amps);
+            circuit.apply_amps_threaded(&mut self.amps, threads);
             return Ok(());
         }
-        let threads = simulation_threads().min(self.batch);
+        let threads = threads.min(self.batch);
         // Spawning workers for a sweep smaller than the kernels' own
         // parallel threshold costs more than it saves.
         if threads <= 1 || self.amps.len() < crate::kernels::PARALLEL_MIN_AMPS {
             for member in self.amps.chunks_mut(dim) {
-                circuit.apply_amps(member);
+                circuit.apply_amps_threaded(member, 1);
             }
             return Ok(());
         }
@@ -212,7 +259,7 @@ impl BatchedState {
             for members in self.amps.chunks_mut(per * dim) {
                 scope.spawn(move || {
                     for member in members.chunks_mut(dim) {
-                        circuit.apply_amps(member);
+                        circuit.apply_amps_threaded(member, 1);
                     }
                 });
             }
@@ -230,6 +277,22 @@ impl BatchedState {
     /// from the batch length, or [`QsimError::QubitCountMismatch`] if any
     /// circuit's width differs from the members'.
     pub fn apply_each(&mut self, circuits: &[CompiledCircuit]) -> Result<(), QsimError> {
+        self.apply_each_threaded(circuits, simulation_threads())
+    }
+
+    /// [`BatchedState::apply_each`] with an explicit worker-thread budget
+    /// (the execution-backend entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] if `circuits.len()` differs
+    /// from the batch length, or [`QsimError::QubitCountMismatch`] if any
+    /// circuit's width differs from the members'.
+    pub fn apply_each_threaded(
+        &mut self,
+        circuits: &[CompiledCircuit],
+        threads: usize,
+    ) -> Result<(), QsimError> {
         if circuits.len() != self.batch {
             return Err(QsimError::InvalidEncoding {
                 reason: format!(
@@ -248,30 +311,31 @@ impl BatchedState {
             }
         }
         let dim = self.member_dim();
-        let threads = simulation_threads().min(self.batch);
-        // Large members parallelise *inside* each gate kernel; adding
+        // Large members parallelise *inside* each gate kernel (with the
+        // full thread budget — the member count does not cap it); adding
         // member-level workers on top would oversubscribe (T² threads).
         // Small members get member-level parallelism and serial kernels —
         // but only once the whole batch clears the kernels' own
         // minimum-work threshold; tiny batches run inline.
-        let member_parallel = threads > 1
+        let member_threads = threads.min(self.batch);
+        let member_parallel = member_threads > 1
             && dim < crate::kernels::PARALLEL_MIN_AMPS
             && self.amps.len() >= crate::kernels::PARALLEL_MIN_AMPS;
         if !member_parallel {
             for (member, circuit) in self.amps.chunks_mut(dim).zip(circuits) {
-                circuit.apply_amps(member);
+                circuit.apply_amps_threaded(member, threads);
             }
             return Ok(());
         }
         // Contiguous member ranges per thread: `chunks_mut` hands each
         // worker a disjoint &mut sub-slice, so this needs no unsafe.
-        let per = self.batch.div_ceil(threads);
+        let per = self.batch.div_ceil(member_threads);
         std::thread::scope(|scope| {
             for (t, members) in self.amps.chunks_mut(per * dim).enumerate() {
                 let circuits = &circuits[t * per..];
                 scope.spawn(move || {
                     for (member, circuit) in members.chunks_mut(dim).zip(circuits) {
-                        circuit.apply_amps(member);
+                        circuit.apply_amps_threaded(member, 1);
                     }
                 });
             }
@@ -309,6 +373,15 @@ impl BatchedState {
     /// Probabilities of every member, concatenated (`B · 2^n` values).
     pub fn probabilities_flat(&self) -> Vec<f64> {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Basis-state probabilities of member `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::InvalidEncoding`] if `b` is out of range.
+    pub fn member_probabilities(&self, b: usize) -> Result<Vec<f64>, QsimError> {
+        Ok(self.member_amps(b)?.iter().map(|a| a.norm_sqr()).collect())
     }
 }
 
@@ -422,7 +495,9 @@ mod tests {
         );
         let mut wrong_width = BatchedState::zeros(2, 2);
         assert!(wrong_width.apply_compiled(&compiled).is_err());
-        assert!(wrong_width.apply_each(&[compiled.clone()]).is_err()); // count mismatch
+        assert!(wrong_width
+            .apply_each(std::slice::from_ref(&compiled))
+            .is_err()); // count mismatch
         let mut right_count = BatchedState::zeros(2, 1);
         assert!(right_count.apply_each(std::slice::from_ref(&compiled)).is_err()); // width mismatch
         assert!(wrong_width.member(5).is_err());

@@ -78,7 +78,7 @@ impl GroupLayout {
     /// Returns [`QsimError::InvalidEncoding`] unless `num_groups` divides
     /// `data_len` into equal power-of-two chunks.
     pub fn for_data(data_len: usize, num_groups: usize) -> Result<Self, QsimError> {
-        if num_groups == 0 || data_len == 0 || data_len % num_groups != 0 {
+        if num_groups == 0 || data_len == 0 || !data_len.is_multiple_of(num_groups) {
             return Err(QsimError::InvalidEncoding {
                 reason: format!("cannot split {data_len} values into {num_groups} groups"),
             });

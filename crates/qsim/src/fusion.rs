@@ -191,21 +191,33 @@ impl CompiledCircuit {
 
     /// Applies the compiled circuit to a raw amplitude slice holding one
     /// or more contiguous statevector blocks of `self.num_qubits()`
-    /// qubits (the batched execution entry point).
+    /// qubits (the batched execution entry point), using the default
+    /// kernel thread count.
     ///
     /// # Panics
     ///
     /// Panics (debug) if `amps.len()` is not a multiple of the block
     /// size.
     pub(crate) fn apply_amps(&self, amps: &mut [Complex64]) {
+        self.apply_amps_threaded(amps, kernels::simulation_threads());
+    }
+
+    /// Applies the compiled circuit to a raw amplitude slice with an
+    /// explicit kernel thread budget (the execution-backend entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `amps.len()` is not a multiple of the block
+    /// size.
+    pub(crate) fn apply_amps_threaded(&self, amps: &mut [Complex64], threads: usize) {
         debug_assert_eq!(amps.len() % (1usize << self.num_qubits), 0);
         for op in &self.ops {
             match op {
-                FusedOp::One { m, q } => kernels::apply_one(amps, m, *q),
+                FusedOp::One { m, q } => kernels::apply_one(amps, m, *q, threads),
                 FusedOp::Multiplexed { a0, a1, c, t } => {
-                    kernels::apply_multiplexed(amps, a0, a1, *c, *t)
+                    kernels::apply_multiplexed(amps, a0, a1, *c, *t, threads)
                 }
-                FusedOp::Two { m, a, b } => kernels::apply_two(amps, m, *a, *b),
+                FusedOp::Two { m, a, b } => kernels::apply_two(amps, m, *a, *b, threads),
             }
         }
     }

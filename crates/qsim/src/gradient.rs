@@ -246,25 +246,30 @@ pub fn parameter_shift_gradient_batched(
     input: &State,
     obs: &DiagonalObservable,
 ) -> Result<Vec<f64>, QsimError> {
-    circuit.check_params(params)?;
-    if obs.num_qubits() != circuit.num_qubits() {
-        return Err(QsimError::QubitCountMismatch {
-            expected: circuit.num_qubits(),
-            actual: obs.num_qubits(),
-        });
-    }
+    parameter_shift_gradient_backend(
+        circuit,
+        params,
+        input,
+        obs,
+        &crate::backend::StatevectorBackend::default(),
+    )
+}
 
-    // One term per entry of each gate occurrence's shift rule: the slot
-    // it contributes to, its coefficient, and which angle to pin where.
-    // Circuits are compiled lazily per chunk below, so peak memory holds
-    // one chunk of compiled circuits, not all of them.
-    struct ShiftTerm {
-        slot: usize,
-        coeff: f64,
-        op_idx: usize,
-        angle_idx: usize,
-        value: f64,
-    }
+/// One term of a gate occurrence's shift rule: the slot it contributes
+/// to, its coefficient, and which angle to pin where. Circuits are
+/// compiled lazily per chunk, so peak memory holds one chunk of compiled
+/// circuits, not all of them.
+struct ShiftTerm {
+    slot: usize,
+    coeff: f64,
+    op_idx: usize,
+    angle_idx: usize,
+    value: f64,
+}
+
+/// Expands every trainable angle of every gate occurrence into its shift
+/// terms (two per plain angle, four per controlled angle).
+fn collect_shift_terms(circuit: &Circuit, params: &[f64]) -> Vec<ShiftTerm> {
     let mut terms: Vec<ShiftTerm> = Vec::new();
     for (op_idx, op) in circuit.ops().iter().enumerate() {
         let (gate, controlled) = match op {
@@ -286,7 +291,40 @@ pub fn parameter_shift_gradient_batched(
             }
         }
     }
+    terms
+}
 
+/// Gradient via parameter-shift rules where every shifted circuit
+/// executes — and every expectation is estimated — **through an execution
+/// backend** ([`crate::backend::QuantumBackend`]).
+///
+/// This is the gradient route for backends that cannot support adjoint
+/// differentiation (finite shots, gate noise): parameter shift only needs
+/// expectation values of shifted circuits, which is exactly what real
+/// hardware exposes. With the exact [`crate::backend::StatevectorBackend`]
+/// it is identical to [`parameter_shift_gradient_batched`]; with a
+/// sampling backend each term carries that backend's estimation error.
+///
+/// # Errors
+///
+/// Returns an error if parameter counts or qubit counts mismatch, or the
+/// backend fails.
+pub fn parameter_shift_gradient_backend(
+    circuit: &Circuit,
+    params: &[f64],
+    input: &State,
+    obs: &DiagonalObservable,
+    backend: &dyn crate::backend::QuantumBackend,
+) -> Result<Vec<f64>, QsimError> {
+    circuit.check_params(params)?;
+    if obs.num_qubits() != circuit.num_qubits() {
+        return Err(QsimError::QubitCountMismatch {
+            expected: circuit.num_qubits(),
+            actual: obs.num_qubits(),
+        });
+    }
+
+    let terms = collect_shift_terms(circuit, params);
     let mut grad = vec![0.0; circuit.num_slots()];
     if terms.is_empty() {
         return Ok(grad);
@@ -304,8 +342,8 @@ pub fn parameter_shift_gradient_batched(
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mut batch = crate::BatchedState::replicate(input, chunk.len());
-        batch.apply_each(&circuits)?;
-        for (t, value) in chunk.iter().zip(batch.expectations(obs)?) {
+        backend.run_each(&circuits, &mut batch)?;
+        for (t, value) in chunk.iter().zip(backend.expectations(&batch, obs)?) {
             grad[t.slot] += t.coeff * value;
         }
     }

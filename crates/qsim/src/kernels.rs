@@ -18,8 +18,11 @@
 //!   hosts) the serial loop runs unchanged: thread spawn costs more than
 //!   a small statevector sweep.
 //!
-//! Thread count comes from [`std::thread::available_parallelism`] and can
-//! be overridden (e.g. pinned to 1 for timing experiments) with the
+//! Every kernel takes an explicit `threads` argument so execution
+//! backends ([`crate::backend::BackendConfig`]) can own their thread
+//! budget. Callers without a configured count use
+//! [`simulation_threads`]: [`std::thread::available_parallelism`],
+//! overridable (e.g. pinned to 1 for timing experiments) with the
 //! `QUGEO_SIM_THREADS` environment variable.
 
 use std::sync::OnceLock;
@@ -32,7 +35,10 @@ use crate::Complex64;
 /// dominates any speedup.
 pub const PARALLEL_MIN_AMPS: usize = 1 << 15;
 
-/// Number of worker threads the kernels may use (cached).
+/// The default worker-thread count: the `QUGEO_SIM_THREADS` environment
+/// variable when set, otherwise [`std::thread::available_parallelism`]
+/// (cached). Execution backends may override this per instance via
+/// [`crate::backend::BackendConfig::threads`].
 pub fn simulation_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
@@ -64,11 +70,15 @@ struct SendPtr(*mut Complex64);
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 
-/// Runs `work(range)` over `0..total` split into contiguous chunks on the
-/// kernel thread pool, or inline when `total` is small or the host has a
-/// single core.
-fn for_each_chunk(total: usize, amps_len: usize, work: impl Fn(std::ops::Range<usize>) + Sync) {
-    let threads = simulation_threads();
+/// Runs `work(range)` over `0..total` split into contiguous chunks on at
+/// most `threads` scoped worker threads, or inline when `total` is small
+/// or only one thread is allowed.
+fn for_each_chunk(
+    total: usize,
+    amps_len: usize,
+    threads: usize,
+    work: impl Fn(std::ops::Range<usize>) + Sync,
+) {
     if threads <= 1 || amps_len < PARALLEL_MIN_AMPS || total < threads {
         work(0..total);
         return;
@@ -96,13 +106,13 @@ fn for_each_chunk(total: usize, amps_len: usize, work: impl Fn(std::ops::Range<u
 /// # Panics
 ///
 /// Panics (debug) if `amps.len()` is not a multiple of `2^(q+1)`.
-pub(crate) fn apply_one(amps: &mut [Complex64], g: &Matrix2, q: usize) {
+pub(crate) fn apply_one(amps: &mut [Complex64], g: &Matrix2, q: usize, threads: usize) {
     debug_assert_eq!(amps.len() % (1 << (q + 1)), 0);
     let mask = 1usize << q;
     let [[m00, m01], [m10, m11]] = g.m;
     let pairs = amps.len() / 2;
     let ptr = SendPtr(amps.as_mut_ptr());
-    for_each_chunk(pairs, amps.len(), move |range| {
+    for_each_chunk(pairs, amps.len(), threads, move |range| {
         let ptr = ptr;
         for k in range {
             let i = insert_zero_bit(k, q);
@@ -127,7 +137,7 @@ pub(crate) fn apply_one(amps: &mut [Complex64], g: &Matrix2, q: usize) {
 ///
 /// Panics (debug) if `a >= b` or `amps.len()` is not a multiple of
 /// `2^(b+1)`.
-pub(crate) fn apply_two(amps: &mut [Complex64], g: &Matrix4, a: usize, b: usize) {
+pub(crate) fn apply_two(amps: &mut [Complex64], g: &Matrix4, a: usize, b: usize, threads: usize) {
     debug_assert!(a < b);
     debug_assert_eq!(amps.len() % (1 << (b + 1)), 0);
     let ma = 1usize << a;
@@ -135,7 +145,7 @@ pub(crate) fn apply_two(amps: &mut [Complex64], g: &Matrix4, a: usize, b: usize)
     let m = g.m;
     let quads = amps.len() / 4;
     let ptr = SendPtr(amps.as_mut_ptr());
-    for_each_chunk(quads, amps.len(), move |range| {
+    for_each_chunk(quads, amps.len(), threads, move |range| {
         let ptr = ptr;
         for k in range {
             let i00 = insert_zero_bit(insert_zero_bit(k, a), b);
@@ -166,7 +176,7 @@ pub(crate) fn apply_two(amps: &mut [Complex64], g: &Matrix4, a: usize, b: usize)
 ///
 /// Panics (debug) if `c == t` or the slice is not a multiple of the
 /// enclosing block size.
-pub(crate) fn apply_controlled(amps: &mut [Complex64], g: &Matrix2, c: usize, t: usize) {
+pub(crate) fn apply_controlled(amps: &mut [Complex64], g: &Matrix2, c: usize, t: usize, threads: usize) {
     debug_assert_ne!(c, t);
     let (lo, hi) = if c < t { (c, t) } else { (t, c) };
     debug_assert_eq!(amps.len() % (1 << (hi + 1)), 0);
@@ -175,7 +185,7 @@ pub(crate) fn apply_controlled(amps: &mut [Complex64], g: &Matrix2, c: usize, t:
     let [[m00, m01], [m10, m11]] = g.m;
     let quads = amps.len() / 4;
     let ptr = SendPtr(amps.as_mut_ptr());
-    for_each_chunk(quads, amps.len(), move |range| {
+    for_each_chunk(quads, amps.len(), threads, move |range| {
         let ptr = ptr;
         for k in range {
             // Control bit forced to 1, target bit 0.
@@ -211,9 +221,10 @@ pub(crate) fn apply_multiplexed(
     a1: &Matrix2,
     c: usize,
     t: usize,
+    threads: usize,
 ) {
     if *a0 == Matrix2::identity() {
-        apply_controlled(amps, a1, c, t);
+        apply_controlled(amps, a1, c, t, threads);
         return;
     }
     debug_assert_ne!(c, t);
@@ -225,7 +236,7 @@ pub(crate) fn apply_multiplexed(
     let [[o00, o01], [o10, o11]] = a1.m;
     let quads = amps.len() / 4;
     let ptr = SendPtr(amps.as_mut_ptr());
-    for_each_chunk(quads, amps.len(), move |range| {
+    for_each_chunk(quads, amps.len(), threads, move |range| {
         let ptr = ptr;
         for k in range {
             let base = insert_zero_bit(insert_zero_bit(k, lo), hi);
@@ -255,7 +266,7 @@ pub(crate) fn apply_multiplexed(
 ///
 /// Panics (debug) if `a == b` or the slice is not a multiple of the
 /// enclosing block size.
-pub(crate) fn apply_swap(amps: &mut [Complex64], a: usize, b: usize) {
+pub(crate) fn apply_swap(amps: &mut [Complex64], a: usize, b: usize, threads: usize) {
     debug_assert_ne!(a, b);
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
     debug_assert_eq!(amps.len() % (1 << (hi + 1)), 0);
@@ -263,7 +274,7 @@ pub(crate) fn apply_swap(amps: &mut [Complex64], a: usize, b: usize) {
     let himask = 1usize << hi;
     let quads = amps.len() / 4;
     let ptr = SendPtr(amps.as_mut_ptr());
-    for_each_chunk(quads, amps.len(), move |range| {
+    for_each_chunk(quads, amps.len(), threads, move |range| {
         let ptr = ptr;
         for k in range {
             let base = insert_zero_bit(insert_zero_bit(k, lo), hi);
@@ -332,7 +343,7 @@ mod tests {
         for q in 0..5 {
             let mut fast = random_amps(5, 11);
             let mut slow = fast.clone();
-            apply_one(&mut fast, &g, q);
+            apply_one(&mut fast, &g, q, simulation_threads());
             naive_one(&mut slow, &g, q);
             assert_amps_eq(&fast, &slow, 1e-14);
         }
@@ -344,7 +355,7 @@ mod tests {
         for (c, t) in [(0usize, 4usize), (4, 0), (2, 3), (3, 2)] {
             let mut fast = random_amps(5, 7);
             let mut slow = fast.clone();
-            apply_controlled(&mut fast, &g, c, t);
+            apply_controlled(&mut fast, &g, c, t, simulation_threads());
             naive_controlled(&mut slow, &g, c, t);
             assert_amps_eq(&fast, &slow, 1e-14);
         }
@@ -360,10 +371,10 @@ mod tests {
             let fused = Matrix4::controlled(&cg, control_on_low).matmul(&Matrix4::single_on_low(&u));
             let mut via_fused = random_amps(5, 23);
             let mut via_steps = via_fused.clone();
-            apply_two(&mut via_fused, &fused, a, b);
-            apply_one(&mut via_steps, &u, a);
+            apply_two(&mut via_fused, &fused, a, b, 1);
+            apply_one(&mut via_steps, &u, a, 1);
             let (c, t) = if control_on_low { (a, b) } else { (b, a) };
-            apply_controlled(&mut via_steps, &cg, c, t);
+            apply_controlled(&mut via_steps, &cg, c, t, 1);
             assert_amps_eq(&via_fused, &via_steps, 1e-13);
         }
     }
@@ -375,7 +386,7 @@ mod tests {
         for (c, t) in [(0usize, 3usize), (3, 0), (2, 4)] {
             let mut fast = random_amps(5, 31);
             let mut slow = fast.clone();
-            apply_multiplexed(&mut fast, &a0, &a1, c, t);
+            apply_multiplexed(&mut fast, &a0, &a1, c, t, simulation_threads());
             // Reference: a0 everywhere, then "undo a0 / apply a1" on the
             // control-set half.
             naive_one(&mut slow, &a0, t);
@@ -390,7 +401,7 @@ mod tests {
         let g = Matrix2::u3(0.8, 0.2, -1.4);
         let mut fast = random_amps(4, 9);
         let mut slow = fast.clone();
-        apply_multiplexed(&mut fast, &Matrix2::identity(), &g, 1, 3);
+        apply_multiplexed(&mut fast, &Matrix2::identity(), &g, 1, 3, 1);
         naive_controlled(&mut slow, &g, 1, 3);
         assert_amps_eq(&fast, &slow, 1e-14);
     }
@@ -399,9 +410,9 @@ mod tests {
     fn swap_kernel_is_involutive_and_moves_bits() {
         let mut amps = random_amps(4, 3);
         let orig = amps.clone();
-        apply_swap(&mut amps, 1, 3);
+        apply_swap(&mut amps, 1, 3, 1);
         assert!(amps.iter().zip(&orig).any(|(x, y)| (*x - *y).norm() > 1e-12));
-        apply_swap(&mut amps, 3, 1);
+        apply_swap(&mut amps, 3, 1, 1);
         assert_amps_eq(&amps, &orig, 1e-15); // pure permutation: bit-exact
     }
 
@@ -412,11 +423,11 @@ mod tests {
         let block_b = random_amps(3, 2);
         let mut batched: Vec<Complex64> = block_a.iter().chain(&block_b).copied().collect();
         let g = Matrix2::h();
-        apply_one(&mut batched, &g, 1);
+        apply_one(&mut batched, &g, 1, 1);
         let mut expect_a = block_a;
         let mut expect_b = block_b;
-        apply_one(&mut expect_a, &g, 1);
-        apply_one(&mut expect_b, &g, 1);
+        apply_one(&mut expect_a, &g, 1, 1);
+        apply_one(&mut expect_b, &g, 1, 1);
         assert_amps_eq(&batched[..8], &expect_a, 1e-14);
         assert_amps_eq(&batched[8..], &expect_b, 1e-14);
     }
@@ -430,8 +441,8 @@ mod tests {
         let mut parallel = random_amps(n, 5);
         let mut serial = parallel.clone();
 
-        apply_one(&mut parallel, &g, n - 1);
-        apply_two(&mut parallel, &g4, 2, n - 2);
+        apply_one(&mut parallel, &g, n - 1, simulation_threads());
+        apply_two(&mut parallel, &g4, 2, n - 2, simulation_threads());
 
         // Serial reference on the same data via chunk-free loops.
         naive_one(&mut serial, &g, n - 1);

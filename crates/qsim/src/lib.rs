@@ -29,10 +29,22 @@
 //! * [`batch`] — [`BatchedState`]: `B` independent statevectors stored
 //!   contiguously and executed through one engine call (the training and
 //!   parameter-shift hot path).
+//! * [`backend`] — the pluggable execution surface: [`QuantumBackend`]
+//!   implementations for exact statevector simulation
+//!   ([`StatevectorBackend`], the default), reference gate-by-gate
+//!   execution ([`NaiveBackend`]), finite-shot measurement statistics
+//!   ([`ShotSamplerBackend`]) and NISQ gate/readout noise
+//!   ([`NoisyBackend`]), with capability flags:
+//!   `supports_adjoint_gradient` drives gradient routing (adjoint when
+//!   exact, parameter-shift through the backend otherwise) and
+//!   `is_deterministic` tells callers whether repeated runs are
+//!   cacheable or need averaging.
 //!
 //! Gate application funnels through branch-free kernels that switch to
 //! chunked multi-threading (scoped threads; no external dependencies) on
-//! registers of ≥ 2¹⁵ amplitudes, with a serial fallback below that.
+//! registers of ≥ 2¹⁵ amplitudes, with a serial fallback below that. The
+//! thread budget is a [`BackendConfig`] field; `QUGEO_SIM_THREADS` is the
+//! fallback when none is configured.
 //!
 //! # Qubit ordering
 //!
@@ -66,6 +78,7 @@ mod observable;
 mod state;
 
 pub mod ansatz;
+pub mod backend;
 pub mod batch;
 pub mod complexity;
 pub mod encoding;
@@ -73,6 +86,10 @@ pub mod fusion;
 pub mod gradient;
 pub mod noise;
 
+pub use backend::{
+    BackendConfig, NaiveBackend, NoisyBackend, QuantumBackend, ShotSamplerBackend,
+    StatevectorBackend,
+};
 pub use batch::BatchedState;
 pub use circuit::{Circuit, Gate1, Op, ParamSource};
 pub use complex::Complex64;
@@ -81,7 +98,7 @@ pub use fusion::{CompiledCircuit, FusedOp};
 pub use gates::{Matrix2, Matrix4};
 pub use gradient::{
     adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,
-    parameter_shift_gradient_batched,
+    parameter_shift_gradient_backend, parameter_shift_gradient_batched,
 };
 pub use observable::DiagonalObservable;
 pub use state::State;

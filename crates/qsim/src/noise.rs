@@ -239,23 +239,30 @@ impl NoisyExecutor {
     /// Applies the symmetric readout-flip map to a probability vector:
     /// each measured bit independently flips with probability `r`.
     fn apply_readout_error(&self, probs: &[f64], num_qubits: usize) -> Vec<f64> {
-        let r = self.noise.readout_flip;
-        if r == 0.0 {
-            return probs.to_vec();
-        }
-        // Apply the single-bit confusion matrix qubit by qubit:
-        // p'(b) = (1-r)·p(b) + r·p(b with bit q flipped).
-        let mut current = probs.to_vec();
-        let mut next = vec![0.0; probs.len()];
-        for q in 0..num_qubits {
-            let mask = 1usize << q;
-            for (i, n) in next.iter_mut().enumerate() {
-                *n = (1.0 - r) * current[i] + r * current[i ^ mask];
-            }
-            std::mem::swap(&mut current, &mut next);
-        }
-        current
+        apply_readout_flip(probs, num_qubits, self.noise.readout_flip)
     }
+}
+
+/// Applies the symmetric readout-error map to a probability vector: each
+/// measured bit independently flips with probability `r`. Shared by
+/// [`NoisyExecutor`] and the noisy execution backend
+/// ([`crate::backend::NoisyBackend`]).
+pub fn apply_readout_flip(probs: &[f64], num_qubits: usize, r: f64) -> Vec<f64> {
+    if r == 0.0 {
+        return probs.to_vec();
+    }
+    // Apply the single-bit confusion matrix qubit by qubit:
+    // p'(b) = (1-r)·p(b) + r·p(b with bit q flipped).
+    let mut current = probs.to_vec();
+    let mut next = vec![0.0; probs.len()];
+    for q in 0..num_qubits {
+        let mask = 1usize << q;
+        for (i, n) in next.iter_mut().enumerate() {
+            *n = (1.0 - r) * current[i] + r * current[i ^ mask];
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+    current
 }
 
 /// Draws `shots` measurement outcomes from a probability vector,

@@ -223,9 +223,9 @@ mod tests {
     fn low_bits_projector_matches_marginal() {
         let s = State::from_real_normalized(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
         let marg = s.marginal_low(2);
-        for pat in 0..4 {
+        for (pat, m) in marg.iter().enumerate() {
             let p = DiagonalObservable::low_bits_projector(3, 2, pat).unwrap();
-            assert!((p.expectation(&s) - marg[pat]).abs() < EPS);
+            assert!((p.expectation(&s) - m).abs() < EPS);
         }
         assert!(DiagonalObservable::low_bits_projector(3, 4, 0).is_err());
         assert!(DiagonalObservable::low_bits_projector(3, 2, 4).is_err());
@@ -246,7 +246,7 @@ mod tests {
         let z0 = DiagonalObservable::z(2, 0).unwrap();
         let z1 = DiagonalObservable::z(3, 0).unwrap();
         assert!(DiagonalObservable::weighted_sum(&[], &[]).is_err());
-        assert!(DiagonalObservable::weighted_sum(&[z0.clone()], &[1.0, 2.0]).is_err());
+        assert!(DiagonalObservable::weighted_sum(std::slice::from_ref(&z0), &[1.0, 2.0]).is_err());
         assert!(DiagonalObservable::weighted_sum(&[z0, z1], &[1.0, 1.0]).is_err());
     }
 

@@ -232,7 +232,7 @@ impl State {
     /// Panics if `q >= self.num_qubits()`.
     pub fn apply_single(&mut self, gate: &Matrix2, q: usize) {
         assert!(q < self.num_qubits, "qubit {q} out of range");
-        crate::kernels::apply_one(&mut self.amps, gate, q);
+        crate::kernels::apply_one(&mut self.amps, gate, q, crate::kernels::simulation_threads());
     }
 
     /// Applies a fused two-qubit gate (4×4 unitary) to the qubit pair
@@ -245,7 +245,7 @@ impl State {
     pub fn apply_two_qubit(&mut self, gate: &crate::Matrix4, a: usize, b: usize) {
         assert!(a < b, "pair must be ordered: {a} >= {b}");
         assert!(b < self.num_qubits, "qubit {b} out of range");
-        crate::kernels::apply_two(&mut self.amps, gate, a, b);
+        crate::kernels::apply_two(&mut self.amps, gate, a, b, crate::kernels::simulation_threads());
     }
 
     /// Applies a controlled single-qubit gate in place (gate acts on
@@ -260,7 +260,7 @@ impl State {
             "qubit out of range"
         );
         assert_ne!(control, target, "control equals target");
-        crate::kernels::apply_controlled(&mut self.amps, gate, control, target);
+        crate::kernels::apply_controlled(&mut self.amps, gate, control, target, crate::kernels::simulation_threads());
     }
 
     /// Applies a SWAP gate in place.
@@ -271,7 +271,7 @@ impl State {
     pub fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.num_qubits && b < self.num_qubits, "qubit out of range");
         assert_ne!(a, b, "swap qubits must differ");
-        crate::kernels::apply_swap(&mut self.amps, a, b);
+        crate::kernels::apply_swap(&mut self.amps, a, b, crate::kernels::simulation_threads());
     }
 
     /// Writes `gate|self⟩` restricted to the controlled subspace into

@@ -7,7 +7,8 @@ use qugeo_qsim::encoding::{encode_batched, encode_grouped};
 use qugeo_qsim::{
     adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,
     parameter_shift_gradient_batched, BatchedState, Circuit, CompiledCircuit, DiagonalObservable,
-    Gate1, ParamSource, State,
+    Gate1, NaiveBackend, ParamSource, QuantumBackend, ShotSamplerBackend, State,
+    StatevectorBackend,
 };
 
 /// Builds an arbitrary 4-qubit circuit from raw draw tuples:
@@ -212,6 +213,82 @@ proptest! {
         for (a, s) in adj.iter().zip(&batched) {
             prop_assert!((a - s).abs() < 1e-8, "adjoint {} vs batched shift {}", a, s);
         }
+    }
+
+    #[test]
+    fn backends_agree_on_random_circuits(
+        draws in prop::collection::vec(
+            (0usize..7, 0usize..4, 0usize..4, -3.0f64..3.0),
+            1..40,
+        ),
+        data in nonzero_data(16),
+        obs_qubit in 0usize..4,
+    ) {
+        // Differential test: the production statevector backend and the
+        // reference gate-by-gate backend must produce the same evolved
+        // states and expectations for arbitrary circuits.
+        let circuit = arbitrary_circuit(&draws);
+        let compiled = CompiledCircuit::compile(&circuit, &[]).unwrap();
+        let input = State::from_real_normalized(&data).unwrap();
+        let members = [input.clone(), input];
+        let obs = DiagonalObservable::z(4, obs_qubit).unwrap();
+
+        let fast = StatevectorBackend::default();
+        let slow = NaiveBackend::default();
+        let mut fast_batch = BatchedState::from_states(&members).unwrap();
+        let mut slow_batch = fast_batch.clone();
+        fast.run_batch(&compiled, &mut fast_batch).unwrap();
+        slow.run_batch(&compiled, &mut slow_batch).unwrap();
+
+        for b in 0..2 {
+            let xs = fast_batch.member_amps(b).unwrap();
+            let ys = slow_batch.member_amps(b).unwrap();
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                prop_assert!((*x - *y).norm() < 1e-10, "member {} amp {} diverged", b, i);
+            }
+        }
+        let ef = fast.expectations(&fast_batch, &obs).unwrap();
+        let es = slow.expectations(&slow_batch, &obs).unwrap();
+        for (a, b) in ef.iter().zip(&es) {
+            prop_assert!((a - b).abs() < 1e-10, "expectation diverged: {} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn shot_sampler_converges_to_statevector_expectation(
+        params in angles(36),
+        data in nonzero_data(8),
+        seed in 0u64..1000,
+    ) {
+        // The finite-shot estimate must approach the exact expectation as
+        // shots grow, within ~3σ of the binomial sampling error (σ² =
+        // Var[O]/shots, with Var[O] computed from the exact distribution).
+        let cfg = AnsatzConfig { num_qubits: 3, num_blocks: 2, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let compiled = CompiledCircuit::compile(&c, &params).unwrap();
+        let input = State::from_real_normalized(&data).unwrap();
+        let obs = DiagonalObservable::z(3, 1).unwrap();
+
+        let mut batch = BatchedState::replicate(&input, 1);
+        StatevectorBackend::default().run_batch(&compiled, &mut batch).unwrap();
+        let exact = batch.expectations(&obs).unwrap()[0];
+        let probs = batch.member_probabilities(0).unwrap();
+        let second_moment: f64 = probs
+            .iter()
+            .zip(obs.diagonal())
+            .map(|(p, d)| p * d * d)
+            .sum();
+        let variance = (second_moment - exact * exact).max(0.0);
+
+        let shots = 100_000usize;
+        let sampler = ShotSamplerBackend::new(shots, seed);
+        let estimate = sampler.expectations(&batch, &obs).unwrap()[0];
+        let sigma = (variance / shots as f64).sqrt();
+        // 3σ plus a small cushion for the σ = 0 (deterministic) corner.
+        prop_assert!(
+            (estimate - exact).abs() <= 3.0 * sigma + 1e-3,
+            "estimate {} vs exact {} (3σ = {})", estimate, exact, 3.0 * sigma
+        );
     }
 
     #[test]

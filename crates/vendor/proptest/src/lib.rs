@@ -25,11 +25,11 @@
 //!
 //! proptest! {
 //!     #![proptest_config(ProptestConfig::with_cases(8))]
-//!     #[test]
 //!     fn squares_are_nonnegative(x in -10.0f64..10.0) {
 //!         prop_assert!(x * x >= 0.0);
 //!     }
 //! }
+//! # squares_are_nonnegative();
 //! ```
 //!
 //! (`#[test]` functions only exist under `cfg(test)`, so the example just
@@ -117,7 +117,7 @@ macro_rules! proptest {
                             $crate::strategy::Strategy::generate(&($strat), &mut rng);
                     )+
                     // prop_assume! exits this closure to skip the case.
-                    let mut body = || $body;
+                    let body = || $body;
                     body();
                 }
             }

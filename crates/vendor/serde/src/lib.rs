@@ -173,7 +173,7 @@ macro_rules! impl_primitive {
 impl_primitive!(f64, serialize_f64, deserialize_f64, |v| v, |v| v);
 impl_primitive!(u64, serialize_u64, deserialize_u64, |v| v, |v| v);
 impl_primitive!(usize, serialize_u64, deserialize_u64, |v| v as u64, |v| v as usize);
-impl_primitive!(u32, serialize_u64, deserialize_u64, |v| u64::from(v), |v| v as u32);
+impl_primitive!(u32, serialize_u64, deserialize_u64, u64::from, |v| v as u32);
 impl_primitive!(bool, serialize_bool, deserialize_bool, |v| v, |v| v);
 
 impl Serialize for String {
@@ -226,7 +226,7 @@ mod tests {
             assert_eq!(json::from_str::<f64>(&s).unwrap(), v);
         }
         assert_eq!(json::from_str::<usize>(&json::to_string(&7usize)).unwrap(), 7);
-        assert_eq!(json::from_str::<bool>(&json::to_string(&true)).unwrap(), true);
+        assert!(json::from_str::<bool>(&json::to_string(&true)).unwrap());
     }
 
     #[test]

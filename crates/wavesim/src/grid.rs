@@ -41,7 +41,7 @@ impl Grid {
                 reason: format!("dimensions must be positive (nx={nx}, nz={nz}, nt={nt})"),
             });
         }
-        if !(dx > 0.0 && dx.is_finite()) || !(dt > 0.0 && dt.is_finite()) {
+        if !(dx > 0.0 && dx.is_finite() && dt > 0.0 && dt.is_finite()) {
             return Err(WavesimError::InvalidGrid {
                 reason: format!("steps must be positive and finite (dx={dx}, dt={dt})"),
             });

@@ -69,7 +69,7 @@ proptest! {
         let w = RickerWavelet::new(f, 0.001).expect("wavelet");
         for s in 0..2000 {
             let v = w.sample(s);
-            prop_assert!(v <= 1.0 + 1e-12 && v >= -0.5, "ricker value {} out of range", v);
+            prop_assert!((-0.5..=1.0 + 1e-12).contains(&v), "ricker value {} out of range", v);
         }
     }
 }

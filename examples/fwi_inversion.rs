@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fw.wavelet_hz, layout.velocity_side, layout.velocity_side
     );
     let scaled = scale_forward_model(&dataset, &layout, &fw)?;
-    let (train, test) = scaled.split(7);
+    let (train, test) = scaled.try_split(7)?;
 
     // Train the layer-wise quantum model.
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;

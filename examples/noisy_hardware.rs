@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = Dataset::generate(&config)?;
     let layout = ScaledLayout::paper_default();
     let scaled = scale_d_sample(&dataset, &layout)?;
-    let (train, test) = scaled.split(7);
+    let (train, test) = scaled.try_split(7)?;
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
     let outcome = train_vqc(
         &model,

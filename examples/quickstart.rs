@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Scale to the quantum budget: 256 seismic values, 8x8 velocity.
     let layout = ScaledLayout::paper_default();
     let scaled = scale_d_sample(&dataset, &layout)?;
-    let (train, test) = scaled.split(9);
+    let (train, test) = scaled.try_split(9)?;
     println!(
         "scaled to {} seismic values / {}x{} velocity maps ({} train / {} test)",
         layout.seismic_len(),

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Repository verification: tier-1 build/tests plus documentation checks.
+# Repository verification: tier-1 build/tests plus lint and documentation
+# checks.
 #
 #   ./scripts/verify.sh          # everything
 #   ./scripts/verify.sh docs     # documentation gate only
+#   ./scripts/verify.sh lint     # clippy gate only
 #
-# The docs gate enforces that `cargo doc --no-deps` stays warning-free
-# (warnings are promoted to errors via RUSTDOCFLAGS) and that every
-# doctest passes — run it before sending any PR that touches public API
-# or documentation.
+# The lint gate keeps `cargo clippy` warning-free across every target
+# (lib, tests, benches, examples, bins) — warnings are errors. The docs
+# gate enforces that `cargo doc --no-deps` stays warning-free (warnings
+# are promoted to errors via RUSTDOCFLAGS) and that every doctest passes
+# — run both before sending any PR that touches public API or
+# documentation.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +21,11 @@ docs_gate() {
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
     echo "==> cargo test --doc"
     cargo test -q --doc --workspace
+}
+
+lint_gate() {
+    echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
+    cargo clippy --workspace --all-targets --quiet -- -D warnings
 }
 
 tier1() {
@@ -30,13 +39,15 @@ tier1() {
 
 case "${1:-all}" in
     docs) docs_gate ;;
+    lint) lint_gate ;;
     tier1) tier1 ;;
     all)
         tier1
+        lint_gate
         docs_gate
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs]" >&2
+        echo "usage: $0 [all|tier1|docs|lint]" >&2
         exit 2
         ;;
 esac

@@ -37,7 +37,7 @@ fn d_sample_pipeline_trains_and_improves() {
     let dataset = smoke_dataset(8, 1);
     let layout = ScaledLayout::paper_default();
     let scaled = scale_d_sample(&dataset, &layout).expect("scaling");
-    let (train, test) = scaled.split(6);
+    let (train, test) = scaled.try_split(6).expect("split within dataset");
 
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise()).expect("model");
     // Untrained baseline.
@@ -59,7 +59,7 @@ fn fw_pipeline_runs_end_to_end() {
     let layout = ScaledLayout::paper_default();
     let scaled = scale_forward_model(&dataset, &layout, &fw_config()).expect("fw scaling");
     assert_eq!(scaled.len(), 6);
-    let (train, test) = scaled.split(4);
+    let (train, test) = scaled.try_split(4).expect("split within dataset");
 
     let model = QuGeoVqc::new(VqcConfig::paper_pixel_wise()).expect("model");
     let outcome = train_vqc(&model, &train, &test, &TrainConfig::smoke(8)).expect("training");
@@ -97,7 +97,7 @@ fn batched_and_unbatched_training_agree_at_batch_one() {
     let dataset = smoke_dataset(5, 4);
     let layout = ScaledLayout::paper_default();
     let scaled = scale_d_sample(&dataset, &layout).expect("scaling");
-    let (train, test) = scaled.split(4);
+    let (train, test) = scaled.try_split(4).expect("split within dataset");
 
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise()).expect("model");
     let cfg = TrainConfig::smoke(4);
@@ -118,7 +118,7 @@ fn decoders_share_the_same_pipeline() {
     let dataset = smoke_dataset(4, 5);
     let layout = ScaledLayout::paper_default();
     let scaled = scale_d_sample(&dataset, &layout).expect("scaling");
-    let (train, test) = scaled.split(3);
+    let (train, test) = scaled.try_split(3).expect("split within dataset");
 
     for decoder in [Decoder::paper_pixel_wise(), Decoder::paper_layer_wise()] {
         let model = QuGeoVqc::new(VqcConfig {
