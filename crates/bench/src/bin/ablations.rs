@@ -14,7 +14,7 @@
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::pipeline::{scale_forward_model, FwScalingConfig};
-use qugeo::trainer::{train_vqc, train_vqc_batched, TrainConfig};
+use qugeo::train::{PerSampleVqc, QuBatchVqc, TrainConfig, Trainer};
 use qugeo_bench::{build_scaled_triple, cached_dataset, header, rule, Preset};
 use qugeo_geodata::scaling::ScaledLayout;
 use qugeo_qsim::ansatz::EntangleOrder;
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             num_blocks: blocks,
             ..VqcConfig::paper_layer_wise()
         })?;
-        let out = train_vqc(&model, &train, &test, &train_cfg)?;
+        let out = Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
         println!(
             "  {blocks:>6}   {:>6}   {:>7.4}   {:.6}",
             model.num_params(),
@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             entangle: EntangleOrder::Ring,
             ..VqcConfig::paper_layer_wise()
         })?;
-        let out = train_vqc(&model, &train, &test, &train_cfg)?;
+        let out = Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
         println!(
             "  {groups:>6}   {:>6}   {:>6}   {:>7.4}   {:.6}",
             model.data_qubits(),
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scaled = scale_forward_model(&dataset, &layout, &fw_cfg)?;
         let (tr, te) = scaled.try_split(preset.train_count)?;
         let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
-        let out = train_vqc(&model, &tr, &te, &train_cfg)?;
+        let out = Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &tr, &te)?)?;
         println!("  {hz:>4.0} Hz   {:>7.4}   {:.6}", out.final_ssim, out.final_mse);
     }
 
@@ -94,9 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
     for batch in [1usize, 2, 4, 8] {
         let out = if batch == 1 {
-            train_vqc(&model, &train, &test, &train_cfg)?
+            Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &train, &test)?)?
         } else {
-            train_vqc_batched(&model, &train, &test, &train_cfg, batch)?
+            Trainer::new(train_cfg).fit(&mut QuBatchVqc::new(&model, &train, &test, batch)?)?
         };
         println!(
             "  {batch:>5}   {:>12}   {:>7.4}   {:.6}",

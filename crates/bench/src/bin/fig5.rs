@@ -12,7 +12,7 @@
 //! 0.859 / 0.862 for D-Sample / Q-D-FW / Q-D-CNN.
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_bench::{build_scaled_triple, header, rule, Preset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,7 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         eprintln!("[fig5] training Q-M-PX on {label}…");
         let (train, test) = scaled.try_split(preset.train_count)?;
-        let outcome = train_vqc(&model, &train, &test, &train_cfg)?;
+        let outcome =
+            Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
 
         println!("convergence on {label} (Figures 5b/5c):");
         println!("  epoch   train loss   test SSIM   test MSE");

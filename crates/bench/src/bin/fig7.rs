@@ -13,7 +13,7 @@
 //! points where the physics-guided routes recover 3 interfaces each.
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_bench::report::{analyze, print as print_report};
 use qugeo_bench::{build_scaled_triple, header, rule, Preset};
 
@@ -39,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         eprintln!("[fig7] training Q-M-PX on {label}…");
         let (train, test) = scaled.try_split(preset.train_count)?;
-        let outcome = train_vqc(&model, &train, &test, &train_cfg)?;
+        let outcome =
+            Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
 
         // The paper visualises one representative test sample.
         let report = analyze(

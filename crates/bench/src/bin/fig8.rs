@@ -12,7 +12,7 @@
 //! Q-D-CNN+LY): +11.6% SSIM, −61.69% MSE.
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_bench::{build_scaled_triple, header, improvement_pct, rule, Preset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,9 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let (train, test) = scaled.try_split(preset.train_count)?;
         eprintln!("[fig8] training Q-M-PX on {label}…");
-        let px_out = train_vqc(&px, &train, &test, &train_cfg)?;
+        let px_out = Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&px, &train, &test)?)?;
         eprintln!("[fig8] training Q-M-LY on {label}…");
-        let ly_out = train_vqc(&ly, &train, &test, &train_cfg)?;
+        let ly_out = Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&ly, &train, &test)?)?;
         results.push((
             label,
             (px_out.final_ssim, px_out.final_mse),

@@ -14,7 +14,7 @@
 //! layer ordering.
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_bench::report::{analyze, print as print_report};
 use qugeo_bench::{build_scaled_triple, header, rule, Preset};
 
@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, model, scaled, paper) in combos {
         eprintln!("[fig9] training {label}…");
         let (train, test) = scaled.try_split(preset.train_count)?;
-        let outcome = train_vqc(model, &train, &test, &train_cfg)?;
+        let outcome =
+            Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(model, &train, &test)?)?;
         let report = analyze(
             &format!("{label} (map SSIM {:.4})", outcome.final_ssim),
             model,

@@ -14,7 +14,7 @@
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::qubatch::QuBatch;
-use qugeo::trainer::{train_vqc, train_vqc_batched, TrainConfig};
+use qugeo::train::{PerSampleVqc, QuBatchVqc, TrainConfig, Trainer};
 use qugeo_bench::{build_scaled_triple, header, rule, Preset};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,9 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for batch in [1usize, 2, 4] {
         eprintln!("[table1] training with batch size {batch}…");
         let outcome = if batch == 1 {
-            train_vqc(&model, &train, &test, &train_cfg)?
+            Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(&model, &train, &test)?)?
         } else {
-            train_vqc_batched(&model, &train, &test, &train_cfg, batch)?
+            Trainer::new(train_cfg).fit(&mut QuBatchVqc::new(&model, &train, &test, batch)?)?
         };
         rows.push((batch, qubatch.extra_qubits(batch), outcome.final_ssim));
     }

@@ -13,7 +13,7 @@
 //! with fewer parameters; Q-M-PX trails slightly.
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
-use qugeo::trainer::{train_regressor, train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, RegressorStep, TrainConfig, Trainer};
 use qugeo_bench::{build_scaled_triple, header, improvement_pct, rule, Preset};
 use qugeo_geodata::scaling::ScaledLayout;
 use qugeo_nn::models::{CnnRegressor, RegressorConfig};
@@ -57,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let (train, test) = scaled.try_split(preset.train_count)?;
             let (ssim, mse, n_params) = if is_quantum {
                 let model = if is_pixel { &qm_px } else { &qm_ly };
-                let out = train_vqc(model, &train, &test, &train_cfg)?;
+                let out =
+                    Trainer::new(train_cfg).fit(&mut PerSampleVqc::new(model, &train, &test)?)?;
                 (out.final_ssim, out.final_mse, model.num_params())
             } else {
                 let config = if is_pixel {
@@ -67,8 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 };
                 let mut model = CnnRegressor::new(config, preset.seed ^ 0x77)?;
                 let n = model.num_params();
-                let out =
-                    train_regressor(&mut model, &train, &test, &cnn_cfg, layout.group_len())?;
+                let out = Trainer::new(cnn_cfg).fit(&mut RegressorStep::new(
+                    &mut model,
+                    &train,
+                    &test,
+                    layout.group_len(),
+                )?)?;
                 (out.final_ssim, out.final_mse, n)
             };
             params_count = n_params;

@@ -21,10 +21,15 @@
 //! 3. **QuBatch** ([`qubatch`]) — SIMD-style batching: 2^N samples share
 //!    one circuit execution at the cost of N extra qubits.
 //!
-//! [`trainer`] implements the paper's training recipe (Adam, lr 0.1,
-//! cosine annealing) for quantum and classical models alike, and
-//! [`profile`] provides the vertical-velocity-profile analyses of
-//! Figures 7 and 9.
+//! [`train`] is the unified training engine: a [`train::Trainer`]
+//! drives any [`train::TrainStep`] strategy (per-sample paper loop,
+//! QuBatch-widened batches, mini-batch averaged gradients, or the
+//! classical regressor) with pluggable optimisers and learning-rate
+//! schedules (`qugeo_nn::optim`) and a [`train::Callback`] stack (early
+//! stopping, periodic checkpoints, extra metrics). Its defaults are the
+//! paper's recipe (Adam, lr 0.1, cosine annealing) for quantum and
+//! classical models alike. [`profile`] provides the
+//! vertical-velocity-profile analyses of Figures 7 and 9.
 //!
 //! Simulation-heavy paths (batch prediction, evaluation epochs, QuBatch
 //! forward passes) run through `qugeo_qsim`'s gate-fused batched engine
@@ -69,6 +74,7 @@ pub mod pipeline;
 pub mod profile;
 pub mod qubatch;
 pub mod session;
+pub mod train;
 pub mod trainer;
 pub mod viz;
 

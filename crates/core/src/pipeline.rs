@@ -18,7 +18,7 @@ use qugeo_geodata::scaling::{
 };
 use qugeo_geodata::Dataset;
 use qugeo_nn::models::{CnnCompressor, CompressorConfig};
-use qugeo_nn::optim::{Adam, CosineAnnealing};
+use qugeo_nn::optim::{Adam, CosineAnnealing, LrSchedule, Optimizer};
 use qugeo_nn::Model;
 use qugeo_tensor::norm::l2_normalized;
 use qugeo_tensor::{resample, Array2};

@@ -1,0 +1,673 @@
+//! Training strategies: what one epoch of updates means.
+//!
+//! A [`TrainStep`] owns the data, the model handle, and the execution
+//! backend; the [`Trainer`](super::Trainer) owns everything that is the
+//! same across strategies (shuffling, schedule, callbacks, history).
+//! Three quantum strategies and one classical strategy ship:
+//!
+//! * [`PerSampleVqc`] — one optimiser step per sample (the paper's loop);
+//! * [`QuBatchVqc`] — one step per QuBatch-widened circuit execution
+//!   (`batch_size` samples share a register and an amplitude norm);
+//! * [`MiniBatchVqc`] — per-sample gradients *averaged* over a
+//!   mini-batch, one step per batch (the classical-ML shape, exact —
+//!   no shared-norm precision cost);
+//! * [`RegressorStep`] — the CNN baselines of Table 2.
+
+use qugeo_geodata::scaling::ScaledSample;
+use qugeo_metrics::{mse, ssim};
+use qugeo_nn::models::{CnnRegressor, RegressorHead};
+use qugeo_nn::optim::Optimizer;
+use qugeo_nn::Model;
+use qugeo_qsim::{QuantumBackend, StatevectorBackend};
+use qugeo_tensor::norm::{l2_norm, l2_normalized};
+use qugeo_tensor::Array2;
+
+use crate::model::QuGeoVqc;
+use crate::pipeline::normalized_target;
+use crate::qubatch::QuBatch;
+use crate::QuGeoError;
+
+/// What a strategy reports back to the engine after one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Mean gradient ℓ₂ norm over the epoch's optimiser steps.
+    pub grad_norm: f64,
+}
+
+/// One epoch of parameter updates plus held-out evaluation — the part
+/// of training that differs between the paper loop, QuBatch, mini-batch
+/// averaging, and the classical baselines.
+pub trait TrainStep {
+    /// Number of training samples (the engine shuffles `0..n`).
+    fn num_train_samples(&self) -> usize;
+
+    /// Initial parameter vector (seeded for quantum models; classical
+    /// models keep their constructor-seeded weights).
+    fn init_params(&self, seed: u64) -> Vec<f64>;
+
+    /// Runs one epoch of updates over `order`, stepping `optimizer`
+    /// in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation, backend, or network failures.
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochReport, QuGeoError>;
+
+    /// Evaluates `params` on the held-out set: mean (MSE, SSIM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures.
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError>;
+}
+
+/// A backend that is either borrowed from the caller or owned
+/// (the default statevector engine).
+enum BackendHandle<'a> {
+    Owned(Box<dyn QuantumBackend>),
+    Borrowed(&'a dyn QuantumBackend),
+}
+
+impl BackendHandle<'_> {
+    fn get(&self) -> &dyn QuantumBackend {
+        match self {
+            Self::Owned(b) => b.as_ref(),
+            Self::Borrowed(b) => *b,
+        }
+    }
+}
+
+fn require_non_empty(train: &[ScaledSample], test: &[ScaledSample]) -> Result<(), QuGeoError> {
+    if train.is_empty() || test.is_empty() {
+        return Err(QuGeoError::Config {
+            reason: "train and test sets must be non-empty".into(),
+        });
+    }
+    Ok(())
+}
+
+fn require_batch_size(batch_size: usize) -> Result<(), QuGeoError> {
+    if batch_size == 0 {
+        return Err(QuGeoError::Config {
+            reason: "batch_size must be positive".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Mean (MSE, SSIM) of per-sample predictions against the samples'
+/// normalised velocity targets.
+fn mean_mse_ssim(samples: &[ScaledSample], preds: &[Array2]) -> Result<(f64, f64), QuGeoError> {
+    debug_assert_eq!(samples.len(), preds.len());
+    if samples.is_empty() {
+        return Err(QuGeoError::Config {
+            reason: "cannot evaluate on an empty set".into(),
+        });
+    }
+    let mut mse_total = 0.0;
+    let mut ssim_total = 0.0;
+    for (s, pred) in samples.iter().zip(preds) {
+        let target = normalized_target(s);
+        mse_total += mse(pred, &target)?;
+        ssim_total += ssim(pred, &target)?;
+    }
+    let n = samples.len() as f64;
+    Ok((mse_total / n, ssim_total / n))
+}
+
+/// Evaluates a trained VQC on a sample set: mean (MSE, SSIM) against
+/// normalised targets.
+///
+/// The whole set runs through one gate-fused batched engine call
+/// ([`QuGeoVqc::predict_many`]): the ansatz is compiled once and swept
+/// across all encoded samples — the evaluation-epoch hot path.
+///
+/// # Errors
+///
+/// Returns an error for empty sets or prediction failures.
+pub fn evaluate_vqc(
+    model: &QuGeoVqc,
+    params: &[f64],
+    samples: &[ScaledSample],
+) -> Result<(f64, f64), QuGeoError> {
+    evaluate_vqc_with(model, params, samples, &StatevectorBackend::default())
+}
+
+/// [`evaluate_vqc`] through an execution backend: the whole set runs via
+/// [`QuGeoVqc::predict_many_with`], so evaluation can be re-run under
+/// finite shots or gate noise by swapping the backend.
+///
+/// # Errors
+///
+/// Returns an error for empty sets or prediction failures.
+pub fn evaluate_vqc_with(
+    model: &QuGeoVqc,
+    params: &[f64],
+    samples: &[ScaledSample],
+    backend: &dyn QuantumBackend,
+) -> Result<(f64, f64), QuGeoError> {
+    let seismic: Vec<&[f64]> = samples.iter().map(|s| s.seismic.as_slice()).collect();
+    let preds = model.predict_many_with(&seismic, params, backend)?;
+    mean_mse_ssim(samples, &preds)
+}
+
+/// The paper's training loop: one optimiser step per sample.
+pub struct PerSampleVqc<'a> {
+    model: &'a QuGeoVqc,
+    train: &'a [ScaledSample],
+    test: &'a [ScaledSample],
+    targets: Vec<Array2>,
+    backend: BackendHandle<'a>,
+}
+
+impl<'a> PerSampleVqc<'a> {
+    /// Per-sample training on the default statevector backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty train or test sets.
+    pub fn new(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+    ) -> Result<Self, QuGeoError> {
+        Self::build(
+            model,
+            train,
+            test,
+            BackendHandle::Owned(Box::new(StatevectorBackend::default())),
+        )
+    }
+
+    /// Per-sample training through an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty train or test sets.
+    pub fn with_backend(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        backend: &'a dyn QuantumBackend,
+    ) -> Result<Self, QuGeoError> {
+        Self::build(model, train, test, BackendHandle::Borrowed(backend))
+    }
+
+    fn build(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        backend: BackendHandle<'a>,
+    ) -> Result<Self, QuGeoError> {
+        require_non_empty(train, test)?;
+        Ok(Self {
+            model,
+            train,
+            test,
+            targets: train.iter().map(normalized_target).collect(),
+            backend,
+        })
+    }
+}
+
+impl TrainStep for PerSampleVqc<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.model.init_params(seed)
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        for &i in order {
+            let (loss, grad) = self.model.loss_and_grad_with(
+                &self.train[i].seismic,
+                &self.targets[i],
+                params,
+                self.backend.get(),
+            )?;
+            optimizer.step(params, &grad);
+            loss_sum += loss;
+            norm_sum += l2_norm(&grad);
+        }
+        let n = order.len().max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc_with(self.model, params, self.test, self.backend.get())
+    }
+}
+
+/// QuBatch training: each optimiser step consumes one batch of
+/// `batch_size` samples executed as a single widened circuit
+/// ([`QuBatch`] — extra qubits buy shared execution at a shared-norm
+/// precision cost).
+pub struct QuBatchVqc<'a> {
+    qubatch: QuBatch<'a>,
+    train: &'a [ScaledSample],
+    test: &'a [ScaledSample],
+    targets: Vec<Array2>,
+    batch_size: usize,
+    backend: BackendHandle<'a>,
+}
+
+impl<'a> QuBatchVqc<'a> {
+    /// QuBatch training on the default statevector backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty sets, `batch_size == 0`,
+    /// or a multi-group model (QuBatch requires one encoder group).
+    pub fn new(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        batch_size: usize,
+    ) -> Result<Self, QuGeoError> {
+        Self::build(
+            model,
+            train,
+            test,
+            batch_size,
+            BackendHandle::Owned(Box::new(StatevectorBackend::default())),
+        )
+    }
+
+    /// QuBatch training through an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty sets, `batch_size == 0`,
+    /// or a multi-group model.
+    pub fn with_backend(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        batch_size: usize,
+        backend: &'a dyn QuantumBackend,
+    ) -> Result<Self, QuGeoError> {
+        Self::build(model, train, test, batch_size, BackendHandle::Borrowed(backend))
+    }
+
+    fn build(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        batch_size: usize,
+        backend: BackendHandle<'a>,
+    ) -> Result<Self, QuGeoError> {
+        require_non_empty(train, test)?;
+        require_batch_size(batch_size)?;
+        Ok(Self {
+            qubatch: QuBatch::new(model)?,
+            train,
+            test,
+            targets: train.iter().map(normalized_target).collect(),
+            batch_size,
+            backend,
+        })
+    }
+}
+
+impl TrainStep for QuBatchVqc<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.qubatch.model().init_params(seed)
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        let mut steps = 0usize;
+        for chunk in order.chunks(self.batch_size) {
+            let seismic: Vec<Vec<f64>> = chunk
+                .iter()
+                .map(|&i| self.train[i].seismic.clone())
+                .collect();
+            let tgt: Vec<Array2> = chunk.iter().map(|&i| self.targets[i].clone()).collect();
+            let (loss, grad) = self.qubatch.loss_and_grad_batch_with(
+                &seismic,
+                &tgt,
+                params,
+                self.backend.get(),
+            )?;
+            optimizer.step(params, &grad);
+            loss_sum += loss;
+            norm_sum += l2_norm(&grad);
+            steps += 1;
+        }
+        let n = steps.max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc_with(self.qubatch.model(), params, self.test, self.backend.get())
+    }
+}
+
+/// Mini-batch training with *averaged* per-sample gradients: one
+/// optimiser step per batch, gradients computed exactly per sample and
+/// averaged — the classical-ML batching shape, with none of QuBatch's
+/// shared-norm precision cost (and none of its circuit sharing).
+pub struct MiniBatchVqc<'a> {
+    model: &'a QuGeoVqc,
+    train: &'a [ScaledSample],
+    test: &'a [ScaledSample],
+    targets: Vec<Array2>,
+    batch_size: usize,
+    backend: BackendHandle<'a>,
+}
+
+impl<'a> MiniBatchVqc<'a> {
+    /// Mini-batch training on the default statevector backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty sets or
+    /// `batch_size == 0`.
+    pub fn new(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        batch_size: usize,
+    ) -> Result<Self, QuGeoError> {
+        Self::build(
+            model,
+            train,
+            test,
+            batch_size,
+            BackendHandle::Owned(Box::new(StatevectorBackend::default())),
+        )
+    }
+
+    /// Mini-batch training through an explicit execution backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty sets or
+    /// `batch_size == 0`.
+    pub fn with_backend(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        batch_size: usize,
+        backend: &'a dyn QuantumBackend,
+    ) -> Result<Self, QuGeoError> {
+        Self::build(model, train, test, batch_size, BackendHandle::Borrowed(backend))
+    }
+
+    fn build(
+        model: &'a QuGeoVqc,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        batch_size: usize,
+        backend: BackendHandle<'a>,
+    ) -> Result<Self, QuGeoError> {
+        require_non_empty(train, test)?;
+        require_batch_size(batch_size)?;
+        Ok(Self {
+            model,
+            train,
+            test,
+            targets: train.iter().map(normalized_target).collect(),
+            batch_size,
+            backend,
+        })
+    }
+}
+
+impl TrainStep for MiniBatchVqc<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.model.init_params(seed)
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        let mut steps = 0usize;
+        let mut grad_acc = vec![0.0; params.len()];
+        for chunk in order.chunks(self.batch_size) {
+            grad_acc.iter_mut().for_each(|g| *g = 0.0);
+            let mut batch_loss = 0.0;
+            for &i in chunk {
+                let (loss, grad) = self.model.loss_and_grad_with(
+                    &self.train[i].seismic,
+                    &self.targets[i],
+                    params,
+                    self.backend.get(),
+                )?;
+                batch_loss += loss;
+                for (acc, g) in grad_acc.iter_mut().zip(&grad) {
+                    *acc += g;
+                }
+            }
+            let scale = 1.0 / chunk.len() as f64;
+            grad_acc.iter_mut().for_each(|g| *g *= scale);
+            optimizer.step(params, &grad_acc);
+            loss_sum += batch_loss * scale;
+            norm_sum += l2_norm(&grad_acc);
+            steps += 1;
+        }
+        let n = steps.max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc_with(self.model, params, self.test, self.backend.get())
+    }
+}
+
+/// The classical model's view of a scaled sample: the same
+/// quantum-normalised input the VQC sees (per-group ℓ₂ norm) so the
+/// Table 2 comparison is like-for-like.
+fn regressor_input(sample: &ScaledSample, group_len: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(sample.seismic.len());
+    for chunk in sample.seismic.chunks(group_len) {
+        out.extend(l2_normalized(chunk));
+    }
+    out
+}
+
+/// Builds the regression target for a head: 64 pixels (PX) or 8 row
+/// means (LY) of the normalised map.
+fn regressor_target(head: &RegressorHead, target_map: &Array2) -> Vec<f64> {
+    match *head {
+        RegressorHead::PixelWise { side } => {
+            let mut t = Vec::with_capacity(side * side);
+            for r in 0..side {
+                t.extend_from_slice(target_map.row(r));
+            }
+            t
+        }
+        RegressorHead::LayerWise { rows } => (0..rows)
+            .map(|r| {
+                let row = target_map.row(r);
+                row.iter().sum::<f64>() / row.len() as f64
+            })
+            .collect(),
+    }
+}
+
+/// Expands a regressor output vector into a velocity map (rows replicated
+/// for the layer-wise head).
+fn regressor_map(head: &RegressorHead, output: &[f64]) -> Array2 {
+    match *head {
+        RegressorHead::PixelWise { side } => {
+            Array2::from_fn(side, side, |r, c| output[r * side + c])
+        }
+        RegressorHead::LayerWise { rows } => Array2::from_fn(rows, rows, |r, _| output[r]),
+    }
+}
+
+/// Evaluates a trained CNN regressor: mean (MSE, SSIM) against
+/// normalised targets.
+///
+/// # Errors
+///
+/// Returns an error for empty sets or shape mismatches.
+pub fn evaluate_regressor(
+    model: &CnnRegressor,
+    samples: &[ScaledSample],
+    group_len: usize,
+) -> Result<(f64, f64), QuGeoError> {
+    if samples.is_empty() {
+        return Err(QuGeoError::Config {
+            reason: "cannot evaluate on an empty set".into(),
+        });
+    }
+    let head = model.config().head;
+    let preds = samples
+        .iter()
+        .map(|s| {
+            let out = model.forward(&regressor_input(s, group_len))?;
+            Ok(regressor_map(&head, &out))
+        })
+        .collect::<Result<Vec<_>, QuGeoError>>()?;
+    mean_mse_ssim(samples, &preds)
+}
+
+/// Classical baseline training: one optimiser step per sample on a
+/// [`CnnRegressor`], with the same engine (schedule, callbacks,
+/// shuffling) as the quantum strategies.
+pub struct RegressorStep<'a> {
+    model: &'a mut CnnRegressor,
+    inputs: Vec<Vec<f64>>,
+    targets: Vec<Vec<f64>>,
+    test: &'a [ScaledSample],
+    group_len: usize,
+}
+
+impl<'a> RegressorStep<'a> {
+    /// Per-sample regressor training; inputs are pre-normalised with the
+    /// VQC's per-group ℓ₂ norm so the comparison is like-for-like.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty train or test sets.
+    pub fn new(
+        model: &'a mut CnnRegressor,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        group_len: usize,
+    ) -> Result<Self, QuGeoError> {
+        require_non_empty(train, test)?;
+        let head = model.config().head;
+        let inputs = train.iter().map(|s| regressor_input(s, group_len)).collect();
+        let targets = train
+            .iter()
+            .map(|s| regressor_target(&head, &normalized_target(s)))
+            .collect();
+        Ok(Self {
+            model,
+            inputs,
+            targets,
+            test,
+            group_len,
+        })
+    }
+}
+
+impl TrainStep for RegressorStep<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn init_params(&self, _seed: u64) -> Vec<f64> {
+        // Classical networks keep their constructor-seeded weights; the
+        // engine seed only drives shuffling.
+        self.model.params()
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        for &i in order {
+            let (loss, grad) = self.model.loss_and_grad(&self.inputs[i], &self.targets[i])?;
+            optimizer.step(params, &grad);
+            self.model.set_params(params);
+            loss_sum += loss;
+            norm_sum += l2_norm(&grad);
+        }
+        let n = order.len().max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        self.model.set_params(params);
+        evaluate_regressor(self.model, self.test, self.group_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regressor_target_layer_wise_uses_row_means() {
+        let map = Array2::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
+        let t = regressor_target(&RegressorHead::LayerWise { rows: 4 }, &map);
+        assert_eq!(t, vec![1.5, 5.5, 9.5, 13.5]);
+        let tp = regressor_target(&RegressorHead::PixelWise { side: 4 }, &map);
+        assert_eq!(tp.len(), 16);
+        assert_eq!(tp[5], 5.0);
+    }
+
+    #[test]
+    fn regressor_map_round_trips() {
+        let out: Vec<f64> = (0..4).map(|i| i as f64).collect();
+        let m = regressor_map(&RegressorHead::LayerWise { rows: 4 }, &out);
+        assert_eq!(m[(2, 0)], 2.0);
+        assert_eq!(m[(2, 3)], 2.0);
+    }
+
+}

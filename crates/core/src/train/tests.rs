@@ -1,0 +1,347 @@
+use super::*;
+use crate::decoder::Decoder;
+use crate::model::{QuGeoVqc, VqcConfig};
+use qugeo_geodata::scaling::ScaledSample;
+use qugeo_nn::models::{CnnRegressor, RegressorConfig};
+use qugeo_nn::optim::{ConstantLr, Sgd, StepDecay, WarmupCosine};
+use qugeo_qsim::ansatz::EntangleOrder;
+use qugeo_tensor::Array2;
+
+/// Synthetic scaled samples with a learnable seismic→velocity link:
+/// the seismic vector is a deterministic function of the layer depth.
+pub(crate) fn synthetic_samples(n: usize, seismic_len: usize, side: usize) -> Vec<ScaledSample> {
+    (0..n)
+        .map(|k| {
+            let depth = 1 + (k % (side - 1));
+            let seismic: Vec<f64> = (0..seismic_len)
+                .map(|i| {
+                    let phase = i as f64 * 0.2 + depth as f64;
+                    phase.sin() + 0.3 * (phase * 0.5).cos()
+                })
+                .collect();
+            let velocity = Array2::from_fn(side, side, |r, _| {
+                if r < depth {
+                    2000.0
+                } else {
+                    3500.0
+                }
+            });
+            ScaledSample { seismic, velocity }
+        })
+        .collect()
+}
+
+pub(crate) fn small_vqc(decoder: Decoder) -> QuGeoVqc {
+    QuGeoVqc::new(VqcConfig {
+        seismic_len: 16,
+        num_groups: 1,
+        num_blocks: 3,
+        mixing_blocks: 0,
+        entangle: EntangleOrder::Ring,
+        decoder,
+        max_qubits: 16,
+    })
+    .unwrap()
+}
+
+fn split(samples: Vec<ScaledSample>, at: usize) -> (Vec<ScaledSample>, Vec<ScaledSample>) {
+    let test = samples[at..].to_vec();
+    (samples[..at].to_vec(), test)
+}
+
+#[test]
+fn per_sample_training_reduces_loss() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 30,
+        initial_lr: 0.1,
+        seed: 3,
+        eval_every: 0,
+    };
+    let outcome = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    let first = outcome.history.first().unwrap().train_loss;
+    let last = outcome.history.last().unwrap().train_loss;
+    assert!(last < first, "loss {first} -> {last} did not decrease");
+    assert!(outcome.final_ssim.is_finite());
+    assert_eq!(outcome.history.len(), 30);
+}
+
+#[test]
+fn config_validation_rejects_degenerate_setups() {
+    assert!(TrainConfig {
+        epochs: 0,
+        ..TrainConfig::smoke(1)
+    }
+    .validate()
+    .is_err());
+    for bad_lr in [0.0, -0.1, f64::NAN, f64::INFINITY] {
+        let cfg = TrainConfig {
+            initial_lr: bad_lr,
+            ..TrainConfig::smoke(1)
+        };
+        assert!(cfg.validate().is_err(), "lr {bad_lr} must be rejected");
+    }
+    assert!(TrainConfig::paper_default().validate().is_ok());
+
+    // fit() applies the validation before touching the strategy.
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(4, 16, 4), 2);
+    let mut strategy = PerSampleVqc::new(&model, &train, &test).unwrap();
+    let err = Trainer::new(TrainConfig {
+        epochs: 0,
+        ..TrainConfig::smoke(1)
+    })
+    .fit(&mut strategy);
+    assert!(matches!(err, Err(QuGeoError::Config { .. })));
+}
+
+#[test]
+fn strategies_validate_their_inputs() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let samples = synthetic_samples(2, 16, 4);
+    assert!(PerSampleVqc::new(&model, &[], &samples).is_err());
+    assert!(PerSampleVqc::new(&model, &samples, &[]).is_err());
+    assert!(QuBatchVqc::new(&model, &samples, &samples, 0).is_err());
+    assert!(MiniBatchVqc::new(&model, &samples, &samples, 0).is_err());
+    let mut regressor = CnnRegressor::new(RegressorConfig::layer_wise(), 2).unwrap();
+    assert!(RegressorStep::new(&mut regressor, &[], &samples, 64).is_err());
+}
+
+#[test]
+fn qubatch_training_reduces_loss() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 20,
+        initial_lr: 0.1,
+        seed: 3,
+        eval_every: 0,
+    };
+    let outcome = Trainer::new(cfg)
+        .fit(&mut QuBatchVqc::new(&model, &train, &test, 2).unwrap())
+        .unwrap();
+    let first = outcome.history.first().unwrap().train_loss;
+    let last = outcome.history.last().unwrap().train_loss;
+    assert!(last < first, "batched loss {first} -> {last}");
+}
+
+#[test]
+fn minibatch_at_size_one_is_bitwise_per_sample() {
+    // A mini-batch of one averages a single gradient — identical updates
+    // to the per-sample loop, so the runs must agree bit-for-bit.
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(5, 16, 4), 3);
+    let cfg = TrainConfig::smoke(4);
+    let per_sample = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    let minibatch = Trainer::new(cfg)
+        .fit(&mut MiniBatchVqc::new(&model, &train, &test, 1).unwrap())
+        .unwrap();
+    assert_eq!(per_sample.params, minibatch.params);
+    assert_eq!(per_sample.final_mse, minibatch.final_mse);
+}
+
+#[test]
+fn minibatch_averaging_trains() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 25,
+        initial_lr: 0.1,
+        seed: 3,
+        eval_every: 0,
+    };
+    let outcome = Trainer::new(cfg)
+        .fit(&mut MiniBatchVqc::new(&model, &train, &test, 2).unwrap())
+        .unwrap();
+    let first = outcome.history.first().unwrap().train_loss;
+    let last = outcome.history.last().unwrap().train_loss;
+    assert!(last < first, "mini-batch loss {first} -> {last}");
+}
+
+#[test]
+fn custom_optimizer_and_schedule_plug_in() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 25,
+        initial_lr: 0.3,
+        seed: 3,
+        eval_every: 0,
+    };
+    // Momentum-SGD under a warmup-then-cosine schedule — the staged
+    // setup related hybrid-QNN FWI work trains with.
+    let outcome = Trainer::new(cfg)
+        .optimizer(|n, lr| Box::new(Sgd::with_momentum(n, lr, 0.9)))
+        .schedule(WarmupCosine::new(cfg.initial_lr, 5, cfg.epochs))
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    let first = outcome.history.first().unwrap().train_loss;
+    let last = outcome.history.last().unwrap().train_loss;
+    assert!(last < first, "momentum-SGD loss {first} -> {last}");
+    assert_eq!(outcome.history.len(), 25);
+
+    // Step-decay schedule on the same strategy also runs end to end.
+    let stepped = Trainer::new(cfg)
+        .schedule(StepDecay::new(cfg.initial_lr, 0.5, 10))
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    assert!(stepped.final_mse.is_finite());
+}
+
+#[test]
+fn early_stopping_halts_and_truncates_history() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(4, 16, 4), 2);
+    let cfg = TrainConfig {
+        epochs: 40,
+        initial_lr: 0.1,
+        seed: 3,
+        eval_every: 1,
+    };
+    // A learning rate this small cannot move test MSE by more than
+    // min_delta, so every evaluation after the first is a strike.
+    let outcome = Trainer::new(cfg)
+        .schedule(ConstantLr::new(1e-12))
+        .callback(EarlyStopping::new(3, 1e-9))
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    // Epoch 0 sets the best; epochs 1..=3 are strikes; stop at epoch 3.
+    assert_eq!(
+        outcome.history.len(),
+        4,
+        "history must be truncated at the stopping epoch"
+    );
+    assert!(outcome.history.len() < cfg.epochs);
+    assert!(outcome.final_mse.is_finite());
+    let last = outcome.history.last().unwrap();
+    assert!(last.test_mse.is_some(), "stopping epoch was an evaluation");
+}
+
+#[test]
+fn metrics_recorder_enriches_history_only_when_installed() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(4, 16, 4), 2);
+    let cfg = TrainConfig::smoke(3);
+
+    let plain = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    assert!(plain.history.iter().all(|s| s.grad_norm.is_none()));
+    assert!(plain.history.iter().all(|s| s.wall_clock_secs.is_none()));
+
+    let recorded = Trainer::new(cfg)
+        .callback(MetricsRecorder)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    for s in &recorded.history {
+        let g = s.grad_norm.expect("grad norm recorded");
+        assert!(g.is_finite() && g >= 0.0);
+        assert!(s.wall_clock_secs.expect("wall clock recorded") >= 0.0);
+    }
+    // The recorder observes without perturbing the run.
+    assert_eq!(plain.params, recorded.params);
+}
+
+#[test]
+fn periodic_checkpoints_capture_restorable_params() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(4, 16, 4), 2);
+    let cfg = TrainConfig::smoke(6);
+    let dir = std::env::temp_dir().join("qugeo_train_ckpt_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let checkpointer = PeriodicCheckpoint::new(&model, &dir, 3, "engine-test").unwrap();
+    let final_path = checkpointer.path_for_epoch(5);
+    let mid_path = checkpointer.path_for_epoch(2);
+
+    let outcome = Trainer::new(cfg)
+        .callback(checkpointer)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+
+    assert!(mid_path.exists(), "epoch-2 checkpoint written");
+    assert!(final_path.exists(), "epoch-5 checkpoint written");
+    // The final checkpoint restores exactly the trained parameters.
+    let restored = crate::checkpoint::Checkpoint::load(&final_path)
+        .unwrap()
+        .restore_into(&model)
+        .unwrap();
+    assert_eq!(restored, outcome.params);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn regressor_training_reduces_loss() {
+    let (train, test) = split(synthetic_samples(6, 256, 8), 4);
+    let mut model = CnnRegressor::new(RegressorConfig::layer_wise(), 2).unwrap();
+    let cfg = TrainConfig {
+        epochs: 25,
+        initial_lr: 0.02,
+        seed: 3,
+        eval_every: 0,
+    };
+    let outcome = Trainer::new(cfg)
+        .fit(&mut RegressorStep::new(&mut model, &train, &test, 64).unwrap())
+        .unwrap();
+    let first = outcome.history.first().unwrap().train_loss;
+    let last = outcome.history.last().unwrap().train_loss;
+    assert!(last < first, "regressor loss {first} -> {last}");
+    assert!(outcome.final_mse.is_finite());
+}
+
+#[test]
+fn history_records_evaluations_at_interval() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(4, 16, 4), 2);
+    let cfg = TrainConfig {
+        epochs: 6,
+        initial_lr: 0.05,
+        seed: 1,
+        eval_every: 2,
+    };
+    let outcome = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    assert!(outcome.history[0].test_mse.is_some());
+    assert!(outcome.history[1].test_mse.is_none());
+    assert!(outcome.history[2].test_mse.is_some());
+    assert!(outcome.history[5].test_mse.is_some()); // final epoch
+}
+
+#[test]
+fn training_outcome_is_backend_invariant_across_exact_backends() {
+    use qugeo_qsim::NaiveBackend;
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(4, 16, 4), 3);
+    let cfg = TrainConfig {
+        epochs: 4,
+        initial_lr: 0.1,
+        seed: 3,
+        eval_every: 0,
+    };
+    let default_run = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    let naive = NaiveBackend::default();
+    let naive_run = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::with_backend(&model, &train, &test, &naive).unwrap())
+        .unwrap();
+    // Swapping one exact backend for another changes nothing: same
+    // trained parameters, same metrics, to within rounding noise.
+    for (a, b) in default_run.params.iter().zip(&naive_run.params) {
+        assert!((a - b).abs() < 1e-10, "params diverged: {a} vs {b}");
+    }
+    assert!((default_run.final_mse - naive_run.final_mse).abs() < 1e-10);
+    assert!((default_run.final_ssim - naive_run.final_ssim).abs() < 1e-10);
+}
+
+#[test]
+fn evaluation_errors_on_empty_set() {
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let params = model.init_params(0);
+    assert!(evaluate_vqc(&model, &params, &[]).is_err());
+}

@@ -1,161 +1,46 @@
-//! Training loops for quantum and classical FWI models.
+//! Legacy training entry points (deprecated wrappers).
 //!
 //! The paper's recipe, used for every model: "Adam optimizer with 500
 //! epochs where the initial learning rate is set to 0.1, followed by a
 //! cosine annealing schedule", on a 400/100 train/test split of 500
 //! FlatVelA samples.
+//!
+//! This module used to hold five near-duplicate training loops. They
+//! are now thin wrappers over the unified engine in [`crate::train`]
+//! ([`Trainer`] + a [`TrainStep`](crate::train::TrainStep) strategy)
+//! and are
+//! **deprecated**: new code should build the engine directly —
+//!
+//! ```no_run
+//! use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
+//! # fn main() -> Result<(), qugeo::QuGeoError> {
+//! # let model = qugeo::model::QuGeoVqc::new(qugeo::model::VqcConfig::paper_layer_wise())?;
+//! # let (train, test): (Vec<_>, Vec<_>) = (vec![], vec![]);
+//! let outcome = Trainer::new(TrainConfig::paper_default())
+//!     .fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The wrappers reproduce their historical outputs **bit-for-bit** at
+//! equal seeds (the engine's default optimiser, schedule, shuffling
+//! stream, and evaluation cadence are exactly the old loop's); the
+//! differential tests below pin that equivalence against a frozen
+//! reference implementation.
 
 use qugeo_geodata::scaling::ScaledSample;
-use qugeo_metrics::{mse, ssim};
-use qugeo_nn::models::{CnnRegressor, RegressorHead};
-use qugeo_nn::optim::{Adam, CosineAnnealing};
-use qugeo_nn::Model;
-use qugeo_qsim::{QuantumBackend, StatevectorBackend};
-use qugeo_tensor::norm::l2_normalized;
-use qugeo_tensor::Array2;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use qugeo_nn::models::CnnRegressor;
+use qugeo_qsim::QuantumBackend;
 
 use crate::model::QuGeoVqc;
-use crate::pipeline::normalized_target;
-use crate::qubatch::QuBatch;
+use crate::train::{PerSampleVqc, QuBatchVqc, RegressorStep, Trainer};
 use crate::QuGeoError;
 
-/// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TrainConfig {
-    /// Number of passes over the training set.
-    pub epochs: usize,
-    /// Initial learning rate (cosine-annealed to zero).
-    pub initial_lr: f64,
-    /// Seed for parameter initialisation and shuffling.
-    pub seed: u64,
-    /// Evaluate on the test set every `eval_every` epochs (and always on
-    /// the final epoch). 0 disables intermediate evaluation.
-    pub eval_every: usize,
-}
-
-impl TrainConfig {
-    /// The paper's setup: 500 epochs, lr 0.1, cosine annealing.
-    pub fn paper_default() -> Self {
-        Self {
-            epochs: 500,
-            initial_lr: 0.1,
-            seed: 7,
-            eval_every: 25,
-        }
-    }
-
-    /// A fast setup for tests and smoke runs.
-    pub fn smoke(epochs: usize) -> Self {
-        Self {
-            epochs,
-            initial_lr: 0.1,
-            seed: 7,
-            eval_every: 0,
-        }
-    }
-}
-
-/// Metrics recorded during training.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EpochStats {
-    /// Epoch index (0-based).
-    pub epoch: usize,
-    /// Mean training loss over the epoch.
-    pub train_loss: f64,
-    /// Test MSE (normalised velocity), when evaluated this epoch.
-    pub test_mse: Option<f64>,
-    /// Test SSIM (normalised velocity), when evaluated this epoch.
-    pub test_ssim: Option<f64>,
-}
-
-/// The result of a training run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TrainOutcome {
-    /// Final trained parameters.
-    pub params: Vec<f64>,
-    /// Per-epoch statistics.
-    pub history: Vec<EpochStats>,
-    /// Final test MSE (normalised velocity).
-    pub final_mse: f64,
-    /// Final test SSIM.
-    pub final_ssim: f64,
-}
-
-/// Mean (MSE, SSIM) of per-sample predictions against the samples'
-/// normalised velocity targets.
-///
-/// # Panics
-///
-/// Panics (debug) if `preds.len() != samples.len()`.
-fn mean_mse_ssim(samples: &[ScaledSample], preds: &[Array2]) -> Result<(f64, f64), QuGeoError> {
-    debug_assert_eq!(samples.len(), preds.len());
-    if samples.is_empty() {
-        return Err(QuGeoError::Config {
-            reason: "cannot evaluate on an empty set".into(),
-        });
-    }
-    let mut mse_total = 0.0;
-    let mut ssim_total = 0.0;
-    for (s, pred) in samples.iter().zip(preds) {
-        let target = normalized_target(s);
-        mse_total += mse(pred, &target)?;
-        ssim_total += ssim(pred, &target)?;
-    }
-    let n = samples.len() as f64;
-    Ok((mse_total / n, ssim_total / n))
-}
-
-/// Mean (MSE, SSIM) of a prediction function over samples, on
-/// normalised velocity maps.
-fn evaluate_predictions(
-    samples: &[ScaledSample],
-    mut predict: impl FnMut(&ScaledSample) -> Result<Array2, QuGeoError>,
-) -> Result<(f64, f64), QuGeoError> {
-    let preds = samples
-        .iter()
-        .map(&mut predict)
-        .collect::<Result<Vec<_>, _>>()?;
-    mean_mse_ssim(samples, &preds)
-}
-
-/// Evaluates a trained VQC on a sample set: mean (MSE, SSIM) against
-/// normalised targets.
-///
-/// The whole set runs through one gate-fused batched engine call
-/// ([`QuGeoVqc::predict_many`]): the ansatz is compiled once and swept
-/// across all encoded samples — the evaluation-epoch hot path.
-///
-/// # Errors
-///
-/// Returns an error for empty sets or prediction failures.
-pub fn evaluate_vqc(
-    model: &QuGeoVqc,
-    params: &[f64],
-    samples: &[ScaledSample],
-) -> Result<(f64, f64), QuGeoError> {
-    evaluate_vqc_with(model, params, samples, &StatevectorBackend::default())
-}
-
-/// [`evaluate_vqc`] through an execution backend: the whole set runs via
-/// [`QuGeoVqc::predict_many_with`], so evaluation can be re-run under
-/// finite shots or gate noise by swapping the backend.
-///
-/// # Errors
-///
-/// Returns an error for empty sets or prediction failures.
-pub fn evaluate_vqc_with(
-    model: &QuGeoVqc,
-    params: &[f64],
-    samples: &[ScaledSample],
-    backend: &dyn QuantumBackend,
-) -> Result<(f64, f64), QuGeoError> {
-    let seismic: Vec<&[f64]> = samples.iter().map(|s| s.seismic.as_slice()).collect();
-    let preds = model.predict_many_with(&seismic, params, backend)?;
-    mean_mse_ssim(samples, &preds)
-}
+// The engine is the canonical home of the training types; the old
+// `qugeo::trainer::{TrainConfig, …}` paths keep working via re-export.
+pub use crate::train::{
+    evaluate_regressor, evaluate_vqc, evaluate_vqc_with, EpochStats, TrainConfig, TrainOutcome,
+};
 
 /// Trains a [`QuGeoVqc`] with per-sample Adam steps (the paper's
 /// training loop).
@@ -163,25 +48,25 @@ pub fn evaluate_vqc_with(
 /// # Errors
 ///
 /// Returns an error for empty datasets or simulation failures.
+#[deprecated(note = "use qugeo::train::{Trainer, PerSampleVqc}")]
 pub fn train_vqc(
     model: &QuGeoVqc,
     train: &[ScaledSample],
     test: &[ScaledSample],
     config: &TrainConfig,
 ) -> Result<TrainOutcome, QuGeoError> {
-    train_vqc_with(model, train, test, config, &StatevectorBackend::default())
+    Trainer::new(*config).fit(&mut PerSampleVqc::new(model, train, test)?)
 }
 
 /// [`train_vqc`] through an execution backend: every loss/gradient step
 /// runs via [`QuGeoVqc::loss_and_grad_with`] (adjoint on exact backends,
-/// parameter-shift through the backend otherwise) and every evaluation
-/// via [`evaluate_vqc_with`]. Training under finite shots or gate noise
-/// is the same call with a different backend.
+/// parameter-shift through the backend otherwise).
 ///
 /// # Errors
 ///
 /// Returns an error for empty datasets, simulation failures, or backend
 /// failures.
+#[deprecated(note = "use qugeo::train::{Trainer, PerSampleVqc::with_backend}")]
 pub fn train_vqc_with(
     model: &QuGeoVqc,
     train: &[ScaledSample],
@@ -189,55 +74,7 @@ pub fn train_vqc_with(
     config: &TrainConfig,
     backend: &dyn QuantumBackend,
 ) -> Result<TrainOutcome, QuGeoError> {
-    if train.is_empty() || test.is_empty() {
-        return Err(QuGeoError::Config {
-            reason: "train and test sets must be non-empty".into(),
-        });
-    }
-    let mut params = model.init_params(config.seed);
-    let mut adam = Adam::new(params.len(), config.initial_lr);
-    let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
-
-    let targets: Vec<Array2> = train.iter().map(normalized_target).collect();
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut history = Vec::with_capacity(config.epochs);
-
-    for epoch in 0..config.epochs {
-        adam.set_learning_rate(schedule.lr_at(epoch));
-        order.shuffle(&mut rng);
-        let mut loss_sum = 0.0;
-        for &i in &order {
-            let (loss, grad) =
-                model.loss_and_grad_with(&train[i].seismic, &targets[i], &params, backend)?;
-            adam.step(&mut params, &grad);
-            loss_sum += loss;
-        }
-        let train_loss = loss_sum / train.len() as f64;
-
-        let evaluate = epoch + 1 == config.epochs
-            || (config.eval_every > 0 && epoch % config.eval_every == 0);
-        let (test_mse, test_ssim) = if evaluate {
-            let (m, s) = evaluate_vqc_with(model, &params, test, backend)?;
-            (Some(m), Some(s))
-        } else {
-            (None, None)
-        };
-        history.push(EpochStats {
-            epoch,
-            train_loss,
-            test_mse,
-            test_ssim,
-        });
-    }
-
-    let (final_mse, final_ssim) = evaluate_vqc_with(model, &params, test, backend)?;
-    Ok(TrainOutcome {
-        params,
-        history,
-        final_mse,
-        final_ssim,
-    })
+    Trainer::new(*config).fit(&mut PerSampleVqc::with_backend(model, train, test, backend)?)
 }
 
 /// Trains a [`QuGeoVqc`] with QuBatch: each Adam step consumes one batch
@@ -245,8 +82,9 @@ pub fn train_vqc_with(
 ///
 /// # Errors
 ///
-/// Returns an error for empty datasets, multi-group models, or
-/// simulation failures.
+/// Returns an error for empty datasets, `batch_size == 0`, multi-group
+/// models, or simulation failures.
+#[deprecated(note = "use qugeo::train::{Trainer, QuBatchVqc}")]
 pub fn train_vqc_batched(
     model: &QuGeoVqc,
     train: &[ScaledSample],
@@ -254,24 +92,16 @@ pub fn train_vqc_batched(
     config: &TrainConfig,
     batch_size: usize,
 ) -> Result<TrainOutcome, QuGeoError> {
-    train_vqc_batched_with(
-        model,
-        train,
-        test,
-        config,
-        batch_size,
-        &StatevectorBackend::default(),
-    )
+    Trainer::new(*config).fit(&mut QuBatchVqc::new(model, train, test, batch_size)?)
 }
 
-/// [`train_vqc_batched`] through an execution backend (QuBatch steps via
-/// [`QuBatch::loss_and_grad_batch_with`], evaluation via
-/// [`evaluate_vqc_with`]).
+/// [`train_vqc_batched`] through an execution backend.
 ///
 /// # Errors
 ///
-/// Returns an error for empty datasets, multi-group models, simulation
-/// failures, or backend failures.
+/// Returns an error for empty datasets, `batch_size == 0`, multi-group
+/// models, simulation failures, or backend failures.
+#[deprecated(note = "use qugeo::train::{Trainer, QuBatchVqc::with_backend}")]
 pub fn train_vqc_batched_with(
     model: &QuGeoVqc,
     train: &[ScaledSample],
@@ -280,120 +110,9 @@ pub fn train_vqc_batched_with(
     batch_size: usize,
     backend: &dyn QuantumBackend,
 ) -> Result<TrainOutcome, QuGeoError> {
-    if train.is_empty() || test.is_empty() || batch_size == 0 {
-        return Err(QuGeoError::Config {
-            reason: "train/test must be non-empty and batch_size positive".into(),
-        });
-    }
-    let qubatch = QuBatch::new(model)?;
-    let mut params = model.init_params(config.seed);
-    let mut adam = Adam::new(params.len(), config.initial_lr);
-    let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
-
-    let targets: Vec<Array2> = train.iter().map(normalized_target).collect();
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut history = Vec::with_capacity(config.epochs);
-
-    for epoch in 0..config.epochs {
-        adam.set_learning_rate(schedule.lr_at(epoch));
-        order.shuffle(&mut rng);
-        let mut loss_sum = 0.0;
-        let mut steps = 0usize;
-        for chunk in order.chunks(batch_size) {
-            let seismic: Vec<Vec<f64>> =
-                chunk.iter().map(|&i| train[i].seismic.clone()).collect();
-            let tgt: Vec<Array2> = chunk.iter().map(|&i| targets[i].clone()).collect();
-            let (loss, grad) = qubatch.loss_and_grad_batch_with(&seismic, &tgt, &params, backend)?;
-            adam.step(&mut params, &grad);
-            loss_sum += loss;
-            steps += 1;
-        }
-        let train_loss = loss_sum / steps.max(1) as f64;
-
-        let evaluate = epoch + 1 == config.epochs
-            || (config.eval_every > 0 && epoch % config.eval_every == 0);
-        let (test_mse, test_ssim) = if evaluate {
-            let (m, s) = evaluate_vqc_with(model, &params, test, backend)?;
-            (Some(m), Some(s))
-        } else {
-            (None, None)
-        };
-        history.push(EpochStats {
-            epoch,
-            train_loss,
-            test_mse,
-            test_ssim,
-        });
-    }
-
-    let (final_mse, final_ssim) = evaluate_vqc_with(model, &params, test, backend)?;
-    Ok(TrainOutcome {
-        params,
-        history,
-        final_mse,
-        final_ssim,
-    })
-}
-
-/// The classical model's view of a scaled sample: the same
-/// quantum-normalised input the VQC sees (per-group ℓ₂ norm) so the
-/// Table 2 comparison is like-for-like.
-fn regressor_input(sample: &ScaledSample, group_len: usize) -> Vec<f64> {
-    let mut out = Vec::with_capacity(sample.seismic.len());
-    for chunk in sample.seismic.chunks(group_len) {
-        out.extend(l2_normalized(chunk));
-    }
-    out
-}
-
-/// Builds the regression target for a head: 64 pixels (PX) or 8 row
-/// means (LY) of the normalised map.
-fn regressor_target(head: &RegressorHead, target_map: &Array2) -> Vec<f64> {
-    match *head {
-        RegressorHead::PixelWise { side } => {
-            let mut t = Vec::with_capacity(side * side);
-            for r in 0..side {
-                t.extend_from_slice(target_map.row(r));
-            }
-            t
-        }
-        RegressorHead::LayerWise { rows } => (0..rows)
-            .map(|r| {
-                let row = target_map.row(r);
-                row.iter().sum::<f64>() / row.len() as f64
-            })
-            .collect(),
-    }
-}
-
-/// Expands a regressor output vector into a velocity map (rows replicated
-/// for the layer-wise head).
-fn regressor_map(head: &RegressorHead, output: &[f64]) -> Array2 {
-    match *head {
-        RegressorHead::PixelWise { side } => {
-            Array2::from_fn(side, side, |r, c| output[r * side + c])
-        }
-        RegressorHead::LayerWise { rows } => Array2::from_fn(rows, rows, |r, _| output[r]),
-    }
-}
-
-/// Evaluates a trained CNN regressor: mean (MSE, SSIM) against
-/// normalised targets.
-///
-/// # Errors
-///
-/// Returns an error for empty sets or shape mismatches.
-pub fn evaluate_regressor(
-    model: &CnnRegressor,
-    samples: &[ScaledSample],
-    group_len: usize,
-) -> Result<(f64, f64), QuGeoError> {
-    let head = model.config().head;
-    evaluate_predictions(samples, |s| {
-        let out = model.forward(&regressor_input(s, group_len))?;
-        Ok(regressor_map(&head, &out))
-    })
+    Trainer::new(*config).fit(&mut QuBatchVqc::with_backend(
+        model, train, test, batch_size, backend,
+    )?)
 }
 
 /// Trains a classical [`CnnRegressor`] baseline with the same recipe as
@@ -402,6 +121,7 @@ pub fn evaluate_regressor(
 /// # Errors
 ///
 /// Returns an error for empty datasets or shape mismatches.
+#[deprecated(note = "use qugeo::train::{Trainer, RegressorStep}")]
 pub fn train_regressor(
     model: &mut CnnRegressor,
     train: &[ScaledSample],
@@ -409,179 +129,209 @@ pub fn train_regressor(
     config: &TrainConfig,
     group_len: usize,
 ) -> Result<TrainOutcome, QuGeoError> {
-    if train.is_empty() || test.is_empty() {
-        return Err(QuGeoError::Config {
-            reason: "train and test sets must be non-empty".into(),
-        });
-    }
-    let head = model.config().head;
-    let inputs: Vec<Vec<f64>> = train.iter().map(|s| regressor_input(s, group_len)).collect();
-    let targets: Vec<Vec<f64>> = train
-        .iter()
-        .map(|s| regressor_target(&head, &normalized_target(s)))
-        .collect();
-
-    let mut params = model.params();
-    let mut adam = Adam::new(params.len(), config.initial_lr);
-    let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut history = Vec::with_capacity(config.epochs);
-
-    for epoch in 0..config.epochs {
-        adam.set_learning_rate(schedule.lr_at(epoch));
-        order.shuffle(&mut rng);
-        let mut loss_sum = 0.0;
-        for &i in &order {
-            let (loss, grad) = model.loss_and_grad(&inputs[i], &targets[i])?;
-            adam.step(&mut params, &grad);
-            model.set_params(&params);
-            loss_sum += loss;
-        }
-        let train_loss = loss_sum / train.len() as f64;
-
-        let evaluate = epoch + 1 == config.epochs
-            || (config.eval_every > 0 && epoch % config.eval_every == 0);
-        let (test_mse, test_ssim) = if evaluate {
-            let (m, s) = evaluate_regressor(model, test, group_len)?;
-            (Some(m), Some(s))
-        } else {
-            (None, None)
-        };
-        history.push(EpochStats {
-            epoch,
-            train_loss,
-            test_mse,
-            test_ssim,
-        });
-    }
-
-    let (final_mse, final_ssim) = evaluate_regressor(model, test, group_len)?;
-    Ok(TrainOutcome {
-        params,
-        history,
-        final_mse,
-        final_ssim,
-    })
+    Trainer::new(*config).fit(&mut RegressorStep::new(model, train, test, group_len)?)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::decoder::Decoder;
-    use crate::model::VqcConfig;
-    use qugeo_nn::models::RegressorConfig;
-    use qugeo_qsim::ansatz::EntangleOrder;
+    use crate::pipeline::normalized_target;
+    use crate::qubatch::QuBatch;
+    use crate::train::tests::{small_vqc, synthetic_samples};
+    use qugeo_nn::optim::{Adam, CosineAnnealing, LrSchedule, Optimizer};
+    use qugeo_qsim::StatevectorBackend;
+    use qugeo_tensor::Array2;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
 
-    /// Synthetic scaled samples with a learnable seismic→velocity link:
-    /// the seismic vector is a deterministic function of the layer depth.
-    fn synthetic_samples(n: usize, seismic_len: usize, side: usize) -> Vec<ScaledSample> {
-        (0..n)
-            .map(|k| {
-                let depth = 1 + (k % (side - 1));
-                let seismic: Vec<f64> = (0..seismic_len)
-                    .map(|i| {
-                        let phase = i as f64 * 0.2 + depth as f64;
-                        phase.sin() + 0.3 * (phase * 0.5).cos()
-                    })
-                    .collect();
-                let velocity = Array2::from_fn(side, side, |r, _| {
-                    if r < depth {
-                        2000.0
-                    } else {
-                        3500.0
-                    }
-                });
-                ScaledSample { seismic, velocity }
-            })
-            .collect()
+    /// The *original* per-sample training loop, frozen verbatim from the
+    /// pre-engine implementation. The differential tests require the
+    /// engine to reproduce it bit-for-bit — this copy shares no code
+    /// with `crate::train`.
+    fn reference_train_vqc(
+        model: &QuGeoVqc,
+        train: &[ScaledSample],
+        test: &[ScaledSample],
+        config: &TrainConfig,
+    ) -> TrainOutcome {
+        let backend = StatevectorBackend::default();
+        let mut params = model.init_params(config.seed);
+        let mut adam = Adam::new(params.len(), config.initial_lr);
+        let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+
+        let targets: Vec<Array2> = train.iter().map(normalized_target).collect();
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut history = Vec::with_capacity(config.epochs);
+
+        for epoch in 0..config.epochs {
+            adam.set_learning_rate(schedule.lr_at(epoch));
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            for &i in &order {
+                let (loss, grad) = model
+                    .loss_and_grad_with(&train[i].seismic, &targets[i], &params, &backend)
+                    .unwrap();
+                adam.step(&mut params, &grad);
+                loss_sum += loss;
+            }
+            let train_loss = loss_sum / train.len() as f64;
+
+            let evaluate = epoch + 1 == config.epochs
+                || (config.eval_every > 0 && epoch % config.eval_every == 0);
+            let (test_mse, test_ssim) = if evaluate {
+                let (m, s) = evaluate_vqc(model, &params, test).unwrap();
+                (Some(m), Some(s))
+            } else {
+                (None, None)
+            };
+            history.push(EpochStats {
+                epoch,
+                train_loss,
+                test_mse,
+                test_ssim,
+                grad_norm: None,
+                wall_clock_secs: None,
+            });
+        }
+
+        let (final_mse, final_ssim) = evaluate_vqc(model, &params, test).unwrap();
+        TrainOutcome {
+            params,
+            history,
+            final_mse,
+            final_ssim,
+        }
     }
 
-    fn small_vqc(decoder: Decoder) -> QuGeoVqc {
-        QuGeoVqc::new(VqcConfig {
-            seismic_len: 16,
-            num_groups: 1,
-            num_blocks: 3,
-            mixing_blocks: 0,
-            entangle: EntangleOrder::Ring,
-            decoder,
-            max_qubits: 16,
-        })
-        .unwrap()
+    /// The original QuBatch training loop, frozen verbatim.
+    fn reference_train_vqc_batched(
+        model: &QuGeoVqc,
+        train: &[ScaledSample],
+        test: &[ScaledSample],
+        config: &TrainConfig,
+        batch_size: usize,
+    ) -> TrainOutcome {
+        let backend = StatevectorBackend::default();
+        let qubatch = QuBatch::new(model).unwrap();
+        let mut params = model.init_params(config.seed);
+        let mut adam = Adam::new(params.len(), config.initial_lr);
+        let schedule = CosineAnnealing::new(config.initial_lr, config.epochs);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
+
+        let targets: Vec<Array2> = train.iter().map(normalized_target).collect();
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut history = Vec::with_capacity(config.epochs);
+
+        for epoch in 0..config.epochs {
+            adam.set_learning_rate(schedule.lr_at(epoch));
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            let mut steps = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let seismic: Vec<Vec<f64>> =
+                    chunk.iter().map(|&i| train[i].seismic.clone()).collect();
+                let tgt: Vec<Array2> = chunk.iter().map(|&i| targets[i].clone()).collect();
+                let (loss, grad) = qubatch
+                    .loss_and_grad_batch_with(&seismic, &tgt, &params, &backend)
+                    .unwrap();
+                adam.step(&mut params, &grad);
+                loss_sum += loss;
+                steps += 1;
+            }
+            let train_loss = loss_sum / steps.max(1) as f64;
+
+            let evaluate = epoch + 1 == config.epochs
+                || (config.eval_every > 0 && epoch % config.eval_every == 0);
+            let (test_mse, test_ssim) = if evaluate {
+                let (m, s) = evaluate_vqc(model, &params, test).unwrap();
+                (Some(m), Some(s))
+            } else {
+                (None, None)
+            };
+            history.push(EpochStats {
+                epoch,
+                train_loss,
+                test_mse,
+                test_ssim,
+                grad_norm: None,
+                wall_clock_secs: None,
+            });
+        }
+
+        let (final_mse, final_ssim) = evaluate_vqc(model, &params, test).unwrap();
+        TrainOutcome {
+            params,
+            history,
+            final_mse,
+            final_ssim,
+        }
     }
 
     #[test]
-    fn vqc_training_reduces_loss() {
+    fn engine_reproduces_legacy_per_sample_loop_bit_for_bit() {
         let model = small_vqc(Decoder::LayerWise { rows: 4 });
         let samples = synthetic_samples(6, 16, 4);
         let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
         let cfg = TrainConfig {
-            epochs: 30,
+            epochs: 6,
             initial_lr: 0.1,
             seed: 3,
-            eval_every: 0,
+            eval_every: 2,
         };
-        let outcome = train_vqc(&model, &train, &test, &cfg).unwrap();
-        let first = outcome.history.first().unwrap().train_loss;
-        let last = outcome.history.last().unwrap().train_loss;
-        assert!(last < first, "loss {first} -> {last} did not decrease");
-        assert!(outcome.final_ssim.is_finite());
-        assert_eq!(outcome.history.len(), 30);
+        let reference = reference_train_vqc(&model, &train, &test, &cfg);
+        let wrapper = train_vqc(&model, &train, &test, &cfg).unwrap();
+        let engine = Trainer::new(cfg)
+            .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+            .unwrap();
+        // Bit-for-bit: parameters, every history record, final metrics.
+        assert_eq!(reference, wrapper);
+        assert_eq!(reference, engine);
     }
 
     #[test]
-    fn vqc_training_validates_inputs() {
+    fn engine_reproduces_legacy_qubatch_loop_bit_for_bit() {
+        let model = small_vqc(Decoder::LayerWise { rows: 4 });
+        let samples = synthetic_samples(6, 16, 4);
+        let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
+        let cfg = TrainConfig {
+            epochs: 5,
+            initial_lr: 0.1,
+            seed: 9,
+            eval_every: 2,
+        };
+        for batch_size in [1usize, 2, 3] {
+            let reference =
+                reference_train_vqc_batched(&model, &train, &test, &cfg, batch_size);
+            let wrapper = train_vqc_batched(&model, &train, &test, &cfg, batch_size).unwrap();
+            let engine = Trainer::new(cfg)
+                .fit(&mut QuBatchVqc::new(&model, &train, &test, batch_size).unwrap())
+                .unwrap();
+            assert_eq!(reference, wrapper, "wrapper diverged at batch {batch_size}");
+            assert_eq!(reference, engine, "engine diverged at batch {batch_size}");
+        }
+    }
+
+    #[test]
+    fn wrappers_validate_inputs() {
         let model = small_vqc(Decoder::LayerWise { rows: 4 });
         let samples = synthetic_samples(2, 16, 4);
         let cfg = TrainConfig::smoke(1);
         assert!(train_vqc(&model, &[], &samples, &cfg).is_err());
         assert!(train_vqc(&model, &samples, &[], &cfg).is_err());
-    }
-
-    #[test]
-    fn batched_training_runs_and_reduces_loss() {
-        let model = small_vqc(Decoder::LayerWise { rows: 4 });
-        let samples = synthetic_samples(6, 16, 4);
-        let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
-        let cfg = TrainConfig {
-            epochs: 20,
-            initial_lr: 0.1,
-            seed: 3,
-            eval_every: 0,
+        assert!(train_vqc_batched(&model, &samples, &samples, &cfg, 0).is_err());
+        let bad = TrainConfig {
+            epochs: 0,
+            ..TrainConfig::smoke(1)
         };
-        let outcome = train_vqc_batched(&model, &train, &test, &cfg, 2).unwrap();
-        let first = outcome.history.first().unwrap().train_loss;
-        let last = outcome.history.last().unwrap().train_loss;
-        assert!(last < first, "batched loss {first} -> {last}");
+        assert!(train_vqc(&model, &samples, &samples, &bad).is_err());
     }
 
     #[test]
-    fn training_outcome_is_backend_invariant_across_exact_backends() {
-        use qugeo_qsim::NaiveBackend;
-        let model = small_vqc(Decoder::LayerWise { rows: 4 });
-        let samples = synthetic_samples(4, 16, 4);
-        let (train, test) = (samples[..3].to_vec(), samples[3..].to_vec());
-        let cfg = TrainConfig {
-            epochs: 4,
-            initial_lr: 0.1,
-            seed: 3,
-            eval_every: 0,
-        };
-        let default_run = train_vqc(&model, &train, &test, &cfg).unwrap();
-        let naive_run =
-            train_vqc_with(&model, &train, &test, &cfg, &NaiveBackend::default()).unwrap();
-        // Swapping one exact backend for another changes nothing: same
-        // trained parameters, same metrics, to within rounding noise.
-        for (a, b) in default_run.params.iter().zip(&naive_run.params) {
-            assert!((a - b).abs() < 1e-10, "params diverged: {a} vs {b}");
-        }
-        assert!((default_run.final_mse - naive_run.final_mse).abs() < 1e-10);
-        assert!((default_run.final_ssim - naive_run.final_ssim).abs() < 1e-10);
-    }
-
-    #[test]
-    fn batched_training_runs_through_explicit_backend() {
-        use qugeo_qsim::StatevectorBackend;
+    fn batched_wrapper_runs_through_explicit_backend() {
         let model = small_vqc(Decoder::LayerWise { rows: 4 });
         let samples = synthetic_samples(4, 16, 4);
         let (train, test) = (samples[..2].to_vec(), samples[2..].to_vec());
@@ -599,64 +349,4 @@ mod tests {
         assert_eq!(a.params, b.params);
     }
 
-    #[test]
-    fn evaluation_errors_on_empty_set() {
-        let model = small_vqc(Decoder::LayerWise { rows: 4 });
-        let params = model.init_params(0);
-        assert!(evaluate_vqc(&model, &params, &[]).is_err());
-    }
-
-    #[test]
-    fn regressor_training_reduces_loss() {
-        let samples = synthetic_samples(6, 256, 8);
-        let (train, test) = (samples[..4].to_vec(), samples[4..].to_vec());
-        let mut model = CnnRegressor::new(RegressorConfig::layer_wise(), 2).unwrap();
-        let cfg = TrainConfig {
-            epochs: 25,
-            initial_lr: 0.02,
-            seed: 3,
-            eval_every: 0,
-        };
-        let outcome = train_regressor(&mut model, &train, &test, &cfg, 64).unwrap();
-        let first = outcome.history.first().unwrap().train_loss;
-        let last = outcome.history.last().unwrap().train_loss;
-        assert!(last < first, "regressor loss {first} -> {last}");
-        assert!(outcome.final_mse.is_finite());
-    }
-
-    #[test]
-    fn regressor_target_layer_wise_uses_row_means() {
-        let map = Array2::from_fn(4, 4, |r, c| (r * 4 + c) as f64);
-        let t = regressor_target(&RegressorHead::LayerWise { rows: 4 }, &map);
-        assert_eq!(t, vec![1.5, 5.5, 9.5, 13.5]);
-        let tp = regressor_target(&RegressorHead::PixelWise { side: 4 }, &map);
-        assert_eq!(tp.len(), 16);
-        assert_eq!(tp[5], 5.0);
-    }
-
-    #[test]
-    fn regressor_map_round_trips() {
-        let out: Vec<f64> = (0..4).map(|i| i as f64).collect();
-        let m = regressor_map(&RegressorHead::LayerWise { rows: 4 }, &out);
-        assert_eq!(m[(2, 0)], 2.0);
-        assert_eq!(m[(2, 3)], 2.0);
-    }
-
-    #[test]
-    fn history_records_evaluations_at_interval() {
-        let model = small_vqc(Decoder::LayerWise { rows: 4 });
-        let samples = synthetic_samples(4, 16, 4);
-        let (train, test) = (samples[..2].to_vec(), samples[2..].to_vec());
-        let cfg = TrainConfig {
-            epochs: 6,
-            initial_lr: 0.05,
-            seed: 1,
-            eval_every: 2,
-        };
-        let outcome = train_vqc(&model, &train, &test, &cfg).unwrap();
-        assert!(outcome.history[0].test_mse.is_some());
-        assert!(outcome.history[1].test_mse.is_none());
-        assert!(outcome.history[2].test_mse.is_some());
-        assert!(outcome.history[5].test_mse.is_some()); // final epoch
-    }
 }

@@ -8,8 +8,11 @@
 //! * [`layers`] — `Conv2d`, `Linear`, `Relu`, `GlobalAvgPool`, each with
 //!   explicit `forward` + `backward` passes,
 //! * [`loss`] — mean-squared-error with gradient,
-//! * [`optim`] — Adam and cosine-annealing learning-rate scheduling (the
-//!   paper's training recipe: Adam, lr 0.1, cosine annealing, 500 epochs),
+//! * [`optim`] — pluggable optimisers ([`optim::Optimizer`]: Adam,
+//!   AMSGrad, plain/momentum SGD) and learning-rate schedules
+//!   ([`optim::LrSchedule`]: constant, step decay, cosine annealing,
+//!   warmup-then-cosine). The paper's recipe — Adam, lr 0.1, cosine
+//!   annealing, 500 epochs — is the default pairing,
 //! * [`models`] — the concrete architectures used by the experiments.
 //!
 //! The [`Model`] trait exposes flat parameter vectors so one optimizer

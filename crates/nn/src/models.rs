@@ -421,7 +421,7 @@ impl Model for CnnCompressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optim::Adam;
+    use crate::optim::{Adam, Optimizer};
     use qugeo_tensor::Array2;
 
     #[test]

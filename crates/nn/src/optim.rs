@@ -3,25 +3,77 @@
 //! The paper's recipe for every model — quantum and classical — is "Adam
 //! optimizer with 500 epochs where the initial learning rate is set to
 //! 0.1, followed by a cosine annealing schedule". [`Adam`] and
-//! [`CosineAnnealing`] implement exactly that pairing; [`Sgd`] exists as
-//! a baseline for ablations.
+//! [`CosineAnnealing`] implement exactly that pairing.
+//!
+//! Everything here is built around two small traits so the training
+//! engine in `qugeo::train` can swap parts without touching the loop:
+//!
+//! * [`Optimizer`] — uniform in-place stepping over a flat `&mut [f64]`
+//!   parameter vector. Implementations: [`Adam`], [`AmsGrad`], and
+//!   [`Sgd`] (plain or momentum).
+//! * [`LrSchedule`] — maps an epoch index to a learning rate.
+//!   Implementations: [`ConstantLr`], [`StepDecay`], [`CosineAnnealing`],
+//!   and [`WarmupCosine`].
 
-/// Adam optimiser (Kingma & Ba, 2015) over a flat parameter vector.
+/// A first-order optimiser over a flat parameter vector.
+///
+/// All implementations step with `&mut self` (even stateless ones keep a
+/// step counter) so they are interchangeable as `&mut dyn Optimizer`.
 ///
 /// # Examples
 ///
 /// ```
-/// use qugeo_nn::optim::Adam;
+/// use qugeo_nn::optim::{Adam, Optimizer, Sgd};
 ///
-/// let mut params = vec![1.0_f64];
-/// let mut adam = Adam::new(1, 0.1);
-/// for _ in 0..200 {
-///     // Minimise f(x) = x²; gradient 2x.
-///     let grad = vec![2.0 * params[0]];
-///     adam.step(&mut params, &grad);
+/// fn minimise(opt: &mut dyn Optimizer) -> f64 {
+///     let mut params = vec![1.0_f64];
+///     for _ in 0..200 {
+///         // Minimise f(x) = x²; gradient 2x.
+///         let grad = vec![2.0 * params[0]];
+///         opt.step(&mut params, &grad);
+///     }
+///     params[0]
 /// }
-/// assert!(params[0].abs() < 0.05);
+///
+/// assert!(minimise(&mut Adam::new(1, 0.1)).abs() < 0.05);
+/// assert!(minimise(&mut Sgd::new(0.1)).abs() < 0.05);
 /// ```
+pub trait Optimizer {
+    /// Applies one in-place update from a gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `grad` length disagrees with the
+    /// optimiser's state.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (how schedules drive the optimiser).
+    fn set_learning_rate(&mut self, lr: f64);
+
+    /// Number of steps taken so far.
+    fn steps(&self) -> u64;
+}
+
+/// A learning-rate schedule: epoch index → learning rate.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_nn::optim::{CosineAnnealing, LrSchedule};
+///
+/// let sched = CosineAnnealing::new(0.1, 500);
+/// assert_eq!(sched.lr_at(0), 0.1);
+/// assert!(sched.lr_at(500) < 1e-9);
+/// ```
+pub trait LrSchedule {
+    /// Learning rate for epoch `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f64;
+}
+
+/// Adam optimiser (Kingma & Ba, 2015) over a flat parameter vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Adam {
     lr: f64,
@@ -47,29 +99,10 @@ impl Adam {
             t: 0,
         }
     }
+}
 
-    /// Current learning rate.
-    pub fn learning_rate(&self) -> f64 {
-        self.lr
-    }
-
-    /// Replaces the learning rate (how schedulers drive the optimiser).
-    pub fn set_learning_rate(&mut self, lr: f64) {
-        self.lr = lr;
-    }
-
-    /// Number of steps taken so far.
-    pub fn steps(&self) -> u64 {
-        self.t
-    }
-
-    /// Applies one update in place.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `params` or `grad` length differs from the optimiser's
-    /// size.
-    pub fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
         assert_eq!(params.len(), self.m.len(), "param count mismatch");
         assert_eq!(grad.len(), self.m.len(), "gradient count mismatch");
         self.t += 1;
@@ -83,55 +116,212 @@ impl Adam {
             params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
     }
-}
 
-/// Plain stochastic gradient descent, for ablations against Adam.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Sgd {
-    lr: f64,
-}
-
-impl Sgd {
-    /// Creates an SGD optimiser.
-    pub fn new(lr: f64) -> Self {
-        Self { lr }
-    }
-
-    /// Current learning rate.
-    pub fn learning_rate(&self) -> f64 {
+    fn learning_rate(&self) -> f64 {
         self.lr
     }
 
-    /// Replaces the learning rate.
-    pub fn set_learning_rate(&mut self, lr: f64) {
+    fn set_learning_rate(&mut self, lr: f64) {
         self.lr = lr;
     }
 
-    /// Applies one update in place.
+    fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// AMSGrad (Reddi et al., 2018): Adam with a monotone second-moment
+/// estimate — the denominator uses the running *maximum* of `v̂`, which
+/// restores convergence guarantees Adam lacks on some problems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmsGrad {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    v_max: Vec<f64>,
+    t: u64,
+}
+
+impl AmsGrad {
+    /// Creates an AMSGrad optimiser with the standard decays
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(num_params: usize, lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; num_params],
+            v: vec![0.0; num_params],
+            v_max: vec![0.0; num_params],
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for AmsGrad {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param count mismatch");
+        assert_eq!(grad.len(), self.m.len(), "gradient count mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let v_hat = self.v[i] / b2t;
+            if v_hat > self.v_max[i] {
+                self.v_max[i] = v_hat;
+            }
+            let m_hat = self.m[i] / b1t;
+            params[i] -= self.lr * m_hat / (self.v_max[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Stochastic gradient descent, plain or with classical momentum, for
+/// ablations against Adam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<f64>,
+    t: u64,
+}
+
+impl Sgd {
+    /// Creates a plain (momentum-free) SGD optimiser.
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Creates a momentum-SGD optimiser:
+    /// `v ← μ·v + g`, `p ← p − lr·v`.
     ///
     /// # Panics
     ///
-    /// Panics if lengths differ.
-    pub fn step(&self, params: &mut [f64], grad: &[f64]) {
-        assert_eq!(params.len(), grad.len(), "gradient count mismatch");
-        for (p, g) in params.iter_mut().zip(grad) {
-            *p -= self.lr * g;
+    /// Panics if `momentum` is not in `[0, 1)`.
+    pub fn with_momentum(num_params: usize, lr: f64, momentum: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "momentum {momentum} outside [0, 1)"
+        );
+        Self {
+            lr,
+            momentum,
+            velocity: vec![0.0; num_params],
+            t: 0,
         }
+    }
+
+    /// The momentum coefficient (0 for plain SGD).
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "gradient count mismatch");
+        self.t += 1;
+        if self.momentum == 0.0 {
+            for (p, g) in params.iter_mut().zip(grad) {
+                *p -= self.lr * g;
+            }
+        } else {
+            assert_eq!(params.len(), self.velocity.len(), "param count mismatch");
+            for i in 0..params.len() {
+                self.velocity[i] = self.momentum * self.velocity[i] + grad[i];
+                params[i] -= self.lr * self.velocity[i];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+
+    fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// A constant learning rate — the identity schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantLr {
+    lr: f64,
+}
+
+impl ConstantLr {
+    /// Schedule that always returns `lr`.
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+}
+
+impl LrSchedule for ConstantLr {
+    fn lr_at(&self, _epoch: usize) -> f64 {
+        self.lr
+    }
+}
+
+/// Step decay: multiply the learning rate by `gamma` every
+/// `every` epochs — `lr(e) = lr₀ · γ^⌊e/every⌋`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepDecay {
+    initial_lr: f64,
+    gamma: f64,
+    every: usize,
+}
+
+impl StepDecay {
+    /// Schedule decaying by `gamma` every `every` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn new(initial_lr: f64, gamma: f64, every: usize) -> Self {
+        assert!(every > 0, "step-decay interval must be positive");
+        Self {
+            initial_lr,
+            gamma,
+            every,
+        }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f64 {
+        self.initial_lr * self.gamma.powi((epoch / self.every) as i32)
     }
 }
 
 /// Cosine-annealing learning-rate schedule:
 /// `lr(e) = lr_min + (lr₀ − lr_min)·(1 + cos(π·e/E)) / 2`.
-///
-/// # Examples
-///
-/// ```
-/// use qugeo_nn::optim::CosineAnnealing;
-///
-/// let sched = CosineAnnealing::new(0.1, 500);
-/// assert_eq!(sched.lr_at(0), 0.1);
-/// assert!(sched.lr_at(500) < 1e-9);
-/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CosineAnnealing {
     initial_lr: f64,
@@ -157,13 +347,56 @@ impl CosineAnnealing {
             total_epochs: total_epochs.max(1),
         }
     }
+}
 
+impl LrSchedule for CosineAnnealing {
     /// Learning rate for epoch `epoch` (clamped past the end).
-    pub fn lr_at(&self, epoch: usize) -> f64 {
+    fn lr_at(&self, epoch: usize) -> f64 {
         let e = epoch.min(self.total_epochs) as f64;
         let frac = e / self.total_epochs as f64;
         self.min_lr
             + (self.initial_lr - self.min_lr) * (1.0 + (std::f64::consts::PI * frac).cos()) / 2.0
+    }
+}
+
+/// Linear warmup followed by cosine annealing: the learning rate climbs
+/// linearly to `initial_lr` over the first `warmup_epochs`, then anneals
+/// to zero over the remaining epochs — the staged schedule hybrid
+/// quantum-classical FWI training runs use to stabilise early epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupCosine {
+    initial_lr: f64,
+    warmup_epochs: usize,
+    cosine: CosineAnnealing,
+}
+
+impl WarmupCosine {
+    /// Schedule warming up over `warmup_epochs`, then cosine-annealing
+    /// to zero by `total_epochs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup_epochs >= total_epochs`.
+    pub fn new(initial_lr: f64, warmup_epochs: usize, total_epochs: usize) -> Self {
+        assert!(
+            warmup_epochs < total_epochs,
+            "warmup ({warmup_epochs}) must end before the schedule does ({total_epochs})"
+        );
+        Self {
+            initial_lr,
+            warmup_epochs,
+            cosine: CosineAnnealing::new(initial_lr, total_epochs - warmup_epochs),
+        }
+    }
+}
+
+impl LrSchedule for WarmupCosine {
+    fn lr_at(&self, epoch: usize) -> f64 {
+        if epoch < self.warmup_epochs {
+            self.initial_lr * (epoch + 1) as f64 / self.warmup_epochs as f64
+        } else {
+            self.cosine.lr_at(epoch - self.warmup_epochs)
+        }
     }
 }
 
@@ -195,10 +428,67 @@ mod tests {
     }
 
     #[test]
+    fn amsgrad_minimises_quadratic() {
+        let mut p = vec![5.0, -3.0];
+        let mut opt = AmsGrad::new(2, 0.2);
+        for _ in 0..500 {
+            let g = vec![2.0 * p[0], 2.0 * (p[1] + 1.0)];
+            opt.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 1e-2);
+        assert!((p[1] + 1.0).abs() < 1e-2);
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn amsgrad_denominator_is_monotone() {
+        // After a large gradient, AMSGrad keeps the large denominator
+        // while Adam forgets it: feed one spike then tiny gradients and
+        // the AMSGrad steps must stay no larger than Adam's.
+        let mut pa = vec![0.0];
+        let mut pm = vec![0.0];
+        let mut adam = Adam::new(1, 0.1);
+        let mut ams = AmsGrad::new(1, 0.1);
+        adam.step(&mut pa, &[100.0]);
+        ams.step(&mut pm, &[100.0]);
+        for _ in 0..50 {
+            let a0 = pa[0];
+            let m0 = pm[0];
+            adam.step(&mut pa, &[1e-3]);
+            ams.step(&mut pm, &[1e-3]);
+            assert!((pm[0] - m0).abs() <= (pa[0] - a0).abs() + 1e-15);
+        }
+    }
+
+    #[test]
     fn sgd_step() {
         let mut p = vec![1.0];
-        Sgd::new(0.5).step(&mut p, &[2.0]);
+        let mut sgd = Sgd::new(0.5);
+        sgd.step(&mut p, &[2.0]);
         assert_eq!(p[0], 0.0);
+        assert_eq!(sgd.steps(), 1);
+    }
+
+    #[test]
+    fn momentum_sgd_accumulates_velocity() {
+        // Constant gradient g: v accumulates (1-μ^t)/(1-μ)·g, so the
+        // second step is strictly larger than the first.
+        let mut p = vec![0.0];
+        let mut sgd = Sgd::with_momentum(1, 0.1, 0.9);
+        sgd.step(&mut p, &[1.0]);
+        let first = -p[0];
+        let before = p[0];
+        sgd.step(&mut p, &[1.0]);
+        let second = before - p[0];
+        assert!((first - 0.1).abs() < 1e-12);
+        assert!((second - 0.19).abs() < 1e-12);
+        assert_eq!(sgd.momentum(), 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn momentum_out_of_range_panics() {
+        Sgd::with_momentum(1, 0.1, 1.0);
     }
 
     #[test]
@@ -206,6 +496,40 @@ mod tests {
     fn adam_length_mismatch_panics() {
         let mut p = vec![0.0];
         Adam::new(2, 0.1).step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    fn optimizers_are_object_safe_and_uniform() {
+        let mut opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Adam::new(1, 0.1)),
+            Box::new(AmsGrad::new(1, 0.1)),
+            Box::new(Sgd::new(0.1)),
+            Box::new(Sgd::with_momentum(1, 0.1, 0.5)),
+        ];
+        for opt in &mut opts {
+            let mut p = vec![1.0];
+            opt.set_learning_rate(0.05);
+            opt.step(&mut p, &[1.0]);
+            assert_eq!(opt.steps(), 1);
+            assert_eq!(opt.learning_rate(), 0.05);
+            assert!(p[0] < 1.0);
+        }
+    }
+
+    #[test]
+    fn constant_schedule_is_flat() {
+        let s = ConstantLr::new(0.07);
+        assert_eq!(s.lr_at(0), 0.07);
+        assert_eq!(s.lr_at(10_000), 0.07);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = StepDecay::new(0.1, 0.5, 10);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(9) - 0.1).abs() < 1e-12);
+        assert!((s.lr_at(10) - 0.05).abs() < 1e-12);
+        assert!((s.lr_at(25) - 0.025).abs() < 1e-12);
     }
 
     #[test]
@@ -236,14 +560,29 @@ mod tests {
     }
 
     #[test]
-    fn schedule_drives_adam() {
-        let sched = CosineAnnealing::new(0.1, 10);
-        let mut adam = Adam::new(1, sched.lr_at(0));
+    fn warmup_cosine_ramps_then_anneals() {
+        let s = WarmupCosine::new(0.1, 5, 50);
+        // Linear ramp hits the full rate on the last warmup epoch.
+        assert!((s.lr_at(0) - 0.02).abs() < 1e-12);
+        assert!((s.lr_at(4) - 0.1).abs() < 1e-12);
+        // Then cosine decay from the peak down to ~zero at the end.
+        assert!((s.lr_at(5) - 0.1).abs() < 1e-12);
+        assert!(s.lr_at(27) < 0.1);
+        assert!(s.lr_at(50).abs() < 1e-9);
+        // The peak is the maximum over the whole schedule.
+        let max = (0..=50).map(|e| s.lr_at(e)).fold(0.0f64, f64::max);
+        assert!((max - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedule_drives_optimizer_through_traits() {
+        let sched: Box<dyn LrSchedule> = Box::new(CosineAnnealing::new(0.1, 10));
+        let mut opt: Box<dyn Optimizer> = Box::new(Adam::new(1, sched.lr_at(0)));
         let mut p = vec![1.0];
         for e in 0..10 {
-            adam.set_learning_rate(sched.lr_at(e));
+            opt.set_learning_rate(sched.lr_at(e));
             let g = [2.0 * p[0]];
-            adam.step(&mut p, &g);
+            opt.step(&mut p, &g);
         }
         assert!(p[0].abs() < 1.0);
     }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use qugeo_nn::layers::{Conv2d, GlobalAvgPool, Linear, Relu};
 use qugeo_nn::loss::mse_loss;
-use qugeo_nn::optim::{Adam, CosineAnnealing};
+use qugeo_nn::optim::{Adam, CosineAnnealing, LrSchedule, Optimizer};
 use qugeo_tensor::Array3;
 
 proptest! {

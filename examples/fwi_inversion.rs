@@ -19,7 +19,7 @@
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::pipeline::{scale_forward_model, FwScalingConfig};
 use qugeo::profile::{column_for_distance, compare_interfaces, profile_similarity, vertical_profile};
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_geodata::scaling::{denormalize_velocity, normalize_velocity, ScaledLayout};
 use qugeo_geodata::{Dataset, DatasetConfig};
 use qugeo_wavesim::{Grid, SpaceOrder, Survey};
@@ -56,17 +56,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Train the layer-wise quantum model.
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
-    let outcome = train_vqc(
-        &model,
-        &train,
-        &test,
-        &TrainConfig {
-            epochs: 50,
-            initial_lr: 0.1,
-            seed: 11,
-            eval_every: 0,
-        },
-    )?;
+    let outcome = Trainer::new(TrainConfig {
+        epochs: 50,
+        initial_lr: 0.1,
+        seed: 11,
+        eval_every: 0,
+    })
+    .fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
     println!(
         "trained Q-M-LY: test SSIM {:.4}, MSE {:.6}",
         outcome.final_ssim, outcome.final_mse

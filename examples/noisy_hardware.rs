@@ -13,7 +13,7 @@
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::pipeline::{normalized_target, scale_d_sample};
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_geodata::scaling::ScaledLayout;
 use qugeo_geodata::{Dataset, DatasetConfig};
 use qugeo_metrics::ssim;
@@ -39,17 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scaled = scale_d_sample(&dataset, &layout)?;
     let (train, test) = scaled.try_split(7)?;
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
-    let outcome = train_vqc(
-        &model,
-        &train,
-        &test,
-        &TrainConfig {
-            epochs: 40,
-            initial_lr: 0.1,
-            seed: 5,
-            eval_every: 0,
-        },
-    )?;
+    let outcome = Trainer::new(TrainConfig {
+        epochs: 40,
+        initial_lr: 0.1,
+        seed: 5,
+        eval_every: 0,
+    })
+    .fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
     println!("clean test SSIM: {:.4}\n", outcome.final_ssim);
 
     // (a) gate + readout noise sweep.

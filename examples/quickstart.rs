@@ -12,7 +12,7 @@
 
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::pipeline::scale_d_sample;
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{MetricsRecorder, PerSampleVqc, TrainConfig, Trainer};
 use qugeo_geodata::scaling::ScaledLayout;
 use qugeo_geodata::{Dataset, DatasetConfig};
 use qugeo_wavesim::{Grid, SpaceOrder, Survey};
@@ -71,15 +71,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eval_every: 10,
     };
     println!("training for {} epochs…", train_cfg.epochs);
-    let outcome = train_vqc(&model, &train, &test, &train_cfg)?;
+    // The unified engine: paper defaults (Adam + cosine annealing) with a
+    // metrics callback recording per-epoch wall-clock and gradient norm.
+    let outcome = Trainer::new(train_cfg)
+        .callback(MetricsRecorder)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
 
     for stats in outcome.history.iter().filter(|s| s.test_ssim.is_some()) {
         println!(
-            "  epoch {:>3}  train loss {:.5}  test mse {:.5}  test ssim {:.4}",
+            "  epoch {:>3}  train loss {:.5}  test mse {:.5}  test ssim {:.4}  |grad| {:.4}  {:.2}s",
             stats.epoch,
             stats.train_loss,
             stats.test_mse.expect("evaluated"),
             stats.test_ssim.expect("evaluated"),
+            stats.grad_norm.expect("recorded"),
+            stats.wall_clock_secs.expect("recorded"),
         );
     }
     println!("----------------------------------------------------------------");

@@ -21,7 +21,7 @@
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::pipeline::{normalized_target, scale_d_sample};
 use qugeo::session::InferenceSession;
-use qugeo::trainer::{train_vqc, TrainConfig};
+use qugeo::train::{PerSampleVqc, TrainConfig, Trainer};
 use qugeo_geodata::scaling::ScaledLayout;
 use qugeo_geodata::{Dataset, DatasetConfig};
 use qugeo_metrics::{mse, ssim};
@@ -47,17 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scaled = scale_d_sample(&dataset, &layout)?;
     let (train, test) = scaled.try_split(7)?;
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
-    let outcome = train_vqc(
-        &model,
-        &train,
-        &test,
-        &TrainConfig {
-            epochs: 40,
-            initial_lr: 0.1,
-            seed: 5,
-            eval_every: 0,
-        },
-    )?;
+    let outcome = Trainer::new(TrainConfig {
+        epochs: 40,
+        initial_lr: 0.1,
+        seed: 5,
+        eval_every: 0,
+    })
+    .fit(&mut PerSampleVqc::new(&model, &train, &test)?)?;
 
     // Exact reference predictions through a statevector session.
     let requests: Vec<&[f64]> = test.iter().map(|s| s.seismic.as_slice()).collect();

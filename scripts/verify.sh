@@ -7,7 +7,10 @@
 #   ./scripts/verify.sh lint     # clippy gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
-# (lib, tests, benches, examples, bins) — warnings are errors. The docs
+# (lib, tests, benches, examples, bins) — warnings are errors, and use
+# of deprecated items is denied explicitly so no in-tree caller
+# regresses onto the legacy `trainer::train_*` wrappers (the wrappers
+# themselves carry `#[allow]` where they must self-reference). The docs
 # gate enforces that `cargo doc --no-deps` stays warning-free (warnings
 # are promoted to errors via RUSTDOCFLAGS) and that every doctest passes
 # — run both before sending any PR that touches public API or
@@ -24,8 +27,8 @@ docs_gate() {
 }
 
 lint_gate() {
-    echo "==> cargo clippy --workspace --all-targets (warnings are errors)"
-    cargo clippy --workspace --all-targets --quiet -- -D warnings
+    echo "==> cargo clippy --workspace --all-targets (warnings are errors, deprecated denied)"
+    cargo clippy --workspace --all-targets --quiet -- -D warnings -D deprecated
 }
 
 tier1() {

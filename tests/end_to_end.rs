@@ -7,7 +7,7 @@ use qugeo::pipeline::{
     scale_cnn, scale_d_sample, scale_forward_model, train_cnn_scaler, CnnScalingConfig,
     FwScalingConfig,
 };
-use qugeo::trainer::{evaluate_vqc, train_vqc, train_vqc_batched, TrainConfig};
+use qugeo::train::{evaluate_vqc, PerSampleVqc, QuBatchVqc, TrainConfig, Trainer};
 use qugeo_geodata::scaling::ScaledLayout;
 use qugeo_geodata::{Dataset, DatasetConfig};
 use qugeo_wavesim::{Grid, SpaceOrder, Survey};
@@ -44,7 +44,9 @@ fn d_sample_pipeline_trains_and_improves() {
     let init = model.init_params(7);
     let (mse_before, _) = evaluate_vqc(&model, &init, &test).expect("eval");
 
-    let outcome = train_vqc(&model, &train, &test, &TrainConfig::smoke(12)).expect("training");
+    let outcome = Trainer::new(TrainConfig::smoke(12))
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).expect("strategy"))
+        .expect("training");
     assert!(
         outcome.final_mse < mse_before,
         "training must improve MSE: {mse_before} -> {}",
@@ -62,7 +64,9 @@ fn fw_pipeline_runs_end_to_end() {
     let (train, test) = scaled.try_split(4).expect("split within dataset");
 
     let model = QuGeoVqc::new(VqcConfig::paper_pixel_wise()).expect("model");
-    let outcome = train_vqc(&model, &train, &test, &TrainConfig::smoke(8)).expect("training");
+    let outcome = Trainer::new(TrainConfig::smoke(8))
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).expect("strategy"))
+        .expect("training");
     let first = outcome.history.first().expect("history").train_loss;
     let last = outcome.history.last().expect("history").train_loss;
     assert!(last < first, "loss should fall: {first} -> {last}");
@@ -101,8 +105,12 @@ fn batched_and_unbatched_training_agree_at_batch_one() {
 
     let model = QuGeoVqc::new(VqcConfig::paper_layer_wise()).expect("model");
     let cfg = TrainConfig::smoke(4);
-    let solo = train_vqc(&model, &train, &test, &cfg).expect("solo");
-    let batched = train_vqc_batched(&model, &train, &test, &cfg, 1).expect("batched");
+    let solo = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).expect("strategy"))
+        .expect("solo");
+    let batched = Trainer::new(cfg)
+        .fit(&mut QuBatchVqc::new(&model, &train, &test, 1).expect("strategy"))
+        .expect("batched");
     // Batch size 1 follows the same sample order and gradients, so the
     // trajectories coincide.
     assert!(
@@ -126,8 +134,9 @@ fn decoders_share_the_same_pipeline() {
             ..VqcConfig::paper_pixel_wise()
         })
         .expect("model");
-        let outcome =
-            train_vqc(&model, &train, &test, &TrainConfig::smoke(3)).expect("training");
+        let outcome = Trainer::new(TrainConfig::smoke(3))
+            .fit(&mut PerSampleVqc::new(&model, &train, &test).expect("strategy"))
+            .expect("training");
         assert!(outcome.final_mse.is_finite());
         assert_eq!(outcome.params.len(), 576);
     }
