@@ -6,14 +6,17 @@
 //! (masked full-array scans, one gate at a time, one sample at a time) so
 //! the baseline stays frozen even as the library's own kernels improve.
 //!
-//! Run with `cargo bench -p qugeo-bench --bench fused_engine`.
+//! Run with `cargo bench -p qugeo-bench --bench fused_engine`. Set
+//! `QUGEO_BENCH_JSON=BENCH_qsim.json` to additionally dump every result
+//! as machine-readable JSON (the perf-trajectory file this repo tracks;
+//! `grad_engine` writes the sibling `BENCH_grad.json`).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
 use qugeo_qsim::{
-    parameter_shift_gradient_batched, BatchedState, Circuit, Complex64, CompiledCircuit,
-    DiagonalObservable, Matrix2, NaiveBackend, Op, QuantumBackend, ShotSamplerBackend, State,
-    StatevectorBackend,
+    adjoint_gradient, adjoint_gradient_batch_with, parameter_shift_gradient_batched,
+    AdjointWorkspace, BatchedState, Circuit, Complex64, CompiledCircuit, DiagonalObservable,
+    Matrix2, NaiveBackend, Op, QuantumBackend, ShotSamplerBackend, State, StatevectorBackend,
 };
 
 const QUBITS: usize = 10;
@@ -233,6 +236,43 @@ fn bench_fusion_compile_overhead(c: &mut Criterion) {
     c.bench_function("compile_10q_12blocks", |b| {
         b.iter(|| CompiledCircuit::compile(black_box(&circuit), black_box(&params)).expect("ok"))
     });
+    c.bench_function("compile_with_grad_10q_12blocks", |b| {
+        b.iter(|| {
+            CompiledCircuit::compile_with_grad(black_box(&circuit), black_box(&params))
+                .expect("ok")
+        })
+    });
+}
+
+/// The training gradient itself: the serial unfused adjoint (one call
+/// per member, the pre-rewire path) against the fused batched engine
+/// sweeping the whole batch through one reusable workspace. The detailed
+/// batch-size scan lives in the `grad_engine` bin; this group keeps the
+/// headline number in the qsim bench trajectory.
+fn bench_adjoint_gradient(c: &mut Criterion) {
+    let circuit = ansatz();
+    let params = params_for(&circuit);
+    let states = batch_states();
+    let inputs = BatchedState::from_states(&states).expect("batch");
+    let obs = DiagonalObservable::z(QUBITS, 0).expect("valid observable");
+
+    let mut group = c.benchmark_group("adjoint_grad_10q_12blocks_batch16");
+    group.bench_function("serial_unfused_per_sample", |b| {
+        b.iter(|| {
+            for s in &states {
+                black_box(adjoint_gradient(&circuit, &params, s, &obs).expect("grad"));
+            }
+        })
+    });
+    let mut ws = AdjointWorkspace::new();
+    group.bench_function("fused_batched_workspace", |b| {
+        b.iter(|| {
+            adjoint_gradient_batch_with(&circuit, &params, &inputs, &obs, 1, &mut ws)
+                .expect("grad");
+            black_box(ws.values().len())
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(
@@ -240,6 +280,7 @@ criterion_group!(
     bench_forward_batch,
     bench_parameter_shift,
     bench_execution_backends,
-    bench_fusion_compile_overhead
+    bench_fusion_compile_overhead,
+    bench_adjoint_gradient
 );
 criterion_main!(benches);

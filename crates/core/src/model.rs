@@ -6,8 +6,8 @@ use qugeo_qsim::ansatz::{
 };
 use qugeo_qsim::encoding::{encode_grouped, GroupLayout};
 use qugeo_qsim::{
-    adjoint_gradient, parameter_shift_gradient_backend, BatchedState, Circuit, DiagonalObservable,
-    QuantumBackend, State, StatevectorBackend,
+    parameter_shift_gradient_backend, AdjointWorkspace, BatchedState, Circuit,
+    DiagonalObservable, QsimError, QuantumBackend, State, StatevectorBackend,
 };
 use qugeo_tensor::Array2;
 use rand::rngs::StdRng;
@@ -344,8 +344,13 @@ impl QuGeoVqc {
     }
 
     /// Training loss against a normalised target map plus the gradient
-    /// with respect to every circuit parameter, computed with one
-    /// adjoint-differentiation pass.
+    /// with respect to every circuit parameter, computed with one fused
+    /// adjoint-differentiation pass ([`qugeo_qsim::adjoint`]).
+    ///
+    /// This is the allocating per-call convenience; the training
+    /// strategies in [`crate::train`] hold an
+    /// [`qugeo_qsim::AdjointWorkspace`] and reused input batches across
+    /// steps instead.
     ///
     /// # Errors
     ///
@@ -356,27 +361,24 @@ impl QuGeoVqc {
         target_normalized: &Array2,
         params: &[f64],
     ) -> Result<(f64, Vec<f64>), QuGeoError> {
-        let encoded = self.encode(seismic)?;
-        let output = self.circuit.run(&encoded, params)?;
-        let probs = output.probabilities();
-        let (loss, prob_grad) = self
-            .config
-            .decoder
-            .loss_and_prob_grad(&probs, target_normalized)?;
-        let obs = DiagonalObservable::from_diagonal(prob_grad)?;
-        let (_, grad) = adjoint_gradient(&self.circuit, params, &encoded, &obs)?;
-        Ok((loss, grad))
+        self.loss_and_grad_with(
+            seismic,
+            target_normalized,
+            params,
+            &StatevectorBackend::default(),
+        )
     }
 
     /// [`QuGeoVqc::loss_and_grad`] through an execution backend. The
-    /// forward pass (and therefore the loss) always executes via
-    /// `backend`; the gradient **routes** on the backend's capabilities:
-    /// exact backends ([`QuantumBackend::supports_adjoint_gradient`]) get
-    /// the one-pass adjoint gradient (which by its nature reads exact
-    /// amplitudes on the engine directly), while sampling/noisy backends
-    /// fall back to batched parameter-shift executed through the backend
-    /// itself ([`qugeo_qsim::parameter_shift_gradient_backend`]) — the
-    /// only gradient a device without amplitude access can physically
+    /// gradient **routes** on the backend's capabilities: exact backends
+    /// ([`QuantumBackend::supports_adjoint_gradient`]) run one fused
+    /// batched adjoint pass through
+    /// [`QuantumBackend::adjoint_gradient_batch`] (forward, loss, and
+    /// backward share a single engine invocation), while sampling/noisy
+    /// backends execute the forward via the backend and fall back to
+    /// batched parameter-shift executed through the backend itself
+    /// ([`qugeo_qsim::parameter_shift_gradient_backend`]) — the only
+    /// gradient a device without amplitude access can physically
     /// produce.
     ///
     /// # Errors
@@ -391,6 +393,24 @@ impl QuGeoVqc {
         backend: &dyn QuantumBackend,
     ) -> Result<(f64, Vec<f64>), QuGeoError> {
         let encoded = self.encode(seismic)?;
+        if backend.supports_adjoint_gradient() {
+            let inputs = BatchedState::replicate(&encoded, 1);
+            let mut ws = AdjointWorkspace::new();
+            let mut loss = 0.0;
+            let decoder = self.config.decoder;
+            backend.adjoint_gradient_batch(
+                &self.circuit,
+                params,
+                &inputs,
+                &mut |_, probs| {
+                    let (l, obs) = member_loss_obs(decoder, probs, target_normalized)?;
+                    loss = l;
+                    Ok(obs)
+                },
+                &mut ws,
+            )?;
+            return Ok((loss, ws.grad(0).to_vec()));
+        }
         let compiled = self.circuit.compile(params)?;
         let mut batch = BatchedState::replicate(&encoded, 1);
         backend.run_batch(&compiled, &mut batch)?;
@@ -403,13 +423,35 @@ impl QuGeoVqc {
             .decoder
             .loss_and_prob_grad(&probs, target_normalized)?;
         let obs = DiagonalObservable::from_diagonal(prob_grad)?;
-        let grad = if backend.supports_adjoint_gradient() {
-            adjoint_gradient(&self.circuit, params, &encoded, &obs)?.1
-        } else {
-            parameter_shift_gradient_backend(&self.circuit, params, &encoded, &obs, backend)?
-        };
+        let grad =
+            parameter_shift_gradient_backend(&self.circuit, params, &encoded, &obs, backend)?;
         Ok((loss, grad))
     }
+}
+
+/// Carries a decoder failure across the qsim-typed observable callback of
+/// [`QuantumBackend::adjoint_gradient_batch`]; the message survives, the
+/// error re-wraps into [`QuGeoError`] at the call boundary.
+pub(crate) fn decoder_to_qsim(e: QuGeoError) -> QsimError {
+    QsimError::InvalidEncoding {
+        reason: e.to_string(),
+    }
+}
+
+/// One member's decoder step inside a backend adjoint callback: the
+/// member's loss plus its effective diagonal observable, derived from the
+/// member's output distribution. Shared by every adjoint-path consumer
+/// ([`QuGeoVqc::loss_and_grad_with`], the training strategies) so the
+/// decoder→observable plumbing exists exactly once.
+pub(crate) fn member_loss_obs(
+    decoder: Decoder,
+    probs: &[f64],
+    target_normalized: &Array2,
+) -> Result<(f64, DiagonalObservable), QsimError> {
+    let (loss, prob_grad) = decoder
+        .loss_and_prob_grad(probs, target_normalized)
+        .map_err(decoder_to_qsim)?;
+    Ok((loss, DiagonalObservable::from_diagonal(prob_grad)?))
 }
 
 #[cfg(test)]

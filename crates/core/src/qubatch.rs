@@ -20,12 +20,12 @@
 
 use qugeo_qsim::encoding::{encode_batched, BatchedState};
 use qugeo_qsim::{
-    adjoint_gradient, parameter_shift_gradient_backend, DiagonalObservable, QuantumBackend,
+    parameter_shift_gradient_backend, AdjointWorkspace, DiagonalObservable, QuantumBackend,
     StatevectorBackend,
 };
 use qugeo_tensor::Array2;
 
-use crate::model::QuGeoVqc;
+use crate::model::{decoder_to_qsim, QuGeoVqc};
 use crate::QuGeoError;
 
 /// Batched execution wrapper around a [`QuGeoVqc`].
@@ -187,9 +187,10 @@ impl<'a> QuBatch<'a> {
 
     /// [`QuBatch::loss_and_grad_batch`] through an execution backend,
     /// with gradient routing on the backend's capabilities: exact
-    /// backends get the single adjoint pass; others fall back to batched
-    /// parameter-shift of the widened circuit executed through the
-    /// backend.
+    /// backends get a single **fused** adjoint pass
+    /// ([`QuantumBackend::adjoint_gradient_batch`] over the widened
+    /// register); others fall back to batched parameter-shift of the
+    /// widened circuit executed through the backend.
     ///
     /// # Errors
     ///
@@ -202,6 +203,33 @@ impl<'a> QuBatch<'a> {
         params: &[f64],
         backend: &dyn QuantumBackend,
     ) -> Result<(f64, Vec<f64>), QuGeoError> {
+        self.loss_and_grad_batch_ws(
+            seismic_batch,
+            targets_normalized,
+            params,
+            backend,
+            &mut AdjointWorkspace::new(),
+        )
+    }
+
+    /// [`QuBatch::loss_and_grad_batch_with`] into a caller-held
+    /// [`qugeo_qsim::AdjointWorkspace`] so training loops recycle the
+    /// ket/bra/gradient buffers across steps instead of re-allocating
+    /// them per batch (the [`crate::train::QuBatchVqc`] strategy holds
+    /// one for exactly this).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty batches, mismatched lengths or backend
+    /// failures.
+    pub fn loss_and_grad_batch_ws(
+        &self,
+        seismic_batch: &[Vec<f64>],
+        targets_normalized: &[Array2],
+        params: &[f64],
+        backend: &dyn QuantumBackend,
+        ws: &mut AdjointWorkspace,
+    ) -> Result<(f64, Vec<f64>), QuGeoError> {
         if seismic_batch.len() != targets_normalized.len() || seismic_batch.is_empty() {
             return Err(QuGeoError::Config {
                 reason: format!(
@@ -213,8 +241,53 @@ impl<'a> QuBatch<'a> {
         }
         let batched = self.encode_batch(seismic_batch)?;
         let wide = self.model.circuit().widened(batched.batch_qubits());
-        // Fused forward for the loss; the gradient pass below stays on
-        // the unfused ops (it differentiates through each source gate).
+
+        let block_size = 1usize << self.model.data_qubits();
+        let block_count = 1usize << batched.batch_qubits();
+        let inv_batch = 1.0 / seismic_batch.len() as f64;
+
+        // Turns the widened register's output distribution into the mean
+        // loss and the effective diagonal over the full (data + batch)
+        // register: d(total)/d|a_i|² = inv_batch · dL_b/dp_j · (1/weight)
+        // for i = b·block_size + j. The exact encoding weight (not the
+        // estimated block mass) keeps the diagonal consistent with the
+        // chain rule.
+        let decoder = self.model.decoder();
+        let loss_and_diag = |full_probs: &[f64]| -> Result<(f64, Vec<f64>), QuGeoError> {
+            let mut total_loss = 0.0;
+            let mut diag = vec![0.0; block_size * block_count];
+            for (b, target) in targets_normalized.iter().enumerate() {
+                let weight = batched.block_weights()[b];
+                let cond_probs: Vec<f64> = full_probs[b * block_size..(b + 1) * block_size]
+                    .iter()
+                    .map(|p| p / weight)
+                    .collect();
+                let (loss, prob_grad) = decoder.loss_and_prob_grad(&cond_probs, target)?;
+                total_loss += loss * inv_batch;
+                for (j, &g) in prob_grad.iter().enumerate() {
+                    diag[b * block_size + j] = inv_batch * g / weight;
+                }
+            }
+            Ok((total_loss, diag))
+        };
+
+        if backend.supports_adjoint_gradient() {
+            let inputs = qugeo_qsim::BatchedState::replicate(batched.state(), 1);
+            let mut total_loss = 0.0;
+            backend.adjoint_gradient_batch(
+                &wide,
+                params,
+                &inputs,
+                &mut |_, full_probs| {
+                    let (loss, diag) = loss_and_diag(full_probs).map_err(decoder_to_qsim)?;
+                    total_loss = loss;
+                    DiagonalObservable::from_diagonal(diag)
+                },
+                ws,
+            )?;
+            return Ok((total_loss, ws.grad(0).to_vec()));
+        }
+
         let compiled = wide.compile(params)?;
         let mut engine_batch = qugeo_qsim::BatchedState::replicate(batched.state(), 1);
         backend.run_batch(&compiled, &mut engine_batch)?;
@@ -222,41 +295,9 @@ impl<'a> QuBatch<'a> {
             .probabilities(&engine_batch)?
             .pop()
             .expect("batch of one has one distribution");
-
-        let block_size = 1usize << self.model.data_qubits();
-        let block_count = 1usize << batched.batch_qubits();
-        let inv_batch = 1.0 / seismic_batch.len() as f64;
-
-        let mut total_loss = 0.0;
-        // Effective diagonal over the full (data + batch) register.
-        let mut diag = vec![0.0; block_size * block_count];
-        for (b, target) in targets_normalized.iter().enumerate() {
-            let weight = batched.block_weights()[b];
-            // Probabilities conditioned on batch index b. The exact
-            // encoding weight (not the estimated block mass) keeps the
-            // diagonal below consistent with the chain rule.
-            let cond_probs: Vec<f64> = full_probs[b * block_size..(b + 1) * block_size]
-                .iter()
-                .map(|p| p / weight)
-                .collect();
-            let (loss, prob_grad) = self
-                .model
-                .decoder()
-                .loss_and_prob_grad(&cond_probs, target)?;
-            total_loss += loss * inv_batch;
-            // d(total)/d|a_i|² = inv_batch · dL_b/dp_j · (1/weight)
-            // for i = b·block_size + j.
-            for (j, &g) in prob_grad.iter().enumerate() {
-                diag[b * block_size + j] = inv_batch * g / weight;
-            }
-        }
-
+        let (total_loss, diag) = loss_and_diag(&full_probs)?;
         let obs = DiagonalObservable::from_diagonal(diag)?;
-        let grad = if backend.supports_adjoint_gradient() {
-            adjoint_gradient(&wide, params, batched.state(), &obs)?.1
-        } else {
-            parameter_shift_gradient_backend(&wide, params, batched.state(), &obs, backend)?
-        };
+        let grad = parameter_shift_gradient_backend(&wide, params, batched.state(), &obs, backend)?;
         Ok((total_loss, grad))
     }
 }

@@ -18,11 +18,11 @@ use qugeo_metrics::{mse, ssim};
 use qugeo_nn::models::{CnnRegressor, RegressorHead};
 use qugeo_nn::optim::Optimizer;
 use qugeo_nn::Model;
-use qugeo_qsim::{QuantumBackend, StatevectorBackend};
+use qugeo_qsim::{AdjointWorkspace, BatchedState, QuantumBackend, State, StatevectorBackend};
 use qugeo_tensor::norm::{l2_norm, l2_normalized};
 use qugeo_tensor::Array2;
 
-use crate::model::QuGeoVqc;
+use crate::model::{member_loss_obs, QuGeoVqc};
 use crate::pipeline::normalized_target;
 use crate::qubatch::QuBatch;
 use crate::QuGeoError;
@@ -102,6 +102,33 @@ fn require_batch_size(batch_size: usize) -> Result<(), QuGeoError> {
     Ok(())
 }
 
+/// Amplitude-encodes every training sample once, at strategy
+/// construction — encoding is parameter-independent, so re-encoding per
+/// epoch (let alone per step) is pure waste.
+fn encode_all(model: &QuGeoVqc, train: &[ScaledSample]) -> Result<Vec<State>, QuGeoError> {
+    train.iter().map(|s| model.encode(&s.seismic)).collect()
+}
+
+/// Loads the step's member states into a strategy-held input batch,
+/// recycling its allocation after the first step
+/// ([`BatchedState::load_states`]).
+fn load_inputs<'b>(
+    buffer: &'b mut Option<BatchedState>,
+    states: &[&State],
+) -> Result<&'b BatchedState, QuGeoError> {
+    match buffer {
+        Some(batch) => {
+            batch.load_states(states)?;
+            Ok(batch)
+        }
+        None => {
+            let mut batch = BatchedState::zeros(states[0].num_qubits(), 1);
+            batch.load_states(states)?;
+            Ok(buffer.insert(batch))
+        }
+    }
+}
+
 /// Mean (MSE, SSIM) of per-sample predictions against the samples'
 /// normalised velocity targets.
 fn mean_mse_ssim(samples: &[ScaledSample], preds: &[Array2]) -> Result<(f64, f64), QuGeoError> {
@@ -159,12 +186,23 @@ pub fn evaluate_vqc_with(
 }
 
 /// The paper's training loop: one optimiser step per sample.
+///
+/// On adjoint-capable backends every step runs one fused adjoint pass
+/// through a strategy-held [`AdjointWorkspace`] and a recycled input
+/// batch — training samples are encoded once at construction and no
+/// engine buffer is re-allocated in the steady state
+/// ([`PerSampleVqc::adjoint_workspace`] exposes the counters that prove
+/// it). Backends without amplitude access fall back to parameter shift
+/// via [`QuGeoVqc::loss_and_grad_with`].
 pub struct PerSampleVqc<'a> {
     model: &'a QuGeoVqc,
     train: &'a [ScaledSample],
     test: &'a [ScaledSample],
     targets: Vec<Array2>,
+    encoded: Vec<State>,
     backend: BackendHandle<'a>,
+    ws: AdjointWorkspace,
+    inputs: Option<BatchedState>,
 }
 
 impl<'a> PerSampleVqc<'a> {
@@ -207,13 +245,29 @@ impl<'a> PerSampleVqc<'a> {
         backend: BackendHandle<'a>,
     ) -> Result<Self, QuGeoError> {
         require_non_empty(train, test)?;
+        // Pre-encoded states only feed the adjoint fast path; skip the
+        // O(samples * 2^n) buffers on backends that cannot take it.
+        let encoded = if backend.get().supports_adjoint_gradient() {
+            encode_all(model, train)?
+        } else {
+            Vec::new()
+        };
         Ok(Self {
             model,
             train,
             test,
             targets: train.iter().map(normalized_target).collect(),
+            encoded,
             backend,
+            ws: AdjointWorkspace::new(),
+            inputs: None,
         })
+    }
+
+    /// The strategy's adjoint workspace — its allocation/reuse counters
+    /// let callers assert the no-allocation steady-state contract.
+    pub fn adjoint_workspace(&self) -> &AdjointWorkspace {
+        &self.ws
     }
 }
 
@@ -232,18 +286,41 @@ impl TrainStep for PerSampleVqc<'_> {
         params: &mut [f64],
         optimizer: &mut dyn Optimizer,
     ) -> Result<EpochReport, QuGeoError> {
+        let backend = self.backend.get();
+        let use_adjoint = backend.supports_adjoint_gradient();
         let mut loss_sum = 0.0;
         let mut norm_sum = 0.0;
         for &i in order {
-            let (loss, grad) = self.model.loss_and_grad_with(
-                &self.train[i].seismic,
-                &self.targets[i],
-                params,
-                self.backend.get(),
-            )?;
-            optimizer.step(params, &grad);
-            loss_sum += loss;
-            norm_sum += l2_norm(&grad);
+            if use_adjoint {
+                let inputs = load_inputs(&mut self.inputs, &[&self.encoded[i]])?;
+                let decoder = self.model.decoder();
+                let target = &self.targets[i];
+                let mut loss = 0.0;
+                backend.adjoint_gradient_batch(
+                    self.model.circuit(),
+                    params,
+                    inputs,
+                    &mut |_, probs| {
+                        let (l, obs) = member_loss_obs(decoder, probs, target)?;
+                        loss = l;
+                        Ok(obs)
+                    },
+                    &mut self.ws,
+                )?;
+                optimizer.step(params, self.ws.grad(0));
+                loss_sum += loss;
+                norm_sum += l2_norm(self.ws.grad(0));
+            } else {
+                let (loss, grad) = self.model.loss_and_grad_with(
+                    &self.train[i].seismic,
+                    &self.targets[i],
+                    params,
+                    backend,
+                )?;
+                optimizer.step(params, &grad);
+                loss_sum += loss;
+                norm_sum += l2_norm(&grad);
+            }
         }
         let n = order.len().max(1) as f64;
         Ok(EpochReport {
@@ -268,6 +345,7 @@ pub struct QuBatchVqc<'a> {
     targets: Vec<Array2>,
     batch_size: usize,
     backend: BackendHandle<'a>,
+    ws: AdjointWorkspace,
 }
 
 impl<'a> QuBatchVqc<'a> {
@@ -324,7 +402,13 @@ impl<'a> QuBatchVqc<'a> {
             targets: train.iter().map(normalized_target).collect(),
             batch_size,
             backend,
+            ws: AdjointWorkspace::new(),
         })
+    }
+
+    /// The strategy's adjoint workspace (allocation/reuse counters).
+    pub fn adjoint_workspace(&self) -> &AdjointWorkspace {
+        &self.ws
     }
 }
 
@@ -352,11 +436,12 @@ impl TrainStep for QuBatchVqc<'_> {
                 .map(|&i| self.train[i].seismic.clone())
                 .collect();
             let tgt: Vec<Array2> = chunk.iter().map(|&i| self.targets[i].clone()).collect();
-            let (loss, grad) = self.qubatch.loss_and_grad_batch_with(
+            let (loss, grad) = self.qubatch.loss_and_grad_batch_ws(
                 &seismic,
                 &tgt,
                 params,
                 self.backend.get(),
+                &mut self.ws,
             )?;
             optimizer.step(params, &grad);
             loss_sum += loss;
@@ -379,13 +464,25 @@ impl TrainStep for QuBatchVqc<'_> {
 /// optimiser step per batch, gradients computed exactly per sample and
 /// averaged — the classical-ML batching shape, with none of QuBatch's
 /// shared-norm precision cost (and none of its circuit sharing).
+///
+/// On adjoint-capable backends the whole mini-batch's gradients come
+/// from **one** batched adjoint call
+/// ([`QuantumBackend::adjoint_gradient_batch`]): the circuit compiles
+/// once per step, every member's ket/bra pair sweeps in parallel through
+/// the fused engine, and the strategy-held [`AdjointWorkspace`] plus a
+/// recycled input batch keep the steady state allocation-free. Backends
+/// without amplitude access fall back to the per-sample parameter-shift
+/// loop.
 pub struct MiniBatchVqc<'a> {
     model: &'a QuGeoVqc,
     train: &'a [ScaledSample],
     test: &'a [ScaledSample],
     targets: Vec<Array2>,
+    encoded: Vec<State>,
     batch_size: usize,
     backend: BackendHandle<'a>,
+    ws: AdjointWorkspace,
+    inputs: Option<BatchedState>,
 }
 
 impl<'a> MiniBatchVqc<'a> {
@@ -435,14 +532,30 @@ impl<'a> MiniBatchVqc<'a> {
     ) -> Result<Self, QuGeoError> {
         require_non_empty(train, test)?;
         require_batch_size(batch_size)?;
+        // Pre-encoded states only feed the adjoint fast path; skip the
+        // O(samples * 2^n) buffers on backends that cannot take it.
+        let encoded = if backend.get().supports_adjoint_gradient() {
+            encode_all(model, train)?
+        } else {
+            Vec::new()
+        };
         Ok(Self {
             model,
             train,
             test,
             targets: train.iter().map(normalized_target).collect(),
+            encoded,
             batch_size,
             backend,
+            ws: AdjointWorkspace::new(),
+            inputs: None,
         })
+    }
+
+    /// The strategy's adjoint workspace — its allocation/reuse counters
+    /// let callers assert the no-allocation steady-state contract.
+    pub fn adjoint_workspace(&self) -> &AdjointWorkspace {
+        &self.ws
     }
 }
 
@@ -461,23 +574,52 @@ impl TrainStep for MiniBatchVqc<'_> {
         params: &mut [f64],
         optimizer: &mut dyn Optimizer,
     ) -> Result<EpochReport, QuGeoError> {
+        let backend = self.backend.get();
+        let use_adjoint = backend.supports_adjoint_gradient();
         let mut loss_sum = 0.0;
         let mut norm_sum = 0.0;
         let mut steps = 0usize;
         let mut grad_acc = vec![0.0; params.len()];
+        let mut member_refs: Vec<&State> = Vec::with_capacity(self.batch_size);
         for chunk in order.chunks(self.batch_size) {
             grad_acc.iter_mut().for_each(|g| *g = 0.0);
             let mut batch_loss = 0.0;
-            for &i in chunk {
-                let (loss, grad) = self.model.loss_and_grad_with(
-                    &self.train[i].seismic,
-                    &self.targets[i],
+            if use_adjoint {
+                // The whole mini-batch in ONE batched adjoint call: the
+                // circuit compiles once, all members sweep together.
+                member_refs.clear();
+                member_refs.extend(chunk.iter().map(|&i| &self.encoded[i]));
+                let inputs = load_inputs(&mut self.inputs, &member_refs)?;
+                let decoder = self.model.decoder();
+                let targets = &self.targets;
+                backend.adjoint_gradient_batch(
+                    self.model.circuit(),
                     params,
-                    self.backend.get(),
+                    inputs,
+                    &mut |b, probs| {
+                        let (l, obs) = member_loss_obs(decoder, probs, &targets[chunk[b]])?;
+                        batch_loss += l;
+                        Ok(obs)
+                    },
+                    &mut self.ws,
                 )?;
-                batch_loss += loss;
-                for (acc, g) in grad_acc.iter_mut().zip(&grad) {
-                    *acc += g;
+                for b in 0..chunk.len() {
+                    for (acc, g) in grad_acc.iter_mut().zip(self.ws.grad(b)) {
+                        *acc += g;
+                    }
+                }
+            } else {
+                for &i in chunk {
+                    let (loss, grad) = self.model.loss_and_grad_with(
+                        &self.train[i].seismic,
+                        &self.targets[i],
+                        params,
+                        backend,
+                    )?;
+                    batch_loss += loss;
+                    for (acc, g) in grad_acc.iter_mut().zip(&grad) {
+                        *acc += g;
+                    }
                 }
             }
             let scale = 1.0 / chunk.len() as f64;

@@ -331,12 +331,171 @@ fn training_outcome_is_backend_invariant_across_exact_backends() {
         .fit(&mut PerSampleVqc::with_backend(&model, &train, &test, &naive).unwrap())
         .unwrap();
     // Swapping one exact backend for another changes nothing: same
-    // trained parameters, same metrics, to within rounding noise.
+    // trained parameters, same metrics, to within rounding noise. The
+    // naive backend deliberately runs the serial *unfused* adjoint as a
+    // differential reference against the statevector backend's fused
+    // engine, so per-step ~1e-13 rounding differences amplified through
+    // four Adam epochs set the tolerance here.
     for (a, b) in default_run.params.iter().zip(&naive_run.params) {
-        assert!((a - b).abs() < 1e-10, "params diverged: {a} vs {b}");
+        assert!((a - b).abs() < 1e-8, "params diverged: {a} vs {b}");
     }
-    assert!((default_run.final_mse - naive_run.final_mse).abs() < 1e-10);
-    assert!((default_run.final_ssim - naive_run.final_ssim).abs() < 1e-10);
+    assert!((default_run.final_mse - naive_run.final_mse).abs() < 1e-8);
+    assert!((default_run.final_ssim - naive_run.final_ssim).abs() < 1e-8);
+}
+
+/// Frozen copy of the pre-rewire per-sample epoch: fused forward pass
+/// for the loss, serial *unfused* adjoint for the gradient — exactly the
+/// behaviour `QuGeoVqc::loss_and_grad_with` had before the fused batched
+/// adjoint engine became the gradient path. Kept verbatim so the rewire
+/// stays pinned by a differential test.
+struct FrozenPerSample<'a> {
+    model: &'a QuGeoVqc,
+    train: &'a [ScaledSample],
+    test: &'a [ScaledSample],
+    targets: Vec<Array2>,
+}
+
+impl<'a> FrozenPerSample<'a> {
+    fn new(model: &'a QuGeoVqc, train: &'a [ScaledSample], test: &'a [ScaledSample]) -> Self {
+        Self {
+            model,
+            train,
+            test,
+            targets: train.iter().map(crate::pipeline::normalized_target).collect(),
+        }
+    }
+}
+
+impl TrainStep for FrozenPerSample<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.model.init_params(seed)
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn qugeo_nn::optim::Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        use qugeo_qsim::{
+            adjoint_gradient, BatchedState, DiagonalObservable, QuantumBackend,
+            StatevectorBackend,
+        };
+        let backend = StatevectorBackend::default();
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        for &i in order {
+            let encoded = self.model.encode(&self.train[i].seismic)?;
+            let compiled = self.model.circuit().compile(params)?;
+            let mut batch = BatchedState::replicate(&encoded, 1);
+            backend.run_batch(&compiled, &mut batch)?;
+            let probs = backend
+                .probabilities(&batch)?
+                .pop()
+                .expect("batch of one has one distribution");
+            let (loss, prob_grad) = self
+                .model
+                .decoder()
+                .loss_and_prob_grad(&probs, &self.targets[i])?;
+            let obs = DiagonalObservable::from_diagonal(prob_grad)?;
+            let (_, grad) = adjoint_gradient(self.model.circuit(), params, &encoded, &obs)?;
+            optimizer.step(params, &grad);
+            loss_sum += loss;
+            norm_sum += qugeo_tensor::norm::l2_norm(&grad);
+        }
+        let n = order.len().max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc(self.model, params, self.test)
+    }
+}
+
+#[test]
+fn rewired_training_matches_frozen_pre_rewire_loop() {
+    // Training equivalence across the gradient-engine rewire: the fused
+    // batched adjoint path must reproduce the frozen serial-adjoint
+    // loop's history and parameters. Per-step fused-vs-serial rounding
+    // is ~1e-14; three Adam epochs amplify it, so 1e-10 is the honest
+    // bound (bit-identity is impossible once the sweep order changes).
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 3,
+        initial_lr: 0.1,
+        seed: 11,
+        eval_every: 1,
+    };
+    let frozen = Trainer::new(cfg)
+        .fit(&mut FrozenPerSample::new(&model, &train, &test))
+        .unwrap();
+    let rewired = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+
+    assert_eq!(frozen.history.len(), rewired.history.len());
+    for (a, b) in frozen.history.iter().zip(&rewired.history) {
+        assert!(
+            (a.train_loss - b.train_loss).abs() < 1e-10,
+            "epoch {} loss: {} vs {}",
+            a.epoch,
+            a.train_loss,
+            b.train_loss
+        );
+        match (a.test_mse, b.test_mse) {
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-10, "epoch {} mse", a.epoch),
+            (x, y) => assert_eq!(x, y),
+        }
+    }
+    // Adam's v-normalisation amplifies relative rounding differences
+    // into the parameters faster than into the loss curve.
+    for (a, b) in frozen.params.iter().zip(&rewired.params) {
+        assert!((a - b).abs() < 1e-8, "params diverged: {a} vs {b}");
+    }
+    assert!((frozen.final_mse - rewired.final_mse).abs() < 1e-8);
+    assert!((frozen.final_ssim - rewired.final_ssim).abs() < 1e-8);
+}
+
+#[test]
+fn strategies_reuse_adjoint_workspace_without_reallocating() {
+    // The no-allocation steady-state contract, asserted through the
+    // strategy-held workspace counters (mirroring InferenceSession's
+    // compile/reuse counters): one warm-up allocation, then pure reuse
+    // for every subsequent adjoint call.
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(7, 16, 4), 5);
+    let cfg = TrainConfig {
+        epochs: 4,
+        initial_lr: 0.1,
+        seed: 5,
+        eval_every: 0,
+    };
+
+    let mut per_sample = PerSampleVqc::new(&model, &train, &test).unwrap();
+    Trainer::new(cfg).fit(&mut per_sample).unwrap();
+    // 5 train samples × 4 epochs = 20 adjoint calls.
+    assert_eq!(per_sample.adjoint_workspace().allocations(), 1);
+    assert_eq!(per_sample.adjoint_workspace().reuses(), 19);
+
+    let mut minibatch = MiniBatchVqc::new(&model, &train, &test, 2).unwrap();
+    Trainer::new(cfg).fit(&mut minibatch).unwrap();
+    // ceil(5/2) = 3 chunks × 4 epochs = 12 batched adjoint calls, each
+    // covering a whole mini-batch.
+    assert_eq!(minibatch.adjoint_workspace().allocations(), 1);
+    assert_eq!(minibatch.adjoint_workspace().reuses(), 11);
+
+    let mut qubatch = QuBatchVqc::new(&model, &train, &test, 2).unwrap();
+    Trainer::new(cfg).fit(&mut qubatch).unwrap();
+    assert_eq!(qubatch.adjoint_workspace().allocations(), 1);
+    assert_eq!(qubatch.adjoint_workspace().reuses(), 11);
 }
 
 #[test]

@@ -60,7 +60,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::adjoint::{AdjointWorkspace, ObsForMember};
 use crate::batch::BatchedState;
+use crate::circuit::Circuit;
 use crate::fusion::{CompiledCircuit, FusedOp};
 use crate::gates::Matrix2;
 use crate::kernels::simulation_threads;
@@ -180,6 +182,51 @@ pub trait QuantumBackend: Send + Sync {
         let mut batch = BatchedState::replicate(input, 1);
         self.run_batch(circuit, &mut batch)?;
         batch.member(0)
+    }
+
+    /// Batched adjoint gradients for every member of `inputs` — the
+    /// training hot path. `obs_for(b, probs)` is called once per member,
+    /// in order, with that member's exact output distribution and returns
+    /// the member's effective diagonal observable (how QuGeo's decoders
+    /// express a loss gradient); results land in the caller-held `ws`
+    /// ([`AdjointWorkspace::values`] / [`AdjointWorkspace::grad`]), whose
+    /// buffers are recycled across calls.
+    ///
+    /// The provided implementation compiles with gradient metadata and
+    /// drives the fused batched engine ([`crate::adjoint`]) under the
+    /// backend's thread budget. Exact backends may override it — the
+    /// [`NaiveBackend`] substitutes the serial unfused reference so
+    /// differential tests can pin the fused engine through this very
+    /// trait. Backends without amplitude access cannot implement it at
+    /// all; callers route on [`QuantumBackend::supports_adjoint_gradient`]
+    /// and fall back to parameter shift.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::Unsupported`] when
+    /// [`QuantumBackend::supports_adjoint_gradient`] is `false`, and
+    /// propagates mismatch, engine, and `obs_for` errors.
+    fn adjoint_gradient_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        inputs: &BatchedState,
+        obs_for: &mut ObsForMember<'_>,
+        ws: &mut AdjointWorkspace,
+    ) -> Result<(), QsimError> {
+        if !self.supports_adjoint_gradient() {
+            return Err(QsimError::Unsupported {
+                reason: format!(
+                    "backend '{}' exposes no exact amplitudes; route gradients \
+                     through parameter shift instead",
+                    self.name()
+                ),
+            });
+        }
+        let threads = self.config().effective_threads();
+        let compiled = CompiledCircuit::compile_with_grad(circuit, params)?;
+        ws.forward(&compiled, inputs, threads)?;
+        ws.backward_with(&compiled, threads, obs_for)
     }
 }
 
@@ -325,6 +372,30 @@ impl QuantumBackend for NaiveBackend {
         (0..batch.batch_len())
             .map(|b| batch.member_probabilities(b))
             .collect()
+    }
+
+    /// The serial, unfused reference adjoint: one gate-by-gate
+    /// [`crate::adjoint_gradient`] pass per member. Nothing here is
+    /// shared with the fused batched engine, so any divergence between
+    /// this backend and [`StatevectorBackend`] through the same trait
+    /// call indicts the fused sweep.
+    fn adjoint_gradient_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        inputs: &BatchedState,
+        obs_for: &mut ObsForMember<'_>,
+        ws: &mut AdjointWorkspace,
+    ) -> Result<(), QsimError> {
+        ws.prepare_results(circuit.num_qubits(), inputs.batch_len(), circuit.num_slots());
+        for b in 0..inputs.batch_len() {
+            let input = inputs.member(b)?;
+            let psi = circuit.run(&input, params)?;
+            let obs = obs_for(b, &psi.probabilities())?;
+            let (value, grad) = crate::gradient::adjoint_gradient(circuit, params, &input, &obs)?;
+            ws.set_member_result(b, value, &grad);
+        }
+        Ok(())
     }
 }
 

@@ -118,7 +118,11 @@ impl BatchedState {
     /// Reloads this batch from member states, **reusing the existing
     /// amplitude allocation** where capacity permits — the buffer-reuse
     /// entry point for serving-style loops that execute many requests
-    /// through one long-lived batch (e.g. `qugeo`'s `InferenceSession`).
+    /// through one long-lived batch (e.g. `qugeo`'s `InferenceSession`)
+    /// and for training strategies that reload each step's mini-batch
+    /// into one long-lived input buffer. Accepts owned states or
+    /// references (`&[State]` and `&[&State]` both work), so callers can
+    /// gather scattered samples without cloning them.
     ///
     /// The batch takes the width and length of `states`; prior contents
     /// are discarded.
@@ -127,23 +131,26 @@ impl BatchedState {
     ///
     /// Returns [`QsimError::InvalidEncoding`] for an empty slice and
     /// [`QsimError::QubitCountMismatch`] for width disagreements.
-    pub fn load_states(&mut self, states: &[State]) -> Result<(), QsimError> {
+    pub fn load_states<S: std::borrow::Borrow<State>>(
+        &mut self,
+        states: &[S],
+    ) -> Result<(), QsimError> {
         let first = states.first().ok_or_else(|| QsimError::InvalidEncoding {
             reason: "empty batch".to_string(),
         })?;
-        let num_qubits = first.num_qubits();
+        let num_qubits = first.borrow().num_qubits();
         for s in states {
-            if s.num_qubits() != num_qubits {
+            if s.borrow().num_qubits() != num_qubits {
                 return Err(QsimError::QubitCountMismatch {
                     expected: num_qubits,
-                    actual: s.num_qubits(),
+                    actual: s.borrow().num_qubits(),
                 });
             }
         }
         self.amps.clear();
-        self.amps.reserve(states.len() * first.len());
+        self.amps.reserve(states.len() * first.borrow().len());
         for s in states {
-            self.amps.extend_from_slice(s.amplitudes());
+            self.amps.extend_from_slice(s.borrow().amplitudes());
         }
         self.num_qubits = num_qubits;
         self.batch = states.len();
@@ -189,6 +196,12 @@ impl BatchedState {
         State::from_amplitudes(self.member_amps(b)?.to_vec())
     }
 
+    /// Read-only view of the whole contiguous amplitude array (`B · 2^n`
+    /// values; member `b` occupies `b · 2^n .. (b+1) · 2^n`).
+    pub fn amps(&self) -> &[Complex64] {
+        &self.amps
+    }
+
     /// Mutable view of the whole contiguous amplitude array (`B · 2^n`
     /// values; member `b` occupies `b · 2^n .. (b+1) · 2^n`). Execution
     /// backends use this to drive member slices through their own gate
@@ -196,13 +209,6 @@ impl BatchedState {
     pub fn amps_mut(&mut self) -> &mut [Complex64] {
         &mut self.amps
     }
-
-    /// Largest member dimension still executed circuit-major. A `2^14`
-    /// member is 256 KiB of amplitudes — around the point where running a
-    /// whole circuit over one member stops fitting in per-core cache and
-    /// gate-major whole-batch sweeps (which parallelise within a gate)
-    /// win instead.
-    const CIRCUIT_MAJOR_MAX_DIM: usize = 1 << 14;
 
     /// Applies one compiled circuit to **every** member in one engine
     /// call.
@@ -240,30 +246,10 @@ impl BatchedState {
                 actual: circuit.num_qubits(),
             });
         }
-        let dim = self.member_dim();
-        if dim > Self::CIRCUIT_MAJOR_MAX_DIM || self.batch == 1 {
-            circuit.apply_amps_threaded(&mut self.amps, threads);
-            return Ok(());
-        }
-        let threads = threads.min(self.batch);
-        // Spawning workers for a sweep smaller than the kernels' own
-        // parallel threshold costs more than it saves.
-        if threads <= 1 || self.amps.len() < crate::kernels::PARALLEL_MIN_AMPS {
-            for member in self.amps.chunks_mut(dim) {
-                circuit.apply_amps_threaded(member, 1);
-            }
-            return Ok(());
-        }
-        let per = self.batch.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for members in self.amps.chunks_mut(per * dim) {
-                scope.spawn(move || {
-                    for member in members.chunks_mut(dim) {
-                        circuit.apply_amps_threaded(member, 1);
-                    }
-                });
-            }
-        });
+        // The adaptive circuit-major / gate-major split lives on the
+        // compiled circuit so the adjoint workspace's forward pass shares
+        // it exactly.
+        circuit.apply_members_threaded(&mut self.amps, threads);
         Ok(())
     }
 

@@ -131,6 +131,38 @@ impl Gate1 {
         out
     }
 
+    /// The gate's angle sources in declaration order (empty for constant
+    /// gates), as a fixed-capacity, allocation-free collection — this is
+    /// called once per gate occurrence per gradient evaluation, so a heap
+    /// `Vec` here would put an allocator round-trip in the training hot
+    /// path.
+    pub fn angle_sources(&self) -> AngleSources {
+        match self {
+            Self::Rx(a) | Self::Ry(a) | Self::Rz(a) | Self::Phase(a) => AngleSources::one(*a),
+            Self::U3(t, p, l) => AngleSources::three(*t, *p, *l),
+            _ => AngleSources::empty(),
+        }
+    }
+
+    /// A copy of the gate with angle `idx` pinned to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a valid angle index for this gate.
+    pub fn with_angle_fixed(&self, idx: usize, value: f64) -> Self {
+        let fixed = ParamSource::Fixed(value);
+        match (*self, idx) {
+            (Self::Rx(_), 0) => Self::Rx(fixed),
+            (Self::Ry(_), 0) => Self::Ry(fixed),
+            (Self::Rz(_), 0) => Self::Rz(fixed),
+            (Self::Phase(_), 0) => Self::Phase(fixed),
+            (Self::U3(_, p, l), 0) => Self::U3(fixed, p, l),
+            (Self::U3(t, _, l), 1) => Self::U3(t, fixed, l),
+            (Self::U3(t, p, _), 2) => Self::U3(t, p, fixed),
+            _ => panic!("gate {self:?} has no angle index {idx}"),
+        }
+    }
+
     /// All trainable slots referenced by this gate.
     pub fn slots(&self) -> Vec<usize> {
         match self {
@@ -143,6 +175,81 @@ impl Gate1 {
                 .collect(),
             _ => Vec::new(),
         }
+    }
+}
+
+/// The angle sources of one gate: at most three ([`Gate1::U3`]), stored
+/// inline so enumerating a circuit's trainable angles never allocates.
+///
+/// # Examples
+///
+/// ```
+/// use qugeo_qsim::{Gate1, ParamSource};
+///
+/// let g = Gate1::U3(
+///     ParamSource::Slot(0),
+///     ParamSource::Fixed(0.5),
+///     ParamSource::Slot(1),
+/// );
+/// let slots: Vec<_> = g
+///     .angle_sources()
+///     .into_iter()
+///     .filter_map(|src| src.slot())
+///     .collect();
+/// assert_eq!(slots, [0, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngleSources {
+    srcs: [ParamSource; 3],
+    len: usize,
+}
+
+impl AngleSources {
+    const PAD: ParamSource = ParamSource::Fixed(0.0);
+
+    fn empty() -> Self {
+        Self {
+            srcs: [Self::PAD; 3],
+            len: 0,
+        }
+    }
+
+    fn one(a: ParamSource) -> Self {
+        Self {
+            srcs: [a, Self::PAD, Self::PAD],
+            len: 1,
+        }
+    }
+
+    fn three(a: ParamSource, b: ParamSource, c: ParamSource) -> Self {
+        Self {
+            srcs: [a, b, c],
+            len: 3,
+        }
+    }
+
+    /// Number of angles the gate declares.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for constant gates.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sources as a slice, in declaration order.
+    pub fn as_slice(&self) -> &[ParamSource] {
+        &self.srcs[..self.len]
+    }
+}
+
+impl IntoIterator for AngleSources {
+    type Item = ParamSource;
+    type IntoIter = std::iter::Take<std::array::IntoIter<ParamSource, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.srcs.into_iter().take(self.len)
     }
 }
 

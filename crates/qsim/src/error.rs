@@ -62,6 +62,13 @@ pub enum QsimError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// An operation the execution substrate cannot provide (e.g. adjoint
+    /// differentiation on a finite-shot backend, or a backward sweep over
+    /// a circuit compiled without gradient metadata).
+    Unsupported {
+        /// Human-readable description of the unsupported request.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QsimError {
@@ -87,6 +94,7 @@ impl fmt::Display for QsimError {
                 write!(f, "expected a {expected}-qubit state, got {actual} qubits")
             }
             Self::InvalidEncoding { reason } => write!(f, "invalid encoding: {reason}"),
+            Self::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
         }
     }
 }

@@ -26,6 +26,22 @@
 //! parameter vector. Compilation costs `O(ops)` small matrix products,
 //! negligible next to one amplitude sweep.
 //!
+//! # Gradient-aware compilation
+//!
+//! [`CompiledCircuit::compile_with_grad`] additionally records, for every
+//! fused op `F = U_m ⋯ U_1`, the derivative of the *fused* matrix with
+//! respect to each trainable angle it absorbed:
+//! `∂F/∂θ = U_m ⋯ U_{j+1} · ∂U_j/∂θ · U_{j-1} ⋯ U_1`, maintained
+//! incrementally by the product rule as gates fuse. Because fusion only
+//! merges gates with a shared support, every such derivative is itself a
+//! 2×2, multiplexed-pair, or 4×4 object on the same qubits as its op
+//! ([`SlotDeriv`]) — which is what lets the adjoint backward sweep
+//! ([`crate::adjoint`]) walk **fused** ops and still emit exact
+//! per-slot `2·Re⟨bra|∂U|ket⟩` contributions, without de-fusing. Fusion
+//! reorders gates only across disjoint supports, so the fused product
+//! equals the source circuit's unitary identically in the parameters and
+//! the recorded derivatives are exact.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,9 +66,37 @@
 //! # }
 //! ```
 
-use crate::circuit::{Circuit, Op};
+use crate::circuit::{Circuit, Gate1, Op};
 use crate::gates::{Matrix2, Matrix4};
 use crate::{kernels, Complex64, QsimError, State};
+
+/// The derivative of one fused op with respect to one absorbed trainable
+/// angle. The shape always matches the op's shape: a [`FusedOp::One`]
+/// carries [`DerivKind::One`] derivatives, and so on — the adjoint sweep
+/// relies on this invariant to apply the derivative on the op's support.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DerivKind {
+    /// `∂F/∂θ` of a fused single-qubit op (acts on the op's qubit).
+    One(Matrix2),
+    /// `∂F/∂θ` of a multiplexed op: the control-0 and control-1 branch
+    /// derivatives (either may be the zero matrix — e.g. a plain
+    /// controlled rotation has no control-0 action).
+    Multiplexed(Matrix2, Matrix2),
+    /// `∂F/∂θ` of a dense two-qubit op (acts on the op's qubit pair).
+    Two(Matrix4),
+}
+
+/// One recorded gradient contribution: which parameter slot, and the
+/// derivative of the enclosing fused op with respect to this angle
+/// occurrence. Several entries may share a slot (shared-slot circuits);
+/// their contributions accumulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotDeriv {
+    /// Index into the circuit's trainable parameter vector.
+    pub slot: usize,
+    /// The fused-op derivative for this occurrence.
+    pub d: DerivKind,
+}
 
 /// One fused operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,7 +173,12 @@ impl FusedOp {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledCircuit {
     num_qubits: usize,
+    num_slots: usize,
     ops: Vec<FusedOp>,
+    /// Per-fused-op derivative records; parallel to `ops` when compiled
+    /// with gradients, empty otherwise.
+    derivs: Vec<Vec<SlotDeriv>>,
+    grad_ready: bool,
     source_ops: usize,
 }
 
@@ -142,29 +191,64 @@ impl CompiledCircuit {
     /// Returns [`QsimError::ParamCountMismatch`] if `params` disagrees
     /// with the circuit's slot count.
     pub fn compile(circuit: &Circuit, params: &[f64]) -> Result<Self, QsimError> {
+        Self::lower(circuit, params, false)
+    }
+
+    /// [`CompiledCircuit::compile`] plus gradient metadata: every fused op
+    /// records the derivative of its fused matrix with respect to each
+    /// trainable angle it absorbed ([`SlotDeriv`]), enabling the fused
+    /// adjoint backward sweep ([`crate::adjoint`]). Costs a handful of
+    /// extra small matrix products per parameterised gate at compile
+    /// time; forward execution is unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QsimError::ParamCountMismatch`] if `params` disagrees
+    /// with the circuit's slot count.
+    pub fn compile_with_grad(circuit: &Circuit, params: &[f64]) -> Result<Self, QsimError> {
+        Self::lower(circuit, params, true)
+    }
+
+    fn lower(circuit: &Circuit, params: &[f64], with_grad: bool) -> Result<Self, QsimError> {
         circuit.check_params(params)?;
         let mut builder = Builder {
             // One tombstone-able slot per source op, compacted at the end.
             ops: Vec::with_capacity(circuit.num_ops()),
             last_touch: vec![None; circuit.num_qubits()],
+            with_grad,
         };
         for op in circuit.ops() {
             match *op {
-                Op::Single { gate, qubit } => builder.push_one(gate.matrix(params), qubit),
+                Op::Single { gate, qubit } => {
+                    let derivs = builder.gate_derivs(&gate, params);
+                    builder.push_one(gate.matrix(params), derivs, qubit);
+                }
                 Op::Controlled {
                     gate,
                     control,
                     target,
-                } => builder.push_controlled(gate.matrix(params), control, target),
+                } => {
+                    let derivs = builder.gate_derivs(&gate, params);
+                    builder.push_controlled(gate.matrix(params), derivs, control, target);
+                }
                 Op::Swap { a: x, b: y } => {
                     let (a, b) = ordered(x, y);
                     builder.push_dense(Matrix4::swap(), a, b);
                 }
             }
         }
+        let (ops, derivs): (Vec<FusedOp>, Vec<Vec<SlotDeriv>>) = builder
+            .ops
+            .into_iter()
+            .flatten()
+            .map(|p| (p.op, p.derivs))
+            .unzip();
         Ok(Self {
             num_qubits: circuit.num_qubits(),
-            ops: builder.ops.into_iter().flatten().collect(),
+            num_slots: circuit.num_slots(),
+            ops,
+            derivs: if with_grad { derivs } else { Vec::new() },
+            grad_ready: with_grad,
             source_ops: circuit.num_ops(),
         })
     }
@@ -172,6 +256,11 @@ impl CompiledCircuit {
     /// Register width.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// Trainable slots of the circuit this was compiled from.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
     }
 
     /// Fused operation count (≤ the source op count).
@@ -187,6 +276,23 @@ impl CompiledCircuit {
     /// The fused operations in execution order.
     pub fn ops(&self) -> &[FusedOp] {
         &self.ops
+    }
+
+    /// `true` when this compilation recorded derivative metadata
+    /// ([`CompiledCircuit::compile_with_grad`]) and can drive an adjoint
+    /// backward sweep.
+    pub fn has_gradients(&self) -> bool {
+        self.grad_ready
+    }
+
+    /// The derivative records of fused op `idx` (empty when compiled
+    /// without gradients, or when the op absorbed no trainable angle).
+    pub fn op_derivs(&self, idx: usize) -> &[SlotDeriv] {
+        if self.grad_ready {
+            &self.derivs[idx]
+        } else {
+            &[]
+        }
     }
 
     /// Applies the compiled circuit to a raw amplitude slice holding one
@@ -220,6 +326,55 @@ impl CompiledCircuit {
                 FusedOp::Two { m, a, b } => kernels::apply_two(amps, m, *a, *b, threads),
             }
         }
+    }
+
+    /// Largest member dimension still executed circuit-major when this
+    /// circuit sweeps a multi-member amplitude array. A `2^14` member is
+    /// 256 KiB of amplitudes — around the point where running a whole
+    /// circuit over one member stops fitting in per-core cache and
+    /// gate-major whole-array sweeps (which parallelise within a gate)
+    /// win instead.
+    pub(crate) const CIRCUIT_MAJOR_MAX_DIM: usize = 1 << 14;
+
+    /// Applies the compiled circuit to every `2^n`-amplitude member block
+    /// of `amps`, adapting the execution order to the member size: small
+    /// members run *circuit-major* (each worker keeps one member hot in
+    /// cache through the whole gate sequence), large members (or a batch
+    /// of one) run *gate-major* with chunk-parallel kernels. Shared by
+    /// [`crate::BatchedState`] and the adjoint workspace so the forward
+    /// paths can never diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `amps.len()` is not a multiple of the block
+    /// size.
+    pub(crate) fn apply_members_threaded(&self, amps: &mut [Complex64], threads: usize) {
+        let dim = 1usize << self.num_qubits;
+        debug_assert_eq!(amps.len() % dim, 0);
+        let batch = amps.len() / dim;
+        if dim > Self::CIRCUIT_MAJOR_MAX_DIM || batch <= 1 {
+            self.apply_amps_threaded(amps, threads);
+            return;
+        }
+        let threads = threads.min(batch);
+        // Spawning workers for a sweep smaller than the kernels' own
+        // parallel threshold costs more than it saves.
+        if threads <= 1 || amps.len() < kernels::PARALLEL_MIN_AMPS {
+            for member in amps.chunks_mut(dim) {
+                self.apply_amps_threaded(member, 1);
+            }
+            return;
+        }
+        let per = batch.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for members in amps.chunks_mut(per * dim) {
+                scope.spawn(move || {
+                    for member in members.chunks_mut(dim) {
+                        self.apply_amps_threaded(member, 1);
+                    }
+                });
+            }
+        });
     }
 
     /// Applies the compiled circuit to `state` in place.
@@ -260,68 +415,209 @@ fn ordered(x: usize, y: usize) -> (usize, usize) {
     }
 }
 
+/// A fused op under construction plus the derivative records of the
+/// trainable angles it has absorbed so far.
+struct PendingOp {
+    op: FusedOp,
+    derivs: Vec<SlotDeriv>,
+}
+
 /// Fusion state: `ops` uses `None` tombstones for absorbed gates so the
 /// `last_touch` indices stay stable during the pass.
+///
+/// Derivative maintenance follows the product rule. Every fusion step
+/// composes `result = NEW · OLD` (the new gate applied after), so
+///
+/// * existing derivatives of `OLD` become `NEW · D`,
+/// * the new gate's own derivatives become `D_new · OLD`
+///
+/// (captured *before* the matrices update), in whatever embedding the
+/// op's current shape requires. When `with_grad` is off every derivative
+/// list is empty and all of this is dead weightless iteration.
 struct Builder {
-    ops: Vec<Option<FusedOp>>,
+    ops: Vec<Option<PendingOp>>,
     last_touch: Vec<Option<usize>>,
+    with_grad: bool,
 }
 
 impl Builder {
+    /// The source gate's `(slot, ∂U/∂θ)` pairs, or nothing when gradient
+    /// tracking is off.
+    fn gate_derivs(&self, gate: &Gate1, params: &[f64]) -> Vec<(usize, Matrix2)> {
+        if self.with_grad {
+            gate.slot_derivatives(params)
+        } else {
+            Vec::new()
+        }
+    }
+
     /// Adds a single-qubit gate, fusing into the most recent op touching
     /// `q` when profitable (everything since then commutes past `q`).
-    fn push_one(&mut self, m: Matrix2, q: usize) {
+    fn push_one(&mut self, m: Matrix2, dm: Vec<(usize, Matrix2)>, q: usize) {
         if let Some(idx) = self.last_touch[q] {
-            match self.ops[idx].as_mut().expect("last_touch points at live op") {
+            let PendingOp { op, derivs } =
+                self.ops[idx].as_mut().expect("last_touch points at live op");
+            match op {
                 FusedOp::One { m: prev, .. } => {
+                    let prev_old = *prev;
                     *prev = m.matmul(prev);
+                    for sd in derivs.iter_mut() {
+                        let DerivKind::One(d) = &mut sd.d else {
+                            unreachable!("One op carries One derivs");
+                        };
+                        *d = m.matmul(d);
+                    }
+                    derivs.extend(dm.into_iter().map(|(slot, d)| SlotDeriv {
+                        slot,
+                        d: DerivKind::One(d.matmul(&prev_old)),
+                    }));
                     return;
                 }
                 // Target-side absorption keeps the multiplexed form.
                 FusedOp::Multiplexed { a0, a1, t, .. } if *t == q => {
+                    let (a0_old, a1_old) = (*a0, *a1);
                     *a0 = m.matmul(a0);
                     *a1 = m.matmul(a1);
+                    for sd in derivs.iter_mut() {
+                        let DerivKind::Multiplexed(e0, e1) = &mut sd.d else {
+                            unreachable!("Multiplexed op carries Multiplexed derivs");
+                        };
+                        *e0 = m.matmul(e0);
+                        *e1 = m.matmul(e1);
+                    }
+                    derivs.extend(dm.into_iter().map(|(slot, d)| SlotDeriv {
+                        slot,
+                        d: DerivKind::Multiplexed(d.matmul(&a0_old), d.matmul(&a1_old)),
+                    }));
                     return;
                 }
                 // Control-side absorption would densify a 2-multiply op
                 // into a 4-multiply one — keep the single separate.
                 FusedOp::Multiplexed { .. } => {}
                 FusedOp::Two { m: prev, a, b } => {
-                    *prev = FusedOp::embed(&m, q, *a, *b).matmul(prev);
+                    let (a, b) = (*a, *b);
+                    let prev_old = *prev;
+                    let embedded = FusedOp::embed(&m, q, a, b);
+                    *prev = embedded.matmul(prev);
+                    for sd in derivs.iter_mut() {
+                        let DerivKind::Two(d) = &mut sd.d else {
+                            unreachable!("Two op carries Two derivs");
+                        };
+                        *d = embedded.matmul(d);
+                    }
+                    derivs.extend(dm.into_iter().map(|(slot, d)| SlotDeriv {
+                        slot,
+                        d: DerivKind::Two(FusedOp::embed(&d, q, a, b).matmul(&prev_old)),
+                    }));
                     return;
                 }
             }
         }
-        self.place(FusedOp::One { m, q });
+        let derivs = dm
+            .into_iter()
+            .map(|(slot, d)| SlotDeriv {
+                slot,
+                d: DerivKind::One(d),
+            })
+            .collect();
+        self.place(PendingOp {
+            op: FusedOp::One { m, q },
+            derivs,
+        });
+    }
+
+    /// Takes the pending single-qubit op most recently touching `q`, if
+    /// that is indeed what `last_touch[q]` points at.
+    fn take_pending_single(&mut self, q: usize) -> Option<(Matrix2, Vec<SlotDeriv>)> {
+        let idx = self.last_touch[q]?;
+        if !matches!(
+            self.ops[idx],
+            Some(PendingOp {
+                op: FusedOp::One { .. },
+                ..
+            })
+        ) {
+            return None;
+        }
+        let taken = self.ops[idx].take().expect("checked live above");
+        self.last_touch[q] = None;
+        let FusedOp::One { m, .. } = taken.op else {
+            unreachable!("matched One above");
+        };
+        Some((m, taken.derivs))
     }
 
     /// Adds a controlled gate, absorbing a pending single on its target
     /// and merging with a same-support predecessor.
-    fn push_controlled(&mut self, g: Matrix2, c: usize, t: usize) {
+    fn push_controlled(&mut self, g: Matrix2, dg: Vec<(usize, Matrix2)>, c: usize, t: usize) {
         let mut a0 = Matrix2::identity();
         let mut a1 = g;
+        let mut derivs: Vec<SlotDeriv> = dg
+            .into_iter()
+            .map(|(slot, d)| SlotDeriv {
+                slot,
+                d: DerivKind::Multiplexed(Matrix2::zero(), d),
+            })
+            .collect();
         // A pending single on the target commutes forward to just before
         // this gate and folds into both branches.
-        if let Some(idx) = self.last_touch[t] {
-            if let Some(FusedOp::One { m: single, .. }) = self.ops[idx] {
-                a0 = a0.matmul(&single);
-                a1 = a1.matmul(&single);
-                self.ops[idx] = None;
-                self.last_touch[t] = None;
+        if let Some((single, single_derivs)) = self.take_pending_single(t) {
+            let (a0_old, a1_old) = (a0, a1);
+            a0 = a0.matmul(&single);
+            a1 = a1.matmul(&single);
+            for sd in derivs.iter_mut() {
+                let DerivKind::Multiplexed(e0, e1) = &mut sd.d else {
+                    unreachable!("controlled push builds Multiplexed derivs");
+                };
+                *e0 = e0.matmul(&single);
+                *e1 = e1.matmul(&single);
             }
+            derivs.extend(single_derivs.into_iter().map(|sd| {
+                let DerivKind::One(d) = sd.d else {
+                    unreachable!("One op carries One derivs");
+                };
+                SlotDeriv {
+                    slot: sd.slot,
+                    d: DerivKind::Multiplexed(a0_old.matmul(&d), a1_old.matmul(&d)),
+                }
+            }));
         }
         // Merge with the most recent op when it covers exactly this pair.
         if let (Some(ia), Some(ib)) = (self.last_touch[c], self.last_touch[t]) {
             if ia == ib {
-                match self.ops[ia].as_mut().expect("live op") {
+                let PendingOp {
+                    op,
+                    derivs: prev_derivs,
+                } = self.ops[ia].as_mut().expect("live op");
+                match op {
                     FusedOp::Multiplexed {
                         a0: p0,
                         a1: p1,
                         c: pc,
                         t: pt,
                     } if (*pc, *pt) == (c, t) => {
+                        let (p0_old, p1_old) = (*p0, *p1);
                         *p0 = a0.matmul(p0);
                         *p1 = a1.matmul(p1);
+                        for sd in prev_derivs.iter_mut() {
+                            let DerivKind::Multiplexed(e0, e1) = &mut sd.d else {
+                                unreachable!("Multiplexed op carries Multiplexed derivs");
+                            };
+                            *e0 = a0.matmul(e0);
+                            *e1 = a1.matmul(e1);
+                        }
+                        prev_derivs.extend(derivs.into_iter().map(|sd| {
+                            let DerivKind::Multiplexed(d0, d1) = sd.d else {
+                                unreachable!("controlled push builds Multiplexed derivs");
+                            };
+                            SlotDeriv {
+                                slot: sd.slot,
+                                d: DerivKind::Multiplexed(
+                                    d0.matmul(&p0_old),
+                                    d1.matmul(&p1_old),
+                                ),
+                            }
+                        }));
                         return;
                     }
                     // Same pair, roles swapped: flops are equal after
@@ -332,45 +628,127 @@ impl Builder {
                         c: pc,
                         t: pt,
                     } if (*pc, *pt) == (t, c) => {
-                        let (prev, lo, hi) = FusedOp::multiplexed_to_dense(p0, p1, *pc, *pt);
+                        let (pc, pt) = (*pc, *pt);
+                        let (prev, lo, hi) = FusedOp::multiplexed_to_dense(p0, p1, pc, pt);
                         let (new, _, _) = FusedOp::multiplexed_to_dense(&a0, &a1, c, t);
-                        self.ops[ia] = Some(FusedOp::Two {
+                        let mut dense_derivs: Vec<SlotDeriv> = prev_derivs
+                            .drain(..)
+                            .map(|sd| {
+                                let DerivKind::Multiplexed(e0, e1) = sd.d else {
+                                    unreachable!("Multiplexed op carries Multiplexed derivs");
+                                };
+                                let (ed, _, _) =
+                                    FusedOp::multiplexed_to_dense(&e0, &e1, pc, pt);
+                                SlotDeriv {
+                                    slot: sd.slot,
+                                    d: DerivKind::Two(new.matmul(&ed)),
+                                }
+                            })
+                            .collect();
+                        dense_derivs.extend(derivs.into_iter().map(|sd| {
+                            let DerivKind::Multiplexed(d0, d1) = sd.d else {
+                                unreachable!("controlled push builds Multiplexed derivs");
+                            };
+                            let (dd, _, _) = FusedOp::multiplexed_to_dense(&d0, &d1, c, t);
+                            SlotDeriv {
+                                slot: sd.slot,
+                                d: DerivKind::Two(dd.matmul(&prev)),
+                            }
+                        }));
+                        *op = FusedOp::Two {
                             m: new.matmul(&prev),
                             a: lo,
                             b: hi,
-                        });
+                        };
+                        *prev_derivs = dense_derivs;
                         return;
                     }
                     FusedOp::Two { m: prev, a, b } if (*a, *b) == ordered(c, t) => {
+                        let prev_old = *prev;
                         let (new, _, _) = FusedOp::multiplexed_to_dense(&a0, &a1, c, t);
                         *prev = new.matmul(prev);
+                        for sd in prev_derivs.iter_mut() {
+                            let DerivKind::Two(d) = &mut sd.d else {
+                                unreachable!("Two op carries Two derivs");
+                            };
+                            *d = new.matmul(d);
+                        }
+                        prev_derivs.extend(derivs.into_iter().map(|sd| {
+                            let DerivKind::Multiplexed(d0, d1) = sd.d else {
+                                unreachable!("controlled push builds Multiplexed derivs");
+                            };
+                            let (dd, _, _) = FusedOp::multiplexed_to_dense(&d0, &d1, c, t);
+                            SlotDeriv {
+                                slot: sd.slot,
+                                d: DerivKind::Two(dd.matmul(&prev_old)),
+                            }
+                        }));
                         return;
                     }
                     _ => {}
                 }
             }
         }
-        self.place(FusedOp::Multiplexed { a0, a1, c, t });
+        self.place(PendingOp {
+            op: FusedOp::Multiplexed { a0, a1, c, t },
+            derivs,
+        });
     }
 
     /// Adds a dense two-qubit gate on `(a, b)`, absorbing pending singles
     /// on either qubit (already dense, so absorption is free) and fusing
-    /// with an identical-support predecessor.
+    /// with an identical-support predecessor. Only SWAP lowers through
+    /// here, so the incoming gate itself carries no derivatives — but the
+    /// singles it absorbs and the predecessors it merges with may.
     fn push_dense(&mut self, mut m: Matrix4, a: usize, b: usize) {
+        let mut derivs: Vec<SlotDeriv> = Vec::new();
         for q in [a, b] {
-            if let Some(idx) = self.last_touch[q] {
-                if let Some(FusedOp::One { m: single, .. }) = self.ops[idx] {
-                    m = m.matmul(&FusedOp::embed(&single, q, a, b));
-                    self.ops[idx] = None;
-                    self.last_touch[q] = None;
+            if let Some((single, single_derivs)) = self.take_pending_single(q) {
+                let m_old = m;
+                let embedded = FusedOp::embed(&single, q, a, b);
+                m = m.matmul(&embedded);
+                for sd in derivs.iter_mut() {
+                    let DerivKind::Two(d) = &mut sd.d else {
+                        unreachable!("dense push builds Two derivs");
+                    };
+                    *d = d.matmul(&embedded);
                 }
+                derivs.extend(single_derivs.into_iter().map(|sd| {
+                    let DerivKind::One(d) = sd.d else {
+                        unreachable!("One op carries One derivs");
+                    };
+                    SlotDeriv {
+                        slot: sd.slot,
+                        d: DerivKind::Two(m_old.matmul(&FusedOp::embed(&d, q, a, b))),
+                    }
+                }));
             }
         }
         if let (Some(ia), Some(ib)) = (self.last_touch[a], self.last_touch[b]) {
             if ia == ib {
-                match self.ops[ia].as_mut().expect("live op") {
+                let PendingOp {
+                    op,
+                    derivs: prev_derivs,
+                } = self.ops[ia].as_mut().expect("live op");
+                match op {
                     FusedOp::Two { m: prev, a: pa, b: pb } if (*pa, *pb) == (a, b) => {
+                        let prev_old = *prev;
                         *prev = m.matmul(prev);
+                        for sd in prev_derivs.iter_mut() {
+                            let DerivKind::Two(d) = &mut sd.d else {
+                                unreachable!("Two op carries Two derivs");
+                            };
+                            *d = m.matmul(d);
+                        }
+                        prev_derivs.extend(derivs.into_iter().map(|sd| {
+                            let DerivKind::Two(d) = sd.d else {
+                                unreachable!("dense push builds Two derivs");
+                            };
+                            SlotDeriv {
+                                slot: sd.slot,
+                                d: DerivKind::Two(d.matmul(&prev_old)),
+                            }
+                        }));
                         return;
                     }
                     FusedOp::Multiplexed {
@@ -379,24 +757,51 @@ impl Builder {
                         c,
                         t,
                     } if ordered(*c, *t) == (a, b) => {
-                        let (prev, _, _) = FusedOp::multiplexed_to_dense(a0, a1, *c, *t);
-                        self.ops[ia] = Some(FusedOp::Two {
+                        let (c, t) = (*c, *t);
+                        let (prev, _, _) = FusedOp::multiplexed_to_dense(a0, a1, c, t);
+                        let mut dense_derivs: Vec<SlotDeriv> = prev_derivs
+                            .drain(..)
+                            .map(|sd| {
+                                let DerivKind::Multiplexed(e0, e1) = sd.d else {
+                                    unreachable!("Multiplexed op carries Multiplexed derivs");
+                                };
+                                let (ed, _, _) = FusedOp::multiplexed_to_dense(&e0, &e1, c, t);
+                                SlotDeriv {
+                                    slot: sd.slot,
+                                    d: DerivKind::Two(m.matmul(&ed)),
+                                }
+                            })
+                            .collect();
+                        dense_derivs.extend(derivs.into_iter().map(|sd| {
+                            let DerivKind::Two(d) = sd.d else {
+                                unreachable!("dense push builds Two derivs");
+                            };
+                            SlotDeriv {
+                                slot: sd.slot,
+                                d: DerivKind::Two(d.matmul(&prev)),
+                            }
+                        }));
+                        *op = FusedOp::Two {
                             m: m.matmul(&prev),
                             a,
                             b,
-                        });
+                        };
+                        *prev_derivs = dense_derivs;
                         return;
                     }
                     _ => {}
                 }
             }
         }
-        self.place(FusedOp::Two { m, a, b });
+        self.place(PendingOp {
+            op: FusedOp::Two { m, a, b },
+            derivs,
+        });
     }
 
-    fn place(&mut self, op: FusedOp) {
+    fn place(&mut self, pending: PendingOp) {
         let idx = self.ops.len();
-        match op {
+        match pending.op {
             FusedOp::One { q, .. } => self.last_touch[q] = Some(idx),
             FusedOp::Multiplexed { c, t, .. } => {
                 self.last_touch[c] = Some(idx);
@@ -407,7 +812,7 @@ impl Builder {
                 self.last_touch[b] = Some(idx);
             }
         }
-        self.ops.push(Some(op));
+        self.ops.push(Some(pending));
     }
 }
 

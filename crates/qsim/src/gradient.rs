@@ -6,15 +6,18 @@
 //! via the chain rule, to the gradient of a single effective diagonal
 //! observable — which this module computes three ways:
 //!
-//! * [`adjoint_gradient`] — the production path: one forward pass plus one
-//!   backward sweep, `O(ops)` gate applications total, exact.
+//! * [`adjoint_gradient`] — the serial reference: one forward pass plus
+//!   one backward sweep over the *unfused* op list, `O(ops)` gate
+//!   applications total, exact. The production training path is the
+//!   fused, batched engine in [`crate::adjoint`], which this function
+//!   pins down in differential tests.
 //! * [`parameter_shift_gradient`] — hardware-compatible shift rules
 //!   (two-term for plain gates, four-term for controlled gates); used as an
 //!   independent oracle in tests.
 //! * [`finite_difference_gradient`] — central differences; slow, but makes
 //!   no assumptions at all.
 
-use crate::circuit::{Circuit, Gate1, Op, ParamSource};
+use crate::circuit::{Circuit, Op};
 use crate::{DiagonalObservable, QsimError, State};
 
 /// Evaluates `⟨ψ(θ)|O|ψ(θ)⟩` where `ψ(θ)` is the circuit output on
@@ -159,6 +162,9 @@ pub fn parameter_shift_gradient(
     }
 
     let mut grad = vec![0.0; circuit.num_slots()];
+    // One scratch circuit for every shift term: patch the angle, run,
+    // restore — instead of cloning the full op list per term.
+    let mut scratch = circuit.clone();
     for (op_idx, op) in circuit.ops().iter().enumerate() {
         let (gate, controlled) = match op {
             Op::Single { gate, .. } => (gate, false),
@@ -169,12 +175,22 @@ pub fn parameter_shift_gradient(
             let Some(slot) = src.slot() else { continue };
             let base = params[slot];
             for &(shift, coeff) in shift_rule(controlled) {
-                let shifted = override_angle(circuit, op_idx, angle_idx, base + shift);
-                grad[slot] += coeff * expectation_of(&shifted, params, input, obs)?;
+                patch_angle(&mut scratch, op_idx, angle_idx, base + shift);
+                grad[slot] += coeff * expectation_of(&scratch, params, input, obs)?;
+                *scratch.op_mut(op_idx) = *op;
             }
         }
     }
     Ok(grad)
+}
+
+/// Pins one angle of one op of `circuit` to a fixed value in place. The
+/// caller restores the original op afterwards (ops are `Copy`), so one
+/// scratch circuit serves every shift term of a gradient evaluation.
+fn patch_angle(circuit: &mut Circuit, op_idx: usize, angle_idx: usize, value: f64) {
+    if let Op::Single { gate, .. } | Op::Controlled { gate, .. } = circuit.op_mut(op_idx) {
+        *gate = gate.with_angle_fixed(angle_idx, value);
+    }
 }
 
 /// The parameter-shift rule for one gate occurrence, as
@@ -331,14 +347,20 @@ pub fn parameter_shift_gradient_backend(
     }
 
     // Chunk so one batch stays within ~2^22 amplitudes (64 MiB of
-    // Complex64) regardless of register width.
+    // Complex64) regardless of register width. One scratch circuit is
+    // patched and restored per term — compilation snapshots the patched
+    // gates, so no per-term clone of the op list is needed.
+    let mut scratch = circuit.clone();
     let chunk_members = ((1usize << 22) / input.len()).max(1);
     for chunk in terms.chunks(chunk_members) {
         let circuits = chunk
             .iter()
             .map(|t| {
-                let shifted = override_angle(circuit, t.op_idx, t.angle_idx, t.value);
-                crate::CompiledCircuit::compile(&shifted, params)
+                let original = circuit.ops()[t.op_idx];
+                patch_angle(&mut scratch, t.op_idx, t.angle_idx, t.value);
+                let compiled = crate::CompiledCircuit::compile(&scratch, params);
+                *scratch.op_mut(t.op_idx) = original;
+                compiled
             })
             .collect::<Result<Vec<_>, _>>()?;
         let mut batch = crate::BatchedState::replicate(input, chunk.len());
@@ -375,47 +397,6 @@ pub fn finite_difference_gradient(
         grad[i] = (plus - minus) / (2.0 * h);
     }
     Ok(grad)
-}
-
-/// Clones the circuit with one angle of one op replaced by a fixed value.
-fn override_angle(circuit: &Circuit, op_idx: usize, angle_idx: usize, value: f64) -> Circuit {
-    let mut out = circuit.clone();
-    let op = out.op_mut(op_idx);
-    if let Op::Single { gate, .. } | Op::Controlled { gate, .. } = op {
-        *gate = gate.with_angle_fixed(angle_idx, value);
-    }
-    out
-}
-
-impl Gate1 {
-    /// The gate's angle sources in declaration order (empty for constant
-    /// gates).
-    pub fn angle_sources(&self) -> Vec<ParamSource> {
-        match self {
-            Self::Rx(a) | Self::Ry(a) | Self::Rz(a) | Self::Phase(a) => vec![*a],
-            Self::U3(t, p, l) => vec![*t, *p, *l],
-            _ => Vec::new(),
-        }
-    }
-
-    /// A copy of the gate with angle `idx` pinned to `value`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `idx` is not a valid angle index for this gate.
-    pub fn with_angle_fixed(&self, idx: usize, value: f64) -> Self {
-        let fixed = ParamSource::Fixed(value);
-        match (*self, idx) {
-            (Self::Rx(_), 0) => Self::Rx(fixed),
-            (Self::Ry(_), 0) => Self::Ry(fixed),
-            (Self::Rz(_), 0) => Self::Rz(fixed),
-            (Self::Phase(_), 0) => Self::Phase(fixed),
-            (Self::U3(_, p, l), 0) => Self::U3(fixed, p, l),
-            (Self::U3(t, _, l), 1) => Self::U3(t, fixed, l),
-            (Self::U3(t, p, _), 2) => Self::U3(t, p, fixed),
-            _ => panic!("gate {self:?} has no angle index {idx}"),
-        }
-    }
 }
 
 #[cfg(test)]

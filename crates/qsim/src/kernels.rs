@@ -260,6 +260,247 @@ pub(crate) fn apply_multiplexed(
     });
 }
 
+/// Sums `work(range)` over `0..total` split into contiguous chunks on at
+/// most `threads` scoped worker threads (fixed-size partial sums joined
+/// at the end), or inline when the slice is small or only one thread is
+/// allowed. The reduction analogue of [`for_each_chunk`].
+fn reduce_chunks<const N: usize>(
+    total: usize,
+    amps_len: usize,
+    threads: usize,
+    work: impl Fn(std::ops::Range<usize>) -> [Complex64; N] + Sync,
+) -> [Complex64; N] {
+    if threads <= 1 || amps_len < PARALLEL_MIN_AMPS || total < threads {
+        return work(0..total);
+    }
+    let chunk = total.div_ceil(threads);
+    let mut acc = [Complex64::ZERO; N];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(total);
+            if lo >= hi {
+                break;
+            }
+            let work = &work;
+            handles.push(scope.spawn(move || work(lo..hi)));
+        }
+        for h in handles {
+            let part = h.join().expect("reduction worker panicked");
+            for (a, p) in acc.iter_mut().zip(part) {
+                *a += p;
+            }
+        }
+    });
+    acc
+}
+
+// ---- Adjoint backward-step kernels -----------------------------------------
+//
+// One fused op's entire backward step in a single pass: `ket := G† ket`,
+// `bra := G† bra`, plus the *reduction matrix* `R[x][y] = Σ k'_x·conj(b_y)`
+// accumulated over all pairs/quads (with `b` read BEFORE its update, as
+// the adjoint method requires). Every recorded derivative `D` of the op
+// then contributes `⟨bra|D|ket⟩ = Σ_{r,c} D[r][c]·R[c][r]` in O(1) —
+// independent of both the state size and the number of trainable angles
+// the op absorbed. This is what turns the adjoint backward sweep from
+// one array pass per *angle* (720 on the paper ansatz) into one array
+// pass per *fused op* (~121).
+
+/// Backward step for a fused single-qubit op: applies the (already
+/// daggered) `g` to `ket` and `bra` on qubit `q` and returns the 2×2
+/// reduction matrix over all pairs.
+pub(crate) fn backward_step_one(
+    ket: &mut [Complex64],
+    bra: &mut [Complex64],
+    g: &Matrix2,
+    q: usize,
+    threads: usize,
+) -> Matrix2 {
+    debug_assert_eq!(bra.len(), ket.len());
+    debug_assert_eq!(ket.len() % (1 << (q + 1)), 0);
+    let mask = 1usize << q;
+    let [[g00, g01], [g10, g11]] = g.m;
+    let pairs = ket.len() / 2;
+    let kp = SendPtr(ket.as_mut_ptr());
+    let bp = SendPtr(bra.as_mut_ptr());
+    let r = reduce_chunks::<4>(pairs, ket.len(), threads, move |range| {
+        let (kp, bp) = (kp, bp);
+        let mut acc = [Complex64::ZERO; 4];
+        for k in range {
+            let i = insert_zero_bit(k, q);
+            let j = i | mask;
+            // SAFETY: i != j, distinct k map to disjoint pairs, chunk
+            // ranges are disjoint — no two threads alias.
+            unsafe {
+                let k0 = *kp.0.add(i);
+                let k1 = *kp.0.add(j);
+                let nk0 = g00 * k0 + g01 * k1;
+                let nk1 = g10 * k0 + g11 * k1;
+                *kp.0.add(i) = nk0;
+                *kp.0.add(j) = nk1;
+                let b0 = *bp.0.add(i);
+                let b1 = *bp.0.add(j);
+                let c0 = b0.conj();
+                let c1 = b1.conj();
+                acc[0] += nk0 * c0;
+                acc[1] += nk0 * c1;
+                acc[2] += nk1 * c0;
+                acc[3] += nk1 * c1;
+                *bp.0.add(i) = g00 * b0 + g01 * b1;
+                *bp.0.add(j) = g10 * b0 + g11 * b1;
+            }
+        }
+        acc
+    });
+    Matrix2 {
+        m: [[r[0], r[1]], [r[2], r[3]]],
+    }
+}
+
+/// Backward step for a multiplexed op: applies the (already daggered)
+/// branches `z`/`o` on the control-0/control-1 subspaces and returns the
+/// pair of per-branch 2×2 reduction matrices.
+pub(crate) fn backward_step_multiplexed(
+    ket: &mut [Complex64],
+    bra: &mut [Complex64],
+    z: &Matrix2,
+    o: &Matrix2,
+    c: usize,
+    t: usize,
+    threads: usize,
+) -> (Matrix2, Matrix2) {
+    debug_assert_eq!(bra.len(), ket.len());
+    debug_assert_ne!(c, t);
+    let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+    debug_assert_eq!(ket.len() % (1 << (hi + 1)), 0);
+    let cmask = 1usize << c;
+    let tmask = 1usize << t;
+    let [[z00, z01], [z10, z11]] = z.m;
+    let [[o00, o01], [o10, o11]] = o.m;
+    let quads = ket.len() / 4;
+    let kp = SendPtr(ket.as_mut_ptr());
+    let bp = SendPtr(bra.as_mut_ptr());
+    let r = reduce_chunks::<8>(quads, ket.len(), threads, move |range| {
+        let (kp, bp) = (kp, bp);
+        let mut acc = [Complex64::ZERO; 8];
+        for k in range {
+            let base = insert_zero_bit(insert_zero_bit(k, lo), hi);
+            // SAFETY: the four indices are distinct per k, quad sets of
+            // distinct k are disjoint, chunk ranges are disjoint.
+            unsafe {
+                let i = base;
+                let j = base | tmask;
+                let k0 = *kp.0.add(i);
+                let k1 = *kp.0.add(j);
+                let nk0 = z00 * k0 + z01 * k1;
+                let nk1 = z10 * k0 + z11 * k1;
+                *kp.0.add(i) = nk0;
+                *kp.0.add(j) = nk1;
+                let b0 = *bp.0.add(i);
+                let b1 = *bp.0.add(j);
+                let c0 = b0.conj();
+                let c1 = b1.conj();
+                acc[0] += nk0 * c0;
+                acc[1] += nk0 * c1;
+                acc[2] += nk1 * c0;
+                acc[3] += nk1 * c1;
+                *bp.0.add(i) = z00 * b0 + z01 * b1;
+                *bp.0.add(j) = z10 * b0 + z11 * b1;
+
+                let i = base | cmask;
+                let j = i | tmask;
+                let k0 = *kp.0.add(i);
+                let k1 = *kp.0.add(j);
+                let nk0 = o00 * k0 + o01 * k1;
+                let nk1 = o10 * k0 + o11 * k1;
+                *kp.0.add(i) = nk0;
+                *kp.0.add(j) = nk1;
+                let b0 = *bp.0.add(i);
+                let b1 = *bp.0.add(j);
+                let c0 = b0.conj();
+                let c1 = b1.conj();
+                acc[4] += nk0 * c0;
+                acc[5] += nk0 * c1;
+                acc[6] += nk1 * c0;
+                acc[7] += nk1 * c1;
+                *bp.0.add(i) = o00 * b0 + o01 * b1;
+                *bp.0.add(j) = o10 * b0 + o11 * b1;
+            }
+        }
+        acc
+    });
+    (
+        Matrix2 {
+            m: [[r[0], r[1]], [r[2], r[3]]],
+        },
+        Matrix2 {
+            m: [[r[4], r[5]], [r[6], r[7]]],
+        },
+    )
+}
+
+/// Backward step for a dense two-qubit op (`a < b`, [`Matrix4`] basis
+/// convention): applies the (already daggered) `g` and returns the 4×4
+/// reduction matrix over all quads.
+pub(crate) fn backward_step_two(
+    ket: &mut [Complex64],
+    bra: &mut [Complex64],
+    g: &Matrix4,
+    a: usize,
+    b: usize,
+    threads: usize,
+) -> Matrix4 {
+    debug_assert_eq!(bra.len(), ket.len());
+    debug_assert!(a < b);
+    debug_assert_eq!(ket.len() % (1 << (b + 1)), 0);
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let m = g.m;
+    let quads = ket.len() / 4;
+    let kp = SendPtr(ket.as_mut_ptr());
+    let bp = SendPtr(bra.as_mut_ptr());
+    let r = reduce_chunks::<16>(quads, ket.len(), threads, move |range| {
+        let (kp, bp) = (kp, bp);
+        let mut acc = [Complex64::ZERO; 16];
+        for k in range {
+            let i00 = insert_zero_bit(insert_zero_bit(k, a), b);
+            let idx = [i00, i00 | ma, i00 | mb, i00 | ma | mb];
+            // SAFETY: distinct indices per k, disjoint quads, disjoint
+            // chunk ranges.
+            unsafe {
+                let kv = idx.map(|i| *kp.0.add(i));
+                let bv = idx.map(|i| *bp.0.add(i));
+                let cv = bv.map(Complex64::conj);
+                for (r_idx, &i) in idx.iter().enumerate() {
+                    let nk = m[r_idx][0] * kv[0]
+                        + m[r_idx][1] * kv[1]
+                        + m[r_idx][2] * kv[2]
+                        + m[r_idx][3] * kv[3];
+                    *kp.0.add(i) = nk;
+                    for (col, &cb) in cv.iter().enumerate() {
+                        acc[r_idx * 4 + col] += nk * cb;
+                    }
+                    let nb = m[r_idx][0] * bv[0]
+                        + m[r_idx][1] * bv[1]
+                        + m[r_idx][2] * bv[2]
+                        + m[r_idx][3] * bv[3];
+                    *bp.0.add(i) = nb;
+                }
+            }
+        }
+        acc
+    });
+    let mut out = Matrix4::zero();
+    for row in 0..4 {
+        for col in 0..4 {
+            out.m[row][col] = r[row * 4 + col];
+        }
+    }
+    out
+}
+
 /// Swaps qubits `a` and `b` in every block of `amps`.
 ///
 /// # Panics

@@ -29,6 +29,12 @@
 //! * [`batch`] — [`BatchedState`]: `B` independent statevectors stored
 //!   contiguously and executed through one engine call (the training and
 //!   parameter-shift hot path).
+//! * [`adjoint`] — the fused, batched adjoint gradient engine: circuits
+//!   compiled with per-fused-op derivative metadata
+//!   ([`CompiledCircuit::compile_with_grad`]) sweep all batch members'
+//!   ket/bra pairs backwards together through a reusable
+//!   [`AdjointWorkspace`] — the production training gradient, with
+//!   [`adjoint_gradient`] kept as the serial unfused reference.
 //! * [`backend`] — the pluggable execution surface: [`QuantumBackend`]
 //!   implementations for exact statevector simulation
 //!   ([`StatevectorBackend`], the default), reference gate-by-gate
@@ -77,6 +83,7 @@ mod kernels;
 mod observable;
 mod state;
 
+pub mod adjoint;
 pub mod ansatz;
 pub mod backend;
 pub mod batch;
@@ -86,15 +93,16 @@ pub mod fusion;
 pub mod gradient;
 pub mod noise;
 
+pub use adjoint::{adjoint_gradient_batch, adjoint_gradient_batch_with, AdjointWorkspace};
 pub use backend::{
     BackendConfig, NaiveBackend, NoisyBackend, QuantumBackend, ShotSamplerBackend,
     StatevectorBackend,
 };
 pub use batch::BatchedState;
-pub use circuit::{Circuit, Gate1, Op, ParamSource};
+pub use circuit::{AngleSources, Circuit, Gate1, Op, ParamSource};
 pub use complex::Complex64;
 pub use error::QsimError;
-pub use fusion::{CompiledCircuit, FusedOp};
+pub use fusion::{CompiledCircuit, DerivKind, FusedOp, SlotDeriv};
 pub use gates::{Matrix2, Matrix4};
 pub use gradient::{
     adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,

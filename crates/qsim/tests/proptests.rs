@@ -5,10 +5,10 @@ use proptest::prelude::*;
 use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
 use qugeo_qsim::encoding::{encode_batched, encode_grouped};
 use qugeo_qsim::{
-    adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,
-    parameter_shift_gradient_batched, BatchedState, Circuit, CompiledCircuit, DiagonalObservable,
-    Gate1, NaiveBackend, ParamSource, QuantumBackend, ShotSamplerBackend, State,
-    StatevectorBackend,
+    adjoint_gradient, adjoint_gradient_batch, finite_difference_gradient,
+    parameter_shift_gradient, parameter_shift_gradient_batched, BatchedState, Circuit,
+    CompiledCircuit, DiagonalObservable, Gate1, NaiveBackend, ParamSource, QuantumBackend,
+    ShotSamplerBackend, State, StatevectorBackend,
 };
 
 /// Builds an arbitrary 4-qubit circuit from raw draw tuples:
@@ -52,6 +52,61 @@ fn arbitrary_circuit(draws: &[(usize, usize, usize, f64)]) -> Circuit {
             }
             _ => {
                 c.x(q).unwrap();
+            }
+        }
+    }
+    c
+}
+
+/// Builds an arbitrary 3-qubit circuit with *trainable* slots from raw
+/// draw tuples: slots come from a shared pool of 4 so shared-slot
+/// accumulation is exercised, and the structure mixes slotted singles,
+/// slotted controlled gates, constants and swaps.
+fn arbitrary_trainable_circuit(draws: &[(usize, usize, usize, usize)]) -> Circuit {
+    const N: usize = 3;
+    const SLOTS: usize = 4;
+    let mut c = Circuit::new(N);
+    c.alloc_slots(SLOTS);
+    for &(kind, q, other, slot) in draws {
+        let q = q % N;
+        let other = if other % N == q { (q + 1) % N } else { other % N };
+        let slot = slot % SLOTS;
+        match kind % 6 {
+            0 => {
+                c.push_single(Gate1::Ry(ParamSource::Slot(slot)), q).unwrap();
+            }
+            1 => {
+                c.push_single(
+                    Gate1::U3(
+                        ParamSource::Slot(slot),
+                        ParamSource::Slot((slot + 1) % SLOTS),
+                        ParamSource::Slot((slot + 2) % SLOTS),
+                    ),
+                    q,
+                )
+                .unwrap();
+            }
+            2 => {
+                c.push_controlled(Gate1::Rz(ParamSource::Slot(slot)), q, other)
+                    .unwrap();
+            }
+            3 => {
+                c.push_controlled(
+                    Gate1::U3(
+                        ParamSource::Slot(slot),
+                        ParamSource::Fixed(0.4),
+                        ParamSource::Slot((slot + 1) % SLOTS),
+                    ),
+                    q,
+                    other,
+                )
+                .unwrap();
+            }
+            4 => {
+                c.h(q).unwrap();
+            }
+            _ => {
+                c.swap(q, other).unwrap();
             }
         }
     }
@@ -198,6 +253,65 @@ proptest! {
             let solo = circuit.run(m, &[]).unwrap();
             for (x, y) in batch.member_amps(b).unwrap().iter().zip(solo.amplitudes()) {
                 prop_assert!((*x - *y).norm() < 1e-10, "member {} diverged", b);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_adjoint_matches_finite_difference(params in angles(24), data in nonzero_data(16)) {
+        // The fused batched engine against the assumption-free oracle:
+        // 1 block on 4 qubits, 24 params, a random member state.
+        let cfg = AnsatzConfig { num_qubits: 4, num_blocks: 1, entangle: EntangleOrder::Ring };
+        let c = u3_cu3_ansatz(cfg).unwrap();
+        let input = State::from_real_normalized(&data).unwrap();
+        let obs = DiagonalObservable::weighted_sum(
+            &[
+                DiagonalObservable::z(4, 1).unwrap(),
+                DiagonalObservable::projector(4, 5).unwrap(),
+            ],
+            &[1.0, -2.0],
+        ).unwrap();
+        let inputs = BatchedState::replicate(&input, 2);
+        let (_, grads) = adjoint_gradient_batch(&c, &params, &inputs, &obs).unwrap();
+        let fd = finite_difference_gradient(&c, &params, &input, &obs, 1e-5).unwrap();
+        for grad in &grads {
+            for (a, f) in grad.iter().zip(&fd) {
+                prop_assert!((a - f).abs() < 1e-5, "batched adjoint {} vs fd {}", a, f);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_adjoint_matches_serial_on_arbitrary_circuits(
+        draws in prop::collection::vec(
+            (0usize..6, 0usize..3, 0usize..3, 0usize..4),
+            1..32,
+        ),
+        params in angles(4),
+        s0 in nonzero_data(8),
+        s1 in nonzero_data(8),
+        s2 in nonzero_data(8),
+    ) {
+        // The acceptance differential: fused batched adjoint == serial
+        // unfused adjoint to 1e-10 on arbitrary trainable circuits with
+        // shared slots, swaps, and controlled gates, across a
+        // multi-member batch.
+        let circuit = arbitrary_trainable_circuit(&draws);
+        let members = [s0, s1, s2].map(|d| State::from_real_normalized(&d).unwrap());
+        let obs = DiagonalObservable::weighted_sum(
+            &[
+                DiagonalObservable::z(3, 2).unwrap(),
+                DiagonalObservable::projector(3, 4).unwrap(),
+            ],
+            &[0.7, 1.9],
+        ).unwrap();
+        let inputs = BatchedState::from_states(&members).unwrap();
+        let (values, grads) = adjoint_gradient_batch(&circuit, &params, &inputs, &obs).unwrap();
+        for (b, m) in members.iter().enumerate() {
+            let (value, grad) = adjoint_gradient(&circuit, &params, m, &obs).unwrap();
+            prop_assert!((values[b] - value).abs() < 1e-10, "member {} value", b);
+            for (x, y) in grads[b].iter().zip(&grad) {
+                prop_assert!((x - y).abs() < 1e-10, "member {}: {} vs {}", b, x, y);
             }
         }
     }

@@ -14,13 +14,49 @@
 //! bench_name              time: 12345 ns/iter  (n iters)
 //! ```
 //!
-//! There are no statistical comparisons against saved baselines — pipe the
-//! output to a file and diff across commits instead.
+//! There are no statistical comparisons against saved baselines. For
+//! machine-readable tracking, set `QUGEO_BENCH_JSON=<path>`: every
+//! result is additionally recorded and written as a JSON array of
+//! `{"name", "ns_per_iter", "iters"}` objects when the bench binary
+//! finishes ([`criterion_main!`] calls [`write_json_results`]) — the
+//! hook the repo's `BENCH_*.json` perf-trajectory files hang off.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Results recorded for the optional JSON dump: `(name, ns/iter, iters)`.
+fn recorded() -> &'static Mutex<Vec<(String, f64, u64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64, u64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Writes all results recorded so far to the path named by the
+/// `QUGEO_BENCH_JSON` environment variable, if set. Called automatically
+/// at the end of [`criterion_main!`]; a no-op when the variable is
+/// absent. Errors are reported to stderr, never panicked — a failed dump
+/// must not fail a bench run.
+pub fn write_json_results() {
+    let Ok(path) = std::env::var("QUGEO_BENCH_JSON") else {
+        return;
+    };
+    let results = recorded().lock().expect("bench recorder poisoned");
+    let mut out = String::from("[\n");
+    for (i, (name, ns, iters)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}, \"iters\": {iters}}}{comma}\n"
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write bench JSON to {path}: {e}");
+    } else {
+        eprintln!("bench results written to {path}");
+    }
+}
 
 /// Target measurement time per benchmark, in milliseconds.
 fn measure_ms() -> u64 {
@@ -188,6 +224,12 @@ impl Bencher {
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher::default();
     f(&mut b);
+    if let Some(ns) = b.ns_per_iter {
+        recorded()
+            .lock()
+            .expect("bench recorder poisoned")
+            .push((name.to_string(), ns, b.iters));
+    }
     match b.ns_per_iter {
         Some(ns) => {
             let unit = if ns >= 1e6 {
@@ -219,11 +261,14 @@ macro_rules! criterion_group {
 }
 
 /// Declares `main` for a bench binary (requires `harness = false`).
+/// After all groups run, results are dumped to `QUGEO_BENCH_JSON` when
+/// that variable names a path ([`write_json_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_results();
         }
     };
 }

@@ -2,9 +2,10 @@
 # Repository verification: tier-1 build/tests plus lint and documentation
 # checks.
 #
-#   ./scripts/verify.sh          # everything
-#   ./scripts/verify.sh docs     # documentation gate only
-#   ./scripts/verify.sh lint     # clippy gate only
+#   ./scripts/verify.sh              # everything
+#   ./scripts/verify.sh docs         # documentation gate only
+#   ./scripts/verify.sh lint         # clippy gate only
+#   ./scripts/verify.sh bench-smoke  # gradient-engine smoke gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
 # (lib, tests, benches, examples, bins) — warnings are errors, and use
@@ -40,17 +41,33 @@ tier1() {
     cargo test -q --workspace
 }
 
+# Builds every bench target and runs the gradient-engine bin with a tiny
+# 1-rep configuration. The run ends with a built-in differential check
+# (batched fused adjoint == serial adjoint to 1e-10), so a gradient-engine
+# regression breaks this gate instead of rotting silently; the JSON goes
+# to a scratch path so a smoke run never clobbers the tracked
+# BENCH_grad.json numbers.
+bench_smoke() {
+    echo "==> cargo build --release --benches -p qugeo-bench (bench-smoke)"
+    cargo build --release --benches --bins -p qugeo-bench --quiet
+    echo "==> grad_engine --smoke"
+    cargo run --release --quiet -p qugeo-bench --bin grad_engine -- \
+        --smoke --json target/BENCH_grad.smoke.json
+}
+
 case "${1:-all}" in
     docs) docs_gate ;;
     lint) lint_gate ;;
     tier1) tier1 ;;
+    bench-smoke|--bench-smoke) bench_smoke ;;
     all)
         tier1
         lint_gate
         docs_gate
+        bench_smoke
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs|lint]" >&2
+        echo "usage: $0 [all|tier1|docs|lint|bench-smoke]" >&2
         exit 2
         ;;
 esac
