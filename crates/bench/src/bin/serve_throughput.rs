@@ -1,0 +1,386 @@
+//! Serving-throughput benchmark: sequential predict vs QuServe coalesced
+//! batching at 1/4/16/64 concurrent closed-loop clients.
+//!
+//! Two backend scenarios, both with every backend pinned to **one**
+//! kernel thread so the numbers isolate coalescing itself:
+//!
+//! * `statevector` / [`CoalesceMode::Batched`] — exact serving. Requests
+//!   keep their own registers, so per-request simulation work is fixed;
+//!   coalescing buys engine-call amortisation on one core and scales
+//!   with workers on multi-core hosts. Results are bit-identical to
+//!   sequential prediction (asserted below, and stress-tested in
+//!   `tests/serve_stress.rs`).
+//! * `shot-sampler` / [`CoalesceMode::Packed`] — hardware-shaped
+//!   serving, the paper's QuBatch as the serving hot path: the whole
+//!   coalesced batch is amplitude-packed into one register, so one
+//!   circuit execution *and one shot budget* answer every request in the
+//!   batch. Per-request measurement cost divides by the coalesced batch
+//!   size, which is where the ≥2× sequential throughput at 16 clients
+//!   comes from — paid for by the documented QuBatch precision trade
+//!   (the batch shares one unit of amplitude norm).
+//!
+//! ```text
+//! cargo run --release -p qugeo-bench --bin serve_throughput [--smoke] [--json PATH]
+//! ```
+//!
+//! `--smoke` shrinks the model and client counts to the CI-gate shape
+//! (`scripts/verify.sh serve-smoke`). The run always ends with the
+//! determinism checks the gate relies on: coalesced == sequential
+//! bit-identically for `Batched`, and within 1e-9 for `Packed`, on the
+//! exact backend. Results go to `BENCH_serve.json` (`--json` overrides).
+
+use std::time::{Duration, Instant};
+
+use qugeo::decoder::Decoder;
+use qugeo::model::{QuGeoVqc, VqcConfig};
+use qugeo::serve::{CoalesceMode, QuServe, ServeConfig};
+use qugeo::session::InferenceSession;
+use qugeo_qsim::ansatz::EntangleOrder;
+use qugeo_qsim::{BackendConfig, QuantumBackend, ShotSamplerBackend, StatevectorBackend};
+
+struct Config {
+    smoke: bool,
+    clients: Vec<usize>,
+    total_requests: usize,
+    shots: usize,
+    json_path: String,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        // 16384 shots ≈ 64 per bin of the 256-state output distribution —
+        // the low end of a usable serving budget for FWI maps (see the
+        // shot_budget example's fidelity study).
+        let mut cfg = Self {
+            smoke: false,
+            clients: vec![1, 4, 16, 64],
+            total_requests: 512,
+            shots: 16384,
+            json_path: "BENCH_serve.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => {
+                    cfg.smoke = true;
+                    cfg.clients = vec![1, 4];
+                    cfg.total_requests = 64;
+                    cfg.shots = 1024;
+                }
+                "--json" => {
+                    cfg.json_path = args.next().expect("--json needs a path");
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: serve_throughput [--smoke] [--json PATH]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+
+    fn model(&self) -> QuGeoVqc {
+        if self.smoke {
+            QuGeoVqc::new(VqcConfig {
+                seismic_len: 16,
+                num_groups: 1,
+                num_blocks: 2,
+                mixing_blocks: 0,
+                entangle: EntangleOrder::Ring,
+                decoder: Decoder::LayerWise { rows: 4 },
+                max_qubits: 16,
+            })
+            .expect("valid smoke model")
+        } else {
+            QuGeoVqc::new(VqcConfig::paper_layer_wise()).expect("valid paper model")
+        }
+    }
+}
+
+fn request(model: &QuGeoVqc, k: usize) -> Vec<f64> {
+    let len = model.config().seismic_len;
+    (0..len)
+        .map(|i| ((i + k * 13) as f64 * 0.17).sin() + 0.4)
+        .collect()
+}
+
+struct Row {
+    backend: &'static str,
+    mode: &'static str,
+    clients: usize,
+    requests: usize,
+    us_per_req: f64,
+    rps: f64,
+    speedup: f64,
+    mean_batch: f64,
+}
+
+/// One sequential baseline: a single session answering one request at a
+/// time — the pre-QuServe serving shape.
+fn run_sequential<B: QuantumBackend>(model: &QuGeoVqc, params: &[f64], backend: B, total: usize) -> f64 {
+    let mut session =
+        InferenceSession::with_backend(model.clone(), params, backend).expect("session");
+    for k in 0..8.min(total) {
+        session.predict(&request(model, k)).expect("warmup");
+    }
+    let start = Instant::now();
+    for k in 0..total {
+        std::hint::black_box(session.predict(&request(model, k)).expect("sequential predict"));
+    }
+    start.elapsed().as_secs_f64() * 1e6 / total as f64
+}
+
+/// One coalesced scenario: `clients` closed-loop threads hammering a
+/// fresh QuServe; returns (µs/request, mean coalesced batch).
+fn run_coalesced<B, F>(
+    model: &QuGeoVqc,
+    params: &[f64],
+    mode: CoalesceMode,
+    clients: usize,
+    total: usize,
+    backend_for: F,
+) -> (f64, f64)
+where
+    B: QuantumBackend + 'static,
+    F: FnMut(usize) -> B,
+{
+    // Closed-loop clients coalesce through queue backlog (the worker is
+    // busy while clients enqueue), so the straggler window stays off —
+    // a non-zero window would tax the 1-client series with pure latency.
+    let config = ServeConfig {
+        workers: BackendConfig::default().effective_threads().clamp(1, 8),
+        max_batch: 16,
+        max_wait: Duration::ZERO,
+        queue_depth: 4096,
+        coalesce: mode,
+    };
+    let serve =
+        QuServe::start_with(model.clone(), params, config, backend_for).expect("service starts");
+    let per_client = total / clients;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let serve = &serve;
+            let model = &model;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    std::hint::black_box(
+                        serve
+                            .predict_blocking(request(model, c * per_client + i))
+                            .expect("served"),
+                    );
+                }
+            });
+        }
+    });
+    let us = start.elapsed().as_secs_f64() * 1e6 / (per_client * clients) as f64;
+    let mean_batch = serve.stats().mean_batch();
+    (us, mean_batch)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let model = cfg.model();
+    let params = model.init_params(3);
+    println!(
+        "serve_throughput: {} data qubits, {} params, {} requests, clients {:?}, {} shots",
+        model.data_qubits(),
+        model.num_params(),
+        cfg.total_requests,
+        cfg.clients,
+        cfg.shots
+    );
+    println!("{:-<86}", "");
+    println!(
+        "{:<14} {:<10} {:>7} {:>12} {:>12} {:>9} {:>10}",
+        "backend", "mode", "clients", "us/req", "req/s", "speedup", "mean batch"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut print_row = |row: Row| {
+        println!(
+            "{:<14} {:<10} {:>7} {:>12.1} {:>12.0} {:>8.2}x {:>10.1}",
+            row.backend, row.mode, row.clients, row.us_per_req, row.rps, row.speedup, row.mean_batch
+        );
+        rows.push(row);
+    };
+
+    // Scenario 1: exact statevector serving, one kernel thread each.
+    let one_core = BackendConfig::with_threads(1);
+    let seq_sv = run_sequential(
+        &model,
+        &params,
+        StatevectorBackend::with_config(one_core),
+        cfg.total_requests,
+    );
+    print_row(Row {
+        backend: "statevector",
+        mode: "sequential",
+        clients: 1,
+        requests: cfg.total_requests,
+        us_per_req: seq_sv,
+        rps: 1e6 / seq_sv,
+        speedup: 1.0,
+        mean_batch: 1.0,
+    });
+    for &clients in &cfg.clients {
+        let (us, mean_batch) = run_coalesced(
+            &model,
+            &params,
+            CoalesceMode::Batched,
+            clients,
+            cfg.total_requests,
+            |_| StatevectorBackend::with_config(one_core),
+        );
+        print_row(Row {
+            backend: "statevector",
+            mode: "batched",
+            clients,
+            requests: cfg.total_requests,
+            us_per_req: us,
+            rps: 1e6 / us,
+            speedup: seq_sv / us,
+            mean_batch,
+        });
+    }
+
+    // Scenario 2: finite-shot serving — QuBatch packing shares one
+    // execution + one shot budget per coalesced batch.
+    let seq_shots = run_sequential(
+        &model,
+        &params,
+        ShotSamplerBackend::with_config(cfg.shots, 7, one_core),
+        cfg.total_requests,
+    );
+    print_row(Row {
+        backend: "shot-sampler",
+        mode: "sequential",
+        clients: 1,
+        requests: cfg.total_requests,
+        us_per_req: seq_shots,
+        rps: 1e6 / seq_shots,
+        speedup: 1.0,
+        mean_batch: 1.0,
+    });
+    for &clients in &cfg.clients {
+        let shots = cfg.shots;
+        let (us, mean_batch) = run_coalesced(
+            &model,
+            &params,
+            CoalesceMode::Packed,
+            clients,
+            cfg.total_requests,
+            |w| ShotSamplerBackend::with_config(shots, 7 + w as u64, one_core),
+        );
+        print_row(Row {
+            backend: "shot-sampler",
+            mode: "packed",
+            clients,
+            requests: cfg.total_requests,
+            us_per_req: us,
+            rps: 1e6 / us,
+            speedup: seq_shots / us,
+            mean_batch,
+        });
+    }
+    println!("{:-<86}", "");
+
+    // Determinism guards (what the verify.sh serve-smoke gate relies
+    // on): Batched coalescing is bit-identical to sequential prediction;
+    // Packed coalescing matches to rounding on the exact backend.
+    let check_requests: Vec<Vec<f64>> = (0..32).map(|k| request(&model, k)).collect();
+    let mut sequential = InferenceSession::with_backend(
+        model.clone(),
+        &params,
+        StatevectorBackend::with_config(one_core),
+    )
+    .expect("session");
+    let expected: Vec<_> = check_requests
+        .iter()
+        .map(|r| sequential.predict(r).expect("sequential"))
+        .collect();
+
+    let batched_serve = QuServe::start(
+        model.clone(),
+        &params,
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(300),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let handles: Vec<_> = check_requests
+        .iter()
+        .map(|r| batched_serve.predict(r.clone()).expect("queued"))
+        .collect();
+    let mut packed_max_err = 0.0f64;
+    for (k, handle) in handles.into_iter().enumerate() {
+        let served = handle.wait().expect("served");
+        assert_eq!(
+            served, expected[k],
+            "request {k}: Batched coalescing is not bit-identical to sequential"
+        );
+    }
+    drop(batched_serve);
+
+    let packed_serve = QuServe::start(
+        model.clone(),
+        &params,
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(300),
+            coalesce: CoalesceMode::Packed,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("service starts");
+    let handles: Vec<_> = check_requests
+        .iter()
+        .map(|r| packed_serve.predict(r.clone()).expect("queued"))
+        .collect();
+    for (k, handle) in handles.into_iter().enumerate() {
+        let served = handle.wait().expect("served");
+        for (a, b) in served.iter().zip(expected[k].iter()) {
+            packed_max_err = packed_max_err.max((a - b).abs());
+        }
+    }
+    assert!(
+        packed_max_err < 1e-9,
+        "Packed coalescing drifted {packed_max_err} from sequential"
+    );
+    println!("determinism: batched == sequential bit-identical OK; packed max err {packed_max_err:.2e}");
+
+    let mut json = String::from("[\n");
+    for r in &rows {
+        json.push_str(&format!(
+            "  {{\"workload\": \"serve_throughput\", \"data_qubits\": {}, \"params\": {}, \
+             \"backend\": \"{}\", \"mode\": \"{}\", \"clients\": {}, \"requests\": {}, \
+             \"shots\": {}, \"us_per_req\": {:.1}, \"req_per_s\": {:.0}, \
+             \"speedup_vs_sequential\": {:.3}, \"mean_batch\": {:.2}}},\n",
+            model.data_qubits(),
+            model.num_params(),
+            r.backend,
+            r.mode,
+            r.clients,
+            r.requests,
+            cfg.shots,
+            r.us_per_req,
+            r.rps,
+            r.speedup,
+            r.mean_batch,
+        ));
+    }
+    json.push_str(&format!(
+        "  {{\"workload\": \"serve_determinism\", \"batched_bit_identical\": true, \
+         \"packed_max_abs_err\": {packed_max_err:.3e}}}\n]\n"
+    ));
+    match std::fs::write(&cfg.json_path, &json) {
+        Ok(()) => println!("results written to {}", cfg.json_path),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", cfg.json_path);
+            std::process::exit(1);
+        }
+    }
+}

@@ -43,9 +43,19 @@
 //! reference gate-by-gate, finite-shot sampling, or NISQ noise — and
 //! gradient computation routes between adjoint differentiation and
 //! through-the-backend parameter shift on the backend's capability
-//! flags. [`session::InferenceSession`] packages the serving shape:
-//! backend + circuit compiled once per parameter vector + recycled
-//! batch buffers.
+//! flags.
+//!
+//! **Serving** is two layers. [`session::InferenceSession`] is the
+//! single-caller shape: backend + circuit compiled once per parameter
+//! vector + recycled batch buffers, with a QuBatch-packed batch path
+//! ([`session::InferenceSession::predict_packed`]). [`serve::QuServe`]
+//! is the concurrent service on top: requests from many threads
+//! coalesce in a bounded queue (typed [`serve::ServeError::Overloaded`]
+//! backpressure) into batched engine calls on per-worker sessions —
+//! bit-identical to sequential prediction in the default mode, or
+//! QuBatch-packed so a whole batch shares one execution and one shot
+//! budget — with named-checkpoint hot-swap via
+//! [`serve::ModelRegistry`]. See `docs/SERVING.md`.
 //!
 //! # Quickstart
 //!
@@ -67,12 +77,15 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod checkpoint;
 pub mod decoder;
 pub mod model;
 pub mod pipeline;
 pub mod profile;
 pub mod qubatch;
+pub mod serve;
 pub mod session;
 pub mod train;
 pub mod trainer;

@@ -20,8 +20,8 @@
 
 use qugeo_qsim::encoding::{encode_batched, BatchedState};
 use qugeo_qsim::{
-    parameter_shift_gradient_backend, AdjointWorkspace, DiagonalObservable, QuantumBackend,
-    StatevectorBackend,
+    parameter_shift_gradient_backend, AdjointWorkspace, CompiledCircuit, DiagonalObservable,
+    QuantumBackend, StatevectorBackend,
 };
 use qugeo_tensor::Array2;
 
@@ -77,7 +77,32 @@ impl<'a> QuBatch<'a> {
         qugeo_qsim::complexity::log2_ceil(batch_size)
     }
 
-    fn encode_batch(&self, seismic_batch: &[Vec<f64>]) -> Result<BatchedState, QuGeoError> {
+    /// Validates and amplitude-packs a request batch into one QuBatch
+    /// register (batch index in the high-order qubits), enforcing the
+    /// model's configured sample length **and qubit budget** — a packed
+    /// register wider than `VqcConfig::max_qubits` would silently step
+    /// outside the model's own hardware envelope (the paper's Table 1
+    /// accounting), so it is rejected before any encoding work happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for empty batches, sample-length
+    /// mismatches, or a packed register exceeding
+    /// `VqcConfig::max_qubits`.
+    pub fn encode_batch(&self, seismic_batch: &[Vec<f64>]) -> Result<BatchedState, QuGeoError> {
+        // The register width is known from the batch size alone; reject
+        // over-budget batches before building the (large) register.
+        let total_qubits =
+            self.model.data_qubits() + qugeo_qsim::complexity::log2_ceil(seismic_batch.len());
+        if total_qubits > self.model.config().max_qubits {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "packing {} samples needs {total_qubits} qubits (> budget {})",
+                    seismic_batch.len(),
+                    self.model.config().max_qubits
+                ),
+            });
+        }
         for s in seismic_batch {
             if s.len() != self.model.config().seismic_len {
                 return Err(QuGeoError::Config {
@@ -135,16 +160,72 @@ impl<'a> QuBatch<'a> {
         // One fused sweep over the widened register instead of
         // gate-by-gate execution.
         let compiled = wide.compile(params)?;
-        let mut engine_batch = qugeo_qsim::BatchedState::replicate(batched.state(), 1);
-        backend.run_batch(&compiled, &mut engine_batch)?;
+        let mut register = qugeo_qsim::BatchedState::replicate(batched.state(), 1);
+        self.execute_packed(&mut register, seismic_batch.len(), &compiled, backend)
+    }
+
+    /// Executes a loaded packed register (one engine member holding the
+    /// whole QuBatch batch) through `backend` with a pre-compiled
+    /// widened circuit and decodes one velocity map per request — the
+    /// shared back half of [`QuBatch::predict_batch_with`] and the
+    /// serving layer's packed path
+    /// ([`crate::session::InferenceSession::predict_packed`]), which
+    /// caches compiled widened circuits and recycles `register` across
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures and decode errors.
+    pub fn execute_packed(
+        &self,
+        register: &mut qugeo_qsim::BatchedState,
+        count: usize,
+        compiled: &CompiledCircuit,
+        backend: &dyn QuantumBackend,
+    ) -> Result<Vec<Array2>, QuGeoError> {
+        backend.run_batch(compiled, register)?;
         let full_probs = backend
-            .probabilities(&engine_batch)?
+            .probabilities(register)?
             .pop()
             .expect("batch of one has one distribution");
+        self.decode_conditioned(&full_probs, count)
+    }
 
+    /// Recovers one velocity map per batch member from a packed
+    /// register's estimated distribution, by conditioning on each batch
+    /// index: block `b` of `full_probs`, renormalised by its estimated
+    /// mass, is member `b`'s output distribution. The serving layer
+    /// ([`crate::session::InferenceSession::predict_packed`] and
+    /// `core::serve`) shares this decode with [`QuBatch::predict_batch_with`].
+    ///
+    /// Conditioning normalises each block by its estimated mass, so
+    /// sampling backends stay self-consistent (their empirical block mass
+    /// replaces the exact encoding weight). A block that received **no**
+    /// probability mass at all — possible under a small shot budget,
+    /// since the whole register's shots are shared by all members —
+    /// degrades to the maximum-entropy (uniform) conditional distribution
+    /// rather than failing the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if `full_probs` is shorter than
+    /// `count` blocks, and propagates decoder failures.
+    pub fn decode_conditioned(
+        &self,
+        full_probs: &[f64],
+        count: usize,
+    ) -> Result<Vec<Array2>, QuGeoError> {
         let block_size = 1usize << self.model.data_qubits();
-        let mut maps = Vec::with_capacity(seismic_batch.len());
-        for b in 0..batched.batch_count() {
+        if full_probs.len() < count * block_size {
+            return Err(QuGeoError::Config {
+                reason: format!(
+                    "{} probabilities cannot hold {count} blocks of {block_size}",
+                    full_probs.len()
+                ),
+            });
+        }
+        let mut maps = Vec::with_capacity(count);
+        for b in 0..count {
             let block = &full_probs[b * block_size..(b + 1) * block_size];
             let mass: f64 = block.iter().sum();
             let cond: Vec<f64> = if mass > 0.0 {

@@ -1,0 +1,1253 @@
+//! QuServe: a dynamic-batching concurrent inference service.
+//!
+//! [`InferenceSession`] made single-caller serving cheap (compile once,
+//! recycle buffers), but it is `&mut self` — one caller at a time. The
+//! ROADMAP's north star is heavy concurrent traffic, and the engine's
+//! fast path *wants* concurrency funneled into batches: the QuBatch
+//! insight (QuGeo, DAC 2024, Figure 3) is that many inputs can share one
+//! circuit execution. [`QuServe`] is the request coalescer that exploits
+//! it:
+//!
+//! ```text
+//! client threads          bounded queue           worker threads
+//! ──────────────          ─────────────           ──────────────
+//! predict(x) ──┐
+//! predict(x) ──┼──▶ [ r r r r r │ depth cap ] ──▶ worker 0: session.predict_many(batch)
+//! predict(x) ──┘        │                    └──▶ worker 1: …
+//!               Overloaded when full              (coalesce ≤ max_batch,
+//!                                                  window ≤ max_wait)
+//! ```
+//!
+//! * Clients call [`QuServe::predict`], which enqueues the request and
+//!   returns a [`PredictHandle`] immediately; [`PredictHandle::wait`]
+//!   blocks for that request's result. When the queue is at
+//!   [`ServeConfig::queue_depth`] the call fails fast with
+//!   [`ServeError::Overloaded`] — backpressure is explicit, never a
+//!   silent stall.
+//! * Worker threads pop up to [`ServeConfig::max_batch`] requests,
+//!   waiting at most [`ServeConfig::max_wait`] for stragglers, and
+//!   execute the coalesced batch through a per-worker
+//!   [`InferenceSession`] in one engine call.
+//! * [`CoalesceMode`] picks the execution shape: [`CoalesceMode::Batched`]
+//!   keeps every request its own register (bit-identical to sequential
+//!   prediction on exact backends), [`CoalesceMode::Packed`] packs the
+//!   batch into one QuBatch register so hardware-style backends spend one
+//!   circuit execution and one shot budget per *batch* instead of per
+//!   request.
+//! * A [`ModelRegistry`] holds named parameter checkpoints; the service
+//!   hot-swaps to a registered vector **between batches** via
+//!   [`QuServe::deploy_from`] with no restart and no torn batch.
+//!
+//! Determinism contract: in [`CoalesceMode::Batched`] on a deterministic
+//! backend, the result of a request is independent of which worker served
+//! it and which requests it was coalesced with — bit-identical to calling
+//! [`InferenceSession::predict`] sequentially. The stress tests assert
+//! this with `assert_eq!`, not a tolerance.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo::model::{QuGeoVqc, VqcConfig};
+//! use qugeo::serve::{QuServe, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
+//! let params = model.init_params(3);
+//! let serve = QuServe::start(model, &params, ServeConfig::default())?;
+//!
+//! // Submit from any thread; wait wherever the answer is needed.
+//! let request: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin() + 0.2).collect();
+//! let handle = serve.predict(request)?;
+//! let velocity_map = handle.wait()?;
+//! assert_eq!(velocity_map.shape(), (8, 8));
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qugeo_qsim::complexity::log2_ceil;
+use qugeo_qsim::{BackendConfig, QuantumBackend, StatevectorBackend};
+use qugeo_tensor::Array2;
+
+use crate::checkpoint::Checkpoint;
+use crate::model::QuGeoVqc;
+use crate::session::InferenceSession;
+
+/// Errors of the serving layer.
+///
+/// Request-path variants ([`ServeError::Overloaded`],
+/// [`ServeError::ShuttingDown`], [`ServeError::WorkerLost`],
+/// [`ServeError::BadRequest`], [`ServeError::Failed`]) are `Clone` so one
+/// batch-level failure can be delivered to every affected caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded queue is full; the caller should back off and retry.
+    /// This is load shedding, not a fault — see `docs/SERVING.md`.
+    Overloaded {
+        /// The configured queue depth that was exhausted.
+        depth: usize,
+    },
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The worker serving this request disappeared before answering
+    /// (e.g. a panic); the request may be retried on the same service.
+    WorkerLost,
+    /// The request was rejected before execution (wrong seismic length).
+    BadRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// The coalesced batch failed in the engine or backend; every request
+    /// of the batch receives the same reason.
+    Failed {
+        /// The engine/backend failure, stringified for fan-out.
+        reason: String,
+    },
+    /// Service construction or reconfiguration was invalid.
+    Config {
+        /// What was wrong.
+        reason: String,
+    },
+    /// [`ModelRegistry`] has no checkpoint under the requested name.
+    UnknownModel {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A checkpoint cannot serve the target model: parameter count or
+    /// qubit width disagrees, or the stored parameters are not finite.
+    /// Returned *before* any circuit reconstruction happens, so a bad
+    /// deploy can never take down running workers.
+    IncompatibleCheckpoint {
+        /// The mismatch, spelled out.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { depth } => {
+                write!(f, "service overloaded: queue depth {depth} exhausted")
+            }
+            Self::ShuttingDown => write!(f, "service is shutting down"),
+            Self::WorkerLost => write!(f, "serving worker disappeared before answering"),
+            Self::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            Self::Failed { reason } => write!(f, "batch execution failed: {reason}"),
+            Self::Config { reason } => write!(f, "serve configuration error: {reason}"),
+            Self::UnknownModel { name } => write!(f, "no model named '{name}' in registry"),
+            Self::IncompatibleCheckpoint { reason } => {
+                write!(f, "incompatible checkpoint: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How a worker executes a coalesced batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoalesceMode {
+    /// Every request keeps its own register; the batch runs as one
+    /// multi-member engine call ([`InferenceSession::predict_many`]).
+    /// Results are **bit-identical** to sequential prediction on
+    /// deterministic backends, with no precision cost. The right default
+    /// for exact statevector serving.
+    #[default]
+    Batched,
+    /// The batch is amplitude-packed into **one** QuBatch register
+    /// ([`InferenceSession::predict_packed`]): one circuit execution and
+    /// one measurement/shot budget serve the whole batch — the paper's
+    /// Figure 3 as a serving primitive. On finite-shot or hardware-style
+    /// backends this divides per-request cost by the batch size, at the
+    /// documented precision trade (the batch shares one unit of
+    /// amplitude norm, Section 3.3.3). Requires a single-group model and
+    /// `data_qubits + ⌈log₂ max_batch⌉` within the model's qubit budget.
+    Packed,
+}
+
+/// Tuning knobs of a [`QuServe`] instance. See `docs/SERVING.md` for the
+/// operator's guide to choosing them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one [`InferenceSession`]. Workers
+    /// multiply throughput on multi-core hosts; on a single core extra
+    /// workers only add scheduling overhead. Default: the machine's
+    /// simulation-thread budget, capped at 8.
+    pub workers: usize,
+    /// Most requests one worker coalesces into one engine call.
+    /// Default 16.
+    pub max_batch: usize,
+    /// How long a worker holding a partial batch waits for stragglers
+    /// before executing. Zero — the default — means "execute whatever is
+    /// there": closed-loop clients already coalesce through queue
+    /// backlog, and a non-zero window taxes every request of a
+    /// low-concurrency stream with pure latency. Raise it only for
+    /// open-loop bursty traffic (see `docs/SERVING.md`).
+    pub max_wait: Duration,
+    /// Bounded-queue capacity; submissions beyond it fail fast with
+    /// [`ServeError::Overloaded`]. Default 256.
+    pub queue_depth: usize,
+    /// Execution shape for coalesced batches. Default
+    /// [`CoalesceMode::Batched`].
+    pub coalesce: CoalesceMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: BackendConfig::default().effective_threads().clamp(1, 8),
+            max_batch: 16,
+            max_wait: Duration::ZERO,
+            queue_depth: 256,
+            coalesce: CoalesceMode::Batched,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Checks the configuration against the model it will serve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for zero workers/batch/queue, for
+    /// a queue shallower than one full batch, and — in
+    /// [`CoalesceMode::Packed`] — for multi-group models or a
+    /// `max_batch` whose packed register would exceed the model's qubit
+    /// budget.
+    pub fn validate(&self, model: &QuGeoVqc) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::Config {
+                reason: "at least one worker is required".into(),
+            });
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::Config {
+                reason: "max_batch must be at least 1".into(),
+            });
+        }
+        if self.queue_depth < self.max_batch {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "queue_depth {} cannot hold one full batch of {}",
+                    self.queue_depth, self.max_batch
+                ),
+            });
+        }
+        if self.coalesce == CoalesceMode::Packed {
+            if model.config().num_groups != 1 {
+                return Err(ServeError::Config {
+                    reason: "packed coalescing requires the single-group encoder".into(),
+                });
+            }
+            let packed_qubits = model.data_qubits() + log2_ceil(self.max_batch);
+            if packed_qubits > model.config().max_qubits {
+                return Err(ServeError::Config {
+                    reason: format!(
+                        "packing max_batch {} needs {packed_qubits} qubits (> budget {})",
+                        self.max_batch,
+                        model.config().max_qubits
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named store of parameter checkpoints for serving.
+///
+/// Names are free-form; the convention in this repository is
+/// `"<model>@<version>"` (e.g. `"q-m-ly@2"`). Every entry is validated
+/// structurally at registration (finite parameters) and again against the
+/// target model at [`ModelRegistry::params_for`] time, so an incompatible
+/// checkpoint is a typed [`ServeError`] at the registry boundary — never
+/// a panic inside circuit reconstruction.
+#[derive(Debug, Default, Clone)]
+pub struct ModelRegistry {
+    entries: BTreeMap<String, Checkpoint>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a checkpoint under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IncompatibleCheckpoint`] if any stored
+    /// parameter is non-finite — such a vector can never serve.
+    pub fn register(&mut self, name: &str, checkpoint: Checkpoint) -> Result<(), ServeError> {
+        if let Some(i) = checkpoint.params.iter().position(|p| !p.is_finite()) {
+            return Err(ServeError::IncompatibleCheckpoint {
+                reason: format!("parameter {i} of '{name}' is not finite"),
+            });
+        }
+        self.entries.insert(name.to_string(), checkpoint);
+        Ok(())
+    }
+
+    /// Loads a checkpoint file from disk and registers it under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IncompatibleCheckpoint`] for unreadable or
+    /// malformed files and for non-finite parameters.
+    pub fn load_file(&mut self, name: &str, path: &Path) -> Result<(), ServeError> {
+        let checkpoint =
+            Checkpoint::load(path).map_err(|e| ServeError::IncompatibleCheckpoint {
+                reason: format!("loading '{name}' from {}: {e}", path.display()),
+            })?;
+        self.register(name, checkpoint)
+    }
+
+    /// The checkpoint registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Checkpoint> {
+        self.entries.get(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered checkpoints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves `name` to a parameter vector validated for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for unregistered names and
+    /// [`ServeError::IncompatibleCheckpoint`] when the checkpoint's
+    /// parameter count or data-register width disagrees with the model —
+    /// the typed replacement for what would otherwise surface as a panic
+    /// (or a confusing mid-reconstruction error) deep inside `QuGeoVqc`.
+    pub fn params_for(&self, name: &str, model: &QuGeoVqc) -> Result<Vec<f64>, ServeError> {
+        let checkpoint = self.entries.get(name).ok_or_else(|| ServeError::UnknownModel {
+            name: name.to_string(),
+        })?;
+        if checkpoint.params.len() != model.num_params()
+            || checkpoint.data_qubits != model.data_qubits()
+        {
+            return Err(ServeError::IncompatibleCheckpoint {
+                reason: format!(
+                    "'{name}' holds {} params for {} qubits, model needs {} params for {} qubits",
+                    checkpoint.params.len(),
+                    checkpoint.data_qubits,
+                    model.num_params(),
+                    model.data_qubits()
+                ),
+            });
+        }
+        Ok(checkpoint.params.clone())
+    }
+}
+
+/// A snapshot of service counters (all monotonically increasing since
+/// [`QuServe::start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: usize,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub rejected: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests answered with [`ServeError::Failed`] or
+    /// [`ServeError::BadRequest`].
+    pub failed: usize,
+    /// Coalesced engine calls executed.
+    pub batches: usize,
+    /// Sum of coalesced batch sizes (so `coalesced / batches` is the
+    /// mean batch size).
+    pub coalesced: usize,
+    /// Largest batch any worker coalesced.
+    pub max_coalesced: usize,
+    /// Parameter hot-swaps adopted by workers (counted per worker).
+    pub swaps: usize,
+}
+
+impl ServeStats {
+    /// Mean coalesced batch size so far (0 when nothing ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.coalesced as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One queued request: the scaled seismic vector plus the channel its
+/// result travels back on.
+struct Request {
+    seismic: Vec<f64>,
+    tx: mpsc::Sender<Result<Array2, ServeError>>,
+}
+
+/// Queue state guarded by the service mutex.
+struct QueueState {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+}
+
+/// Generation-tagged parameter vector for between-batch hot swap.
+struct ParamState {
+    generation: u64,
+    params: Arc<Vec<f64>>,
+}
+
+/// State shared between the service handle and its workers.
+struct Shared {
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    params: Mutex<ParamState>,
+    alive_workers: AtomicUsize,
+    submitted: AtomicUsize,
+    rejected: AtomicUsize,
+    completed: AtomicUsize,
+    failed: AtomicUsize,
+    batches: AtomicUsize,
+    coalesced: AtomicUsize,
+    max_coalesced: AtomicUsize,
+    swaps: AtomicUsize,
+    generation: AtomicU64,
+}
+
+/// The pending result of one [`QuServe::predict`] call.
+///
+/// Dropping the handle abandons the request (the worker's answer is
+/// discarded); it does not cancel execution.
+#[derive(Debug)]
+pub struct PredictHandle {
+    rx: mpsc::Receiver<Result<Array2, ServeError>>,
+}
+
+impl PredictHandle {
+    /// Blocks until the request's result arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's serving error, or [`ServeError::WorkerLost`]
+    /// if the worker vanished without answering.
+    pub fn wait(self) -> Result<Array2, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+
+    /// Like [`PredictHandle::wait`] but gives up after `timeout`,
+    /// returning the handle so the caller can keep waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` — the handle back — on timeout; a resolved
+    /// request yields `Ok` with the same result [`PredictHandle::wait`]
+    /// would produce.
+    #[allow(clippy::result_large_err)]
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<Array2, ServeError>, Self> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServeError::WorkerLost)),
+        }
+    }
+}
+
+/// The dynamic-batching concurrent inference service. See the
+/// [module docs](self) for the architecture and `docs/SERVING.md` for
+/// operation.
+pub struct QuServe {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    model: QuGeoVqc,
+    config: ServeConfig,
+}
+
+impl std::fmt::Debug for QuServe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuServe")
+            .field("config", &self.config)
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl QuServe {
+    /// Starts a service on the default exact statevector backend, the
+    /// machine's simulation-thread budget split evenly across workers
+    /// ([`BackendConfig::shared_across`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for invalid configurations or
+    /// parameter vectors.
+    pub fn start(
+        model: QuGeoVqc,
+        params: &[f64],
+        config: ServeConfig,
+    ) -> Result<Self, ServeError> {
+        let workers = config.workers;
+        Self::start_with(model, params, config, |_| {
+            StatevectorBackend::with_config(BackendConfig::shared_across(workers))
+        })
+    }
+
+    /// Starts a service whose workers execute on backends produced by
+    /// `backend_for` (called once per worker index) — finite-shot, noisy,
+    /// or custom [`QuantumBackend`] implementations all serve through the
+    /// same queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for invalid configurations or if a
+    /// worker session cannot be constructed (bad parameter vector).
+    pub fn start_with<B, F>(
+        model: QuGeoVqc,
+        params: &[f64],
+        config: ServeConfig,
+        mut backend_for: F,
+    ) -> Result<Self, ServeError>
+    where
+        B: QuantumBackend + 'static,
+        F: FnMut(usize) -> B,
+    {
+        config.validate(&model)?;
+        // Sessions are built on the caller's thread so construction
+        // errors surface synchronously, then moved into their workers.
+        let mut sessions = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let session = InferenceSession::with_backend(model.clone(), params, backend_for(w))
+                .map_err(|e| ServeError::Config {
+                    reason: format!("worker {w} session: {e}"),
+                })?;
+            sessions.push(session);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::with_capacity(config.queue_depth),
+                shutdown: false,
+            }),
+            not_empty: Condvar::new(),
+            params: Mutex::new(ParamState {
+                generation: 0,
+                params: Arc::new(params.to_vec()),
+            }),
+            alive_workers: AtomicUsize::new(config.workers),
+            submitted: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
+            max_coalesced: AtomicUsize::new(0),
+            swaps: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        });
+        let workers = sessions
+            .into_iter()
+            .map(|session| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(session, shared, config))
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            workers,
+            model,
+            config,
+        })
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &QuGeoVqc {
+        &self.model
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submits one scaled seismic vector for prediction, returning a
+    /// handle immediately. The request is validated here — length,
+    /// finiteness, and encodability — so a malformed request can never
+    /// fail (or, in packed mode, silently corrupt) an innocent batch it
+    /// would have been coalesced with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] for wrong-length, non-finite,
+    /// or all-zero input (amplitude encoding needs a nonzero vector),
+    /// [`ServeError::Overloaded`] when the queue is full, and
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn predict(&self, seismic: Vec<f64>) -> Result<PredictHandle, ServeError> {
+        if seismic.len() != self.model.config().seismic_len {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "seismic length {} != configured {}",
+                    seismic.len(),
+                    self.model.config().seismic_len
+                ),
+            });
+        }
+        if let Some(i) = seismic.iter().position(|v| !v.is_finite()) {
+            return Err(ServeError::BadRequest {
+                reason: format!("seismic value {i} is not finite"),
+            });
+        }
+        if seismic.iter().all(|&v| v == 0.0) {
+            return Err(ServeError::BadRequest {
+                reason: "all-zero seismic vector cannot be amplitude-encoded".into(),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            if queue.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if queue.pending.len() >= self.config.queue_depth {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded {
+                    depth: self.config.queue_depth,
+                });
+            }
+            queue.pending.push_back(Request { seismic, tx });
+        }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+        Ok(PredictHandle { rx })
+    }
+
+    /// [`QuServe::predict`] + [`PredictHandle::wait`] in one call — the
+    /// closed-loop client shape.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuServe::predict`] and [`PredictHandle::wait`].
+    pub fn predict_blocking(&self, seismic: Vec<f64>) -> Result<Array2, ServeError> {
+        self.predict(seismic)?.wait()
+    }
+
+    /// Replaces the served parameter vector. Workers adopt the new
+    /// parameters **between batches** (recompiling their session once);
+    /// in-flight batches finish on the old vector, so no batch is ever
+    /// torn across two models. Returns the new parameter generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::IncompatibleCheckpoint`] if the vector's
+    /// length disagrees with the model or any value is non-finite.
+    pub fn deploy(&self, params: &[f64]) -> Result<u64, ServeError> {
+        if params.len() != self.model.num_params() {
+            return Err(ServeError::IncompatibleCheckpoint {
+                reason: format!(
+                    "{} params for a {}-param model",
+                    params.len(),
+                    self.model.num_params()
+                ),
+            });
+        }
+        if let Some(i) = params.iter().position(|p| !p.is_finite()) {
+            return Err(ServeError::IncompatibleCheckpoint {
+                reason: format!("parameter {i} is not finite"),
+            });
+        }
+        let mut state = self.shared.params.lock().expect("param state poisoned");
+        state.generation += 1;
+        state.params = Arc::new(params.to_vec());
+        self.shared
+            .generation
+            .store(state.generation, Ordering::Release);
+        Ok(state.generation)
+    }
+
+    /// Hot-swaps to the registry checkpoint named `name`, validated for
+    /// this service's model first. Returns the new parameter generation.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::params_for`] and [`QuServe::deploy`].
+    pub fn deploy_from(&self, registry: &ModelRegistry, name: &str) -> Result<u64, ServeError> {
+        let params = registry.params_for(name, &self.model)?;
+        self.deploy(&params)
+    }
+
+    /// The current parameter generation (0 = the start vector; each
+    /// successful deploy increments it).
+    pub fn params_generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            max_coalesced: self.shared.max_coalesced.load(Ordering::Relaxed),
+            swaps: self.shared.swaps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting requests, drains everything already queued, and
+    /// joins the workers. Also runs on drop; call it explicitly to
+    /// control when the (blocking) drain happens.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+            queue.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        for worker in self.workers.drain(..) {
+            // A panicked worker failed its in-flight requests via
+            // dropped senders, and its exit guard failed anything left
+            // in the queue if it was the last one — joining here cannot
+            // block on stranded work either way.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for QuServe {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Pops one coalesced batch: blocks while the queue is empty, then takes
+/// up to `max_batch` requests, holding a partial batch open for at most
+/// `max_wait` in case stragglers arrive. Returns `None` once the service
+/// is shut down **and** drained.
+fn collect_batch(shared: &Shared, config: &ServeConfig) -> Option<Vec<Request>> {
+    let mut queue = shared.queue.lock().expect("serve queue poisoned");
+    loop {
+        if !queue.pending.is_empty() {
+            break;
+        }
+        if queue.shutdown {
+            return None;
+        }
+        queue = shared
+            .not_empty
+            .wait(queue)
+            .expect("serve queue poisoned");
+    }
+    let mut batch = Vec::with_capacity(config.max_batch.min(queue.pending.len()));
+    while batch.len() < config.max_batch {
+        match queue.pending.pop_front() {
+            Some(request) => batch.push(request),
+            None => break,
+        }
+    }
+    // The batching window: a partially filled batch lingers briefly so a
+    // burst arriving over a few microseconds coalesces instead of
+    // trickling through one by one. Shutdown skips the window — drain
+    // latency beats drain batching.
+    if batch.len() < config.max_batch && !queue.shutdown && !config.max_wait.is_zero() {
+        let deadline = Instant::now() + config.max_wait;
+        loop {
+            let now = Instant::now();
+            if batch.len() >= config.max_batch || queue.shutdown || now >= deadline {
+                break;
+            }
+            let (guard, timeout) = shared
+                .not_empty
+                .wait_timeout(queue, deadline - now)
+                .expect("serve queue poisoned");
+            queue = guard;
+            while batch.len() < config.max_batch {
+                match queue.pending.pop_front() {
+                    Some(request) => batch.push(request),
+                    None => break,
+                }
+            }
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+    Some(batch)
+}
+
+/// Runs on every worker exit — normal (shutdown) or panic. When the
+/// *last* worker leaves, nothing will ever pop the queue again: any
+/// requests still pending are dropped so their callers get
+/// [`ServeError::WorkerLost`] instead of blocking forever, and the
+/// shutdown flag is raised so new submissions are refused rather than
+/// accepted into a queue nobody serves. (After a normal shutdown the
+/// workers have already drained the queue, so this is a no-op then.)
+struct WorkerExitGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for WorkerExitGuard {
+    fn drop(&mut self) {
+        if self.shared.alive_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let stranded = {
+                let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
+                queue.shutdown = true;
+                std::mem::take(&mut queue.pending)
+            };
+            // Dropping the senders wakes every stranded caller.
+            drop(stranded);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// One worker: adopt pending parameter swaps, execute coalesced batches,
+/// fan results back out.
+fn worker_loop<B: QuantumBackend>(
+    mut session: InferenceSession<B>,
+    shared: Arc<Shared>,
+    config: ServeConfig,
+) {
+    let _exit_guard = WorkerExitGuard {
+        shared: Arc::clone(&shared),
+    };
+    let mut local_generation = 0u64;
+    while let Some(batch) = collect_batch(&shared, &config) {
+        if batch.is_empty() {
+            continue;
+        }
+        // Hot swap between batches: cheap generation check, recompile
+        // only when a deploy actually happened.
+        if shared.generation.load(Ordering::Acquire) != local_generation {
+            let (generation, params) = {
+                let state = shared.params.lock().expect("param state poisoned");
+                (state.generation, Arc::clone(&state.params))
+            };
+            // Deploy validated length and finiteness; compilation of a
+            // valid vector cannot fail, but a worker must never die on a
+            // swap — keep serving the old parameters if it somehow does.
+            if session.set_params(&params).is_ok() {
+                local_generation = generation;
+                shared.swaps.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let count = batch.len();
+        let (seismics, txs): (Vec<Vec<f64>>, Vec<_>) =
+            batch.into_iter().map(|r| (r.seismic, r.tx)).unzip();
+        let outcome = match config.coalesce {
+            CoalesceMode::Batched => session.predict_many(&seismics),
+            CoalesceMode::Packed => session.predict_packed(&seismics),
+        };
+        match outcome {
+            Ok(maps) => {
+                shared.completed.fetch_add(count, Ordering::Relaxed);
+                for (tx, map) in txs.into_iter().zip(maps) {
+                    let _ = tx.send(Ok(map)); // receiver may have given up
+                }
+            }
+            Err(e) => {
+                shared.failed.fetch_add(count, Ordering::Relaxed);
+                let reason = e.to_string();
+                for tx in txs {
+                    let _ = tx.send(Err(ServeError::Failed {
+                        reason: reason.clone(),
+                    }));
+                }
+            }
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.coalesced.fetch_add(count, Ordering::Relaxed);
+        shared.max_coalesced.fetch_max(count, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Decoder;
+    use crate::model::VqcConfig;
+    use qugeo_qsim::ansatz::EntangleOrder;
+    use qugeo_qsim::ShotSamplerBackend;
+
+    fn small_model() -> QuGeoVqc {
+        QuGeoVqc::new(VqcConfig {
+            seismic_len: 16,
+            num_groups: 1,
+            num_blocks: 2,
+            mixing_blocks: 0,
+            entangle: EntangleOrder::Ring,
+            decoder: Decoder::LayerWise { rows: 4 },
+            max_qubits: 16,
+        })
+        .unwrap()
+    }
+
+    fn request(seed: usize) -> Vec<f64> {
+        (0..16)
+            .map(|i| ((i + seed * 29) as f64 * 0.41).sin() + 0.3)
+            .collect()
+    }
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_depth: 64,
+            coalesce: CoalesceMode::Batched,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let model = small_model();
+        assert!(ServeConfig::default().validate(&model).is_ok());
+        let bad = |f: fn(&mut ServeConfig)| {
+            let mut cfg = tiny_config();
+            f(&mut cfg);
+            cfg.validate(&model)
+        };
+        assert!(matches!(
+            bad(|c| c.workers = 0),
+            Err(ServeError::Config { .. })
+        ));
+        assert!(matches!(
+            bad(|c| c.max_batch = 0),
+            Err(ServeError::Config { .. })
+        ));
+        assert!(matches!(
+            bad(|c| c.queue_depth = 2),
+            Err(ServeError::Config { .. })
+        ));
+        // Packed: 4 data qubits + log2(8192) = 17 > 16 budget.
+        assert!(matches!(
+            bad(|c| {
+                c.coalesce = CoalesceMode::Packed;
+                c.max_batch = 8192;
+                c.queue_depth = 8192;
+            }),
+            Err(ServeError::Config { .. })
+        ));
+        // Packed within budget is fine.
+        assert!(bad(|c| c.coalesce = CoalesceMode::Packed).is_ok());
+    }
+
+    #[test]
+    fn serves_correct_results() {
+        let model = small_model();
+        let params = model.init_params(7);
+        let serve = QuServe::start(model.clone(), &params, tiny_config()).unwrap();
+        let mut reference = InferenceSession::new(model.clone(), &params).unwrap();
+        let handles: Vec<_> = (0..20)
+            .map(|k| serve.predict(request(k)).unwrap())
+            .collect();
+        for (k, handle) in handles.into_iter().enumerate() {
+            let served = handle.wait().unwrap();
+            // The determinism contract: coalescing must be invisible —
+            // bit-identical to a sequential session on the same backend.
+            let sequential = reference.predict(&request(k)).unwrap();
+            assert_eq!(served, sequential, "request {k} diverged from sequential");
+            // And still the same prediction the model makes directly.
+            let direct = model.predict(&request(k), &params).unwrap();
+            for (a, b) in served.iter().zip(direct.iter()) {
+                assert!((a - b).abs() < 1e-12, "request {k} drifted from model");
+            }
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.completed, 20);
+        assert_eq!(stats.failed + stats.rejected, 0);
+        assert!(stats.batches >= 1 && stats.coalesced == 20);
+        assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn packed_mode_serves_within_rounding() {
+        let model = small_model();
+        let params = model.init_params(3);
+        let config = ServeConfig {
+            coalesce: CoalesceMode::Packed,
+            ..tiny_config()
+        };
+        let serve = QuServe::start(model.clone(), &params, config).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|k| serve.predict(request(k)).unwrap())
+            .collect();
+        for (k, handle) in handles.into_iter().enumerate() {
+            let served = handle.wait().unwrap();
+            let direct = model.predict(&request(k), &params).unwrap();
+            for (a, b) in served.iter().zip(direct.iter()) {
+                assert!((a - b).abs() < 1e-9, "request {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_without_failing_batches() {
+        let model = small_model();
+        let params = model.init_params(1);
+        let serve = QuServe::start(model, &params, tiny_config()).unwrap();
+        assert!(matches!(
+            serve.predict(vec![1.0; 5]),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // Content that would fail — or in packed mode silently corrupt —
+        // a whole coalesced batch is rejected at the door too.
+        let mut nan = request(0);
+        nan[3] = f64::NAN;
+        assert!(matches!(
+            serve.predict(nan),
+            Err(ServeError::BadRequest { .. })
+        ));
+        assert!(matches!(
+            serve.predict(vec![0.0; 16]),
+            Err(ServeError::BadRequest { .. })
+        ));
+        // A good request still sails through.
+        assert!(serve.predict_blocking(request(0)).is_ok());
+        let stats = serve.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let model = small_model();
+        let params = model.init_params(2);
+        let serve = QuServe::start(model, &params, tiny_config()).unwrap();
+        let handles: Vec<_> = (0..12)
+            .map(|k| serve.predict(request(k)).unwrap())
+            .collect();
+        serve.shutdown();
+        for handle in handles {
+            assert!(handle.wait().is_ok(), "request dropped during drain");
+        }
+    }
+
+    #[test]
+    fn deploy_validates_and_workers_adopt() {
+        let model = small_model();
+        let p0 = model.init_params(1);
+        let p1 = model.init_params(9);
+        let serve = QuServe::start(model.clone(), &p0, tiny_config()).unwrap();
+
+        assert!(matches!(
+            serve.deploy(&[0.0; 3]),
+            Err(ServeError::IncompatibleCheckpoint { .. })
+        ));
+        let nan = vec![f64::NAN; model.num_params()];
+        assert!(matches!(
+            serve.deploy(&nan),
+            Err(ServeError::IncompatibleCheckpoint { .. })
+        ));
+
+        assert_eq!(serve.params_generation(), 0);
+        assert_eq!(serve.deploy(&p1).unwrap(), 1);
+        assert_eq!(serve.params_generation(), 1);
+        let expected = InferenceSession::new(model.clone(), &p1)
+            .unwrap()
+            .predict(&request(0))
+            .unwrap();
+        // Workers swap between batches; the first post-deploy batch any
+        // worker picks up already serves the new vector.
+        let served = serve.predict_blocking(request(0)).unwrap();
+        assert_eq!(served, expected, "request served with stale parameters");
+        assert!(serve.stats().swaps >= 1);
+    }
+
+    #[test]
+    fn registry_typed_errors() {
+        let model = small_model();
+        let mut registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+
+        let good = Checkpoint::capture(&model, &model.init_params(4), "v1").unwrap();
+        registry.register("small@1", good).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["small@1"]);
+        assert!(registry.get("small@1").is_some());
+
+        // Unknown name is typed.
+        assert!(matches!(
+            registry.params_for("nope", &model),
+            Err(ServeError::UnknownModel { .. })
+        ));
+        // Wrong model shape is typed — no panic in reconstruction.
+        let big = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        assert!(matches!(
+            registry.params_for("small@1", &big),
+            Err(ServeError::IncompatibleCheckpoint { .. })
+        ));
+        // Non-finite parameters rejected at registration.
+        let mut bad = Checkpoint::capture(&model, &model.init_params(4), "v2").unwrap();
+        bad.params[3] = f64::INFINITY;
+        assert!(matches!(
+            registry.register("small@2", bad),
+            Err(ServeError::IncompatibleCheckpoint { .. })
+        ));
+
+        // And the happy path round-trips into a deploy.
+        let serve = QuServe::start(model.clone(), &model.init_params(0), tiny_config()).unwrap();
+        assert_eq!(serve.deploy_from(&registry, "small@1").unwrap(), 1);
+        assert!(matches!(
+            serve.deploy_from(&registry, "nope"),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn registry_file_round_trip() {
+        let model = small_model();
+        let dir = std::env::temp_dir().join("qugeo_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reg.ckpt");
+        let params = model.init_params(6);
+        Checkpoint::capture(&model, &params, "disk")
+            .unwrap()
+            .save(&path)
+            .unwrap();
+
+        let mut registry = ModelRegistry::new();
+        registry.load_file("disk@1", &path).unwrap();
+        assert_eq!(registry.params_for("disk@1", &model).unwrap(), params);
+        assert!(matches!(
+            registry.load_file("missing", &dir.join("nope.ckpt")),
+            Err(ServeError::IncompatibleCheckpoint { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampling_backend_service_is_usable() {
+        let model = small_model();
+        let params = model.init_params(5);
+        let config = ServeConfig {
+            coalesce: CoalesceMode::Packed,
+            ..tiny_config()
+        };
+        let serve = QuServe::start_with(model.clone(), &params, config, |w| {
+            ShotSamplerBackend::new(50_000, 100 + w as u64)
+        })
+        .unwrap();
+        let served = serve.predict_blocking(request(1)).unwrap();
+        let exact = model.predict(&request(1), &params).unwrap();
+        // Finite-shot serving is statistical, not exact.
+        for (a, b) in served.iter().zip(exact.iter()) {
+            assert!((a - b).abs() < 0.2, "sampled serving drifted: {a} vs {b}");
+        }
+    }
+
+    /// A backend whose execution panics — simulating an engine bug.
+    #[derive(Debug, Default)]
+    struct PanicBackend {
+        inner: qugeo_qsim::StatevectorBackend,
+    }
+
+    impl QuantumBackend for PanicBackend {
+        fn name(&self) -> &'static str {
+            "panic"
+        }
+        fn config(&self) -> &qugeo_qsim::BackendConfig {
+            self.inner.config()
+        }
+        fn supports_adjoint_gradient(&self) -> bool {
+            false
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+        fn run_batch(
+            &self,
+            _circuit: &qugeo_qsim::CompiledCircuit,
+            _batch: &mut qugeo_qsim::BatchedState,
+        ) -> Result<(), qugeo_qsim::QsimError> {
+            panic!("injected engine panic");
+        }
+        fn run_each(
+            &self,
+            circuits: &[qugeo_qsim::CompiledCircuit],
+            batch: &mut qugeo_qsim::BatchedState,
+        ) -> Result<(), qugeo_qsim::QsimError> {
+            self.inner.run_each(circuits, batch)
+        }
+        fn expectations(
+            &self,
+            batch: &qugeo_qsim::BatchedState,
+            obs: &qugeo_qsim::DiagonalObservable,
+        ) -> Result<Vec<f64>, qugeo_qsim::QsimError> {
+            self.inner.expectations(batch, obs)
+        }
+        fn probabilities(
+            &self,
+            batch: &qugeo_qsim::BatchedState,
+        ) -> Result<Vec<Vec<f64>>, qugeo_qsim::QsimError> {
+            self.inner.probabilities(batch)
+        }
+    }
+
+    #[test]
+    fn dead_workers_fail_stranded_requests_instead_of_hanging() {
+        let model = small_model();
+        let params = model.init_params(2);
+        let serve = QuServe::start_with(
+            model,
+            &params,
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_depth: 16,
+                coalesce: CoalesceMode::Batched,
+            },
+            |_| PanicBackend::default(),
+        )
+        .unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|k| serve.predict(request(k)).unwrap())
+            .collect();
+        // The only worker dies on the first batch; in-flight requests
+        // fail via the dropped sender, and queued ones via the exit
+        // guard — nobody blocks forever.
+        for (k, handle) in handles.into_iter().enumerate() {
+            match handle.wait_timeout(Duration::from_secs(10)) {
+                Ok(Err(ServeError::WorkerLost)) => {}
+                Ok(other) => panic!("request {k}: expected WorkerLost, got {other:?}"),
+                Err(_) => panic!("request {k} stranded: wait timed out"),
+            }
+        }
+        // With no workers left the service refuses new submissions.
+        assert!(matches!(
+            serve.predict(request(9)),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ServeError::Overloaded { depth: 8 };
+        assert!(e.to_string().contains("depth 8"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(ServeError::UnknownModel { name: "x".into() }
+            .to_string()
+            .contains("'x'"));
+    }
+}

@@ -38,10 +38,13 @@
 //! # }
 //! ```
 
+use std::collections::HashMap;
+
 use qugeo_qsim::{BatchedState, CompiledCircuit, QuantumBackend, StatevectorBackend};
 use qugeo_tensor::Array2;
 
 use crate::model::QuGeoVqc;
+use crate::qubatch::QuBatch;
 use crate::QuGeoError;
 
 /// A long-lived serving handle: backend + circuit compiled once per
@@ -54,6 +57,9 @@ pub struct InferenceSession<B: QuantumBackend = StatevectorBackend> {
     params: Vec<f64>,
     compiled: CompiledCircuit,
     buffer: Option<BatchedState>,
+    /// QuBatch-packed serving: widened circuits compiled once per
+    /// (parameter vector, batch width) pair, keyed by batch qubits.
+    packed: HashMap<usize, CompiledCircuit>,
     compilations: usize,
     requests: usize,
     buffer_reuses: usize,
@@ -86,6 +92,7 @@ impl<B: QuantumBackend> InferenceSession<B> {
             params: params.to_vec(),
             compiled,
             buffer: None,
+            packed: HashMap::new(),
             compilations: 1,
             requests: 0,
             buffer_reuses: 0,
@@ -107,8 +114,10 @@ impl<B: QuantumBackend> InferenceSession<B> {
         &self.params
     }
 
-    /// How many times the ansatz has been compiled over the session's
-    /// lifetime (exactly once per parameter vector — never per request).
+    /// How many times a circuit has been compiled over the session's
+    /// lifetime: once per parameter vector for the base ansatz, plus
+    /// once per (parameter vector, batch width) the packed path serves
+    /// ([`InferenceSession::predict_packed`]) — never per request.
     pub fn compilations(&self) -> usize {
         self.compilations
     }
@@ -134,6 +143,9 @@ impl<B: QuantumBackend> InferenceSession<B> {
         self.compiled = self.model.circuit().compile(params)?;
         self.compilations += 1;
         self.params = params.to_vec();
+        // Widened circuits bake the old parameters in; drop them so the
+        // packed path recompiles lazily against the new vector.
+        self.packed.clear();
         Ok(())
     }
 
@@ -185,6 +197,64 @@ impl<B: QuantumBackend> InferenceSession<B> {
                 maps.push(self.model.decoder().decode(&probs)?);
             }
         }
+        self.requests += seismic.len();
+        Ok(maps)
+    }
+
+    /// Predicts velocity maps for a request batch by **QuBatch packing**:
+    /// all requests are amplitude-encoded into *one* physical register
+    /// (batch index in the high-order qubits) and served with a single
+    /// widened-circuit execution — the paper's Figure 3 construction as a
+    /// serving primitive.
+    ///
+    /// Packing changes the cost model, not just the bookkeeping:
+    ///
+    /// * the backend executes **once** per batch, so on finite-shot or
+    ///   hardware-style backends the whole batch shares one circuit
+    ///   execution *and one shot budget* — per-request cost drops by
+    ///   roughly the batch size;
+    /// * the shared amplitude norm splits one unit of precision across
+    ///   the batch (Section 3.3.3), so per-request fidelity on sampling
+    ///   backends degrades gracefully with batch width. On exact
+    ///   backends results match sequential prediction to rounding
+    ///   (~1e-9), **not** bit-for-bit — coalescers that guarantee
+    ///   bit-identical results use [`InferenceSession::predict_many`]
+    ///   instead.
+    ///
+    /// Widened circuits are compiled once per (parameter vector, batch
+    /// width) and cached; [`InferenceSession::set_params`] invalidates
+    /// the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if the model is multi-group, if a
+    /// request length mismatches the model, or if the packed register
+    /// would exceed the model's qubit budget; backend failures propagate.
+    pub fn predict_packed(&mut self, seismic: &[Vec<f64>]) -> Result<Vec<Array2>, QuGeoError> {
+        if seismic.is_empty() {
+            return Ok(Vec::new());
+        }
+        let qubatch = QuBatch::new(&self.model)?;
+        let batched = qubatch.encode_batch(seismic)?;
+        let width = batched.batch_qubits();
+        if !self.packed.contains_key(&width) {
+            let wide = self.model.circuit().widened(width);
+            self.packed.insert(width, wide.compile(&self.params)?);
+            self.compilations += 1;
+        }
+        // The packed register recycles the same engine buffer the
+        // multi-member path uses — `load_states` re-shapes it per call.
+        let register = match self.buffer.as_mut() {
+            Some(buffer) => {
+                buffer.load_states(std::slice::from_ref(batched.state()))?;
+                self.buffer_reuses += 1;
+                buffer
+            }
+            None => self
+                .buffer
+                .insert(BatchedState::replicate(batched.state(), 1)),
+        };
+        let maps = qubatch.execute_packed(register, seismic.len(), &self.packed[&width], &self.backend)?;
         self.requests += seismic.len();
         Ok(maps)
     }
@@ -293,6 +363,60 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn packed_predictions_match_sequential_within_rounding() {
+        let model = small_model();
+        let params = model.init_params(13);
+        let mut session = InferenceSession::new(model.clone(), &params).unwrap();
+        let requests: Vec<Vec<f64>> = (0..6).map(request).collect();
+        let packed = session.predict_packed(&requests).unwrap();
+        assert_eq!(packed.len(), 6);
+        for (k, r) in requests.iter().enumerate() {
+            let solo = model.predict(r, &params).unwrap();
+            for (a, b) in packed[k].iter().zip(solo.iter()) {
+                assert!((a - b).abs() < 1e-9, "request {k}: {a} vs {b}");
+            }
+        }
+        assert!(session.predict_packed(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn packed_compiles_once_per_width_and_invalidates_on_set_params() {
+        let model = small_model();
+        let params = model.init_params(2);
+        let mut session = InferenceSession::new(model.clone(), &params).unwrap();
+        let requests: Vec<Vec<f64>> = (0..4).map(request).collect();
+        session.predict_packed(&requests).unwrap(); // base + width 2
+        session.predict_packed(&requests).unwrap(); // cached
+        assert_eq!(session.compilations(), 2);
+        session.predict_packed(&requests[..2]).unwrap(); // width 1
+        assert_eq!(session.compilations(), 3);
+
+        let p1 = model.init_params(5);
+        session.set_params(&p1).unwrap(); // base recompile, cache cleared
+        let after = session.predict_packed(&requests).unwrap();
+        assert_eq!(session.compilations(), 5);
+        for (k, r) in requests.iter().enumerate() {
+            let solo = model.predict(r, &p1).unwrap();
+            for (a, b) in after[k].iter().zip(solo.iter()) {
+                assert!((a - b).abs() < 1e-9, "request {k} served stale params");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_rejects_budget_and_length_violations() {
+        let model = small_model(); // 4 data qubits, 16-qubit budget
+        let params = model.init_params(1);
+        let mut session = InferenceSession::new(model, &params).unwrap();
+        // Wrong request length.
+        assert!(session.predict_packed(&[vec![1.0; 8]]).is_err());
+        // 2^13 requests would need 4 + 13 qubits > 16; use a length
+        // mismatch-free oversized batch of identical tiny requests.
+        let huge: Vec<Vec<f64>> = (0..(1usize << 13)).map(|_| request(0)).collect();
+        assert!(session.predict_packed(&huge).is_err());
     }
 
     #[test]

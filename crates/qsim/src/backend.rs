@@ -98,6 +98,20 @@ impl BackendConfig {
     pub fn effective_threads(&self) -> usize {
         self.threads.unwrap_or_else(simulation_threads).max(1)
     }
+
+    /// Splits the machine's simulation-thread budget across `workers`
+    /// cooperating backends (minimum 1 thread each).
+    ///
+    /// A multi-worker serving layer runs one backend per worker thread;
+    /// giving each of them the full machine budget (`QUGEO_SIM_THREADS`
+    /// or [`std::thread::available_parallelism`]) would oversubscribe
+    /// the host `workers`-fold. This constructor hands each worker an
+    /// equal share, so `workers` sessions together use roughly the same
+    /// budget one training backend would.
+    pub fn shared_across(workers: usize) -> Self {
+        let total = simulation_threads();
+        Self::with_threads((total / workers.max(1)).max(1))
+    }
 }
 
 /// A circuit-execution substrate.
@@ -960,6 +974,11 @@ mod tests {
         assert_eq!(BackendConfig::with_threads(3).effective_threads(), 3);
         assert_eq!(BackendConfig::with_threads(0).effective_threads(), 1);
         assert!(BackendConfig::default().effective_threads() >= 1);
+        // Worker shares never exceed the whole budget and never hit zero.
+        let budget = BackendConfig::default().effective_threads();
+        assert!(BackendConfig::shared_across(1).effective_threads() <= budget.max(1));
+        assert_eq!(BackendConfig::shared_across(usize::MAX).effective_threads(), 1);
+        assert_eq!(BackendConfig::shared_across(0).effective_threads(), budget);
     }
 
     #[test]

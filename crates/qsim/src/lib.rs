@@ -75,6 +75,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod circuit;
 mod complex;
 mod error;

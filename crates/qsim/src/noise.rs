@@ -269,6 +269,12 @@ pub fn apply_readout_flip(probs: &[f64], num_qubits: usize, r: f64) -> Vec<f64> 
 /// returning per-basis-state counts — finite-shot statistics for
 /// hardware-faithful evaluation.
 ///
+/// Sampling builds the cumulative distribution once and binary-searches
+/// it per shot (`O(dim + shots · log dim)`), so wide registers — e.g. a
+/// QuBatch-packed register whose one shot budget is shared by a whole
+/// request batch — cost barely more per shot than narrow ones. One RNG
+/// draw is consumed per shot.
+///
 /// # Errors
 ///
 /// Returns [`QsimError::InvalidStateLength`] if `probs` is empty, or
@@ -284,18 +290,23 @@ pub fn sample_counts(probs: &[f64], shots: usize, seed: u64) -> Result<Vec<usize
             reason: format!("probabilities must be non-negative and sum to 1 (sum {total})"),
         });
     }
+    // Inclusive prefix sums: cdf[i] = p_0 + … + p_i. A shot landing at
+    // u ∈ [0, total) selects the first i with u < cdf[i], which matches
+    // the subtract-and-scan selection this function used to make.
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in probs {
+        acc += p;
+        cdf.push(acc);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut counts = vec![0usize; probs.len()];
     for _ in 0..shots {
-        let mut u: f64 = rng.gen::<f64>() * total;
-        let mut chosen = probs.len() - 1;
-        for (i, &p) in probs.iter().enumerate() {
-            if u < p {
-                chosen = i;
-                break;
-            }
-            u -= p;
-        }
+        let u: f64 = rng.gen::<f64>() * total;
+        // partition_point returns the first index whose cdf entry is
+        // > u; rounding at the top end can only land past the final
+        // entry, which the old scan also mapped to the last state.
+        let chosen = cdf.partition_point(|&c| c <= u).min(probs.len() - 1);
         counts[chosen] += 1;
     }
     Ok(counts)
@@ -437,6 +448,18 @@ mod tests {
         assert!(sample_counts(&[], 10, 0).is_err());
         assert!(sample_counts(&[0.5, 0.2], 10, 0).is_err()); // sums to 0.7
         assert!(sample_counts(&[-0.1, 1.1], 10, 0).is_err());
+    }
+
+    #[test]
+    fn sampling_handles_point_masses_and_zero_tails() {
+        // All mass on one interior state: every shot must land there,
+        // including shots whose uniform draw rounds to the CDF boundary.
+        let counts = sample_counts(&[0.0, 1.0, 0.0, 0.0], 1_000, 7).unwrap();
+        assert_eq!(counts, vec![0, 1_000, 0, 0]);
+        // A zero-probability head never absorbs shots.
+        let counts = sample_counts(&[0.0, 0.5, 0.5], 5_000, 8).unwrap();
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts.iter().sum::<usize>(), 5_000);
     }
 
     #[test]

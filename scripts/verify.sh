@@ -6,6 +6,7 @@
 #   ./scripts/verify.sh docs         # documentation gate only
 #   ./scripts/verify.sh lint         # clippy gate only
 #   ./scripts/verify.sh bench-smoke  # gradient-engine smoke gate only
+#   ./scripts/verify.sh serve-smoke  # serving-layer smoke gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
 # (lib, tests, benches, examples, bins) — warnings are errors, and use
@@ -30,6 +31,10 @@ docs_gate() {
 lint_gate() {
     echo "==> cargo clippy --workspace --all-targets (warnings are errors, deprecated denied)"
     cargo clippy --workspace --all-targets --quiet -- -D warnings -D deprecated
+    # The API crates carry #![warn(missing_docs)]; deny it here so an
+    # undocumented public item can never land.
+    echo "==> cargo clippy -p qugeo -p qugeo-qsim (missing public-item docs denied)"
+    cargo clippy -p qugeo -p qugeo-qsim --quiet -- -D warnings -D missing-docs
 }
 
 tier1() {
@@ -55,19 +60,39 @@ bench_smoke() {
         --smoke --json target/BENCH_grad.smoke.json
 }
 
+# Serving-layer smoke: a tiny-client serve_throughput run. The bin itself
+# asserts the coalescing determinism contract (Batched coalescing
+# bit-identical to sequential prediction, Packed within 1e-9) and exits
+# non-zero on violation; the gate additionally checks the JSON landed.
+serve_smoke() {
+    echo "==> serve_throughput --smoke"
+    cargo run --release --quiet -p qugeo-bench --bin serve_throughput -- \
+        --smoke --json target/BENCH_serve.smoke.json
+    test -s target/BENCH_serve.smoke.json || {
+        echo "serve-smoke: BENCH_serve.smoke.json missing or empty" >&2
+        exit 1
+    }
+    grep -q '"batched_bit_identical": true' target/BENCH_serve.smoke.json || {
+        echo "serve-smoke: determinism record missing from JSON" >&2
+        exit 1
+    }
+}
+
 case "${1:-all}" in
     docs) docs_gate ;;
     lint) lint_gate ;;
     tier1) tier1 ;;
     bench-smoke|--bench-smoke) bench_smoke ;;
+    serve-smoke|--serve-smoke) serve_smoke ;;
     all)
         tier1
         lint_gate
         docs_gate
         bench_smoke
+        serve_smoke
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs|lint|bench-smoke]" >&2
+        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,314 @@
+//! Concurrency stress tests for the QuServe serving layer.
+//!
+//! The contract under test (see `core::serve` module docs): coalescing
+//! must be *invisible* on a deterministic backend — whatever batches a
+//! request lands in, whichever worker serves it, the result is
+//! bit-identical to a sequential [`InferenceSession::predict`] loop —
+//! and overload must shed load with a typed error instead of stalling or
+//! deadlocking.
+
+use std::time::Duration;
+
+use qugeo::decoder::Decoder;
+use qugeo::model::{QuGeoVqc, VqcConfig};
+use qugeo::serve::{CoalesceMode, QuServe, ServeConfig, ServeError};
+use qugeo::session::InferenceSession;
+use qugeo_qsim::ansatz::EntangleOrder;
+use qugeo_qsim::{
+    BackendConfig, BatchedState, CompiledCircuit, DiagonalObservable, QsimError, QuantumBackend,
+    StatevectorBackend,
+};
+use qugeo_tensor::Array2;
+
+fn small_model() -> QuGeoVqc {
+    QuGeoVqc::new(VqcConfig {
+        seismic_len: 16,
+        num_groups: 1,
+        num_blocks: 2,
+        mixing_blocks: 0,
+        entangle: EntangleOrder::Ring,
+        decoder: Decoder::LayerWise { rows: 4 },
+        max_qubits: 16,
+    })
+    .expect("valid config")
+}
+
+fn request(client: usize, i: usize) -> Vec<f64> {
+    (0..16)
+        .map(|k| ((k + 31 * client + 7 * i) as f64 * 0.37).sin() + 0.4)
+        .collect()
+}
+
+/// N client threads × M requests each, submitted in bursts so workers
+/// coalesce varying batch shapes; every output must be bit-identical to
+/// a sequential session.
+#[test]
+fn coalesced_results_bit_identical_to_sequential() {
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 16;
+    let model = small_model();
+    let params = model.init_params(11);
+    let serve = QuServe::start(
+        model.clone(),
+        &params,
+        ServeConfig {
+            workers: 4,
+            max_batch: 8,
+            max_wait: Duration::from_micros(300),
+            queue_depth: 256,
+            coalesce: CoalesceMode::Batched,
+        },
+    )
+    .expect("service starts");
+
+    let results: Vec<Vec<Array2>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let serve = &serve;
+                scope.spawn(move || {
+                    let mut maps = Vec::with_capacity(REQUESTS);
+                    // Bursts of 4: the queue sees overlapping bursts from
+                    // 8 clients, so coalesced batches mix clients.
+                    for burst in 0..REQUESTS / 4 {
+                        let pending: Vec<_> = (0..4)
+                            .map(|j| {
+                                serve
+                                    .predict(request(c, burst * 4 + j))
+                                    .expect("queue has room")
+                            })
+                            .collect();
+                        for handle in pending {
+                            maps.push(handle.wait().expect("request served"));
+                        }
+                    }
+                    maps
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let mut sequential = InferenceSession::new(model, &params).expect("session");
+    for (c, maps) in results.iter().enumerate() {
+        for (i, served) in maps.iter().enumerate() {
+            let expected = sequential.predict(&request(c, i)).expect("sequential predict");
+            assert_eq!(
+                *served, expected,
+                "client {c} request {i}: coalesced result not bit-identical"
+            );
+        }
+    }
+
+    let stats = serve.stats();
+    assert_eq!(stats.completed, CLIENTS * REQUESTS);
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.max_coalesced >= 2,
+        "8 bursting clients never coalesced (max batch {})",
+        stats.max_coalesced
+    );
+}
+
+/// QuBatch-packed coalescing on the exact backend: one register serves
+/// the whole batch; results match sequential prediction to rounding.
+#[test]
+fn packed_coalescing_matches_sequential_within_tolerance() {
+    const CLIENTS: usize = 6;
+    const REQUESTS: usize = 8;
+    let model = small_model();
+    let params = model.init_params(23);
+    let serve = QuServe::start(
+        model.clone(),
+        &params,
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait: Duration::from_micros(300),
+            queue_depth: 128,
+            coalesce: CoalesceMode::Packed,
+        },
+    )
+    .expect("service starts");
+
+    let results: Vec<Vec<Array2>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let serve = &serve;
+                scope.spawn(move || {
+                    (0..REQUESTS)
+                        .map(|i| serve.predict_blocking(request(c, i)).expect("served"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let mut sequential = InferenceSession::new(model, &params).expect("session");
+    for (c, maps) in results.iter().enumerate() {
+        for (i, served) in maps.iter().enumerate() {
+            let expected = sequential.predict(&request(c, i)).expect("sequential");
+            for (a, b) in served.iter().zip(expected.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "client {c} request {i}: packed {a} vs sequential {b}"
+                );
+            }
+        }
+    }
+}
+
+/// A statevector backend that sleeps before executing, so the queue can
+/// be driven into overload deterministically.
+#[derive(Debug)]
+struct SlowBackend {
+    inner: StatevectorBackend,
+    delay: Duration,
+}
+
+impl QuantumBackend for SlowBackend {
+    fn name(&self) -> &'static str {
+        "slow-statevector"
+    }
+    fn config(&self) -> &BackendConfig {
+        self.inner.config()
+    }
+    fn supports_adjoint_gradient(&self) -> bool {
+        false
+    }
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+    fn run_batch(
+        &self,
+        circuit: &CompiledCircuit,
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        std::thread::sleep(self.delay);
+        self.inner.run_batch(circuit, batch)
+    }
+    fn run_each(
+        &self,
+        circuits: &[CompiledCircuit],
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        self.inner.run_each(circuits, batch)
+    }
+    fn expectations(
+        &self,
+        batch: &BatchedState,
+        obs: &DiagonalObservable,
+    ) -> Result<Vec<f64>, QsimError> {
+        self.inner.expectations(batch, obs)
+    }
+    fn probabilities(&self, batch: &BatchedState) -> Result<Vec<Vec<f64>>, QsimError> {
+        self.inner.probabilities(batch)
+    }
+}
+
+/// When the bounded queue fills behind a slow worker, further submissions
+/// fail fast with `Overloaded` — and every accepted request still
+/// completes (no deadlock, no dropped work).
+#[test]
+fn overload_sheds_with_typed_error_and_no_deadlock() {
+    let model = small_model();
+    let params = model.init_params(3);
+    let serve = QuServe::start_with(
+        model,
+        &params,
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_depth: 2,
+            coalesce: CoalesceMode::Batched,
+        },
+        |_| SlowBackend {
+            inner: StatevectorBackend::default(),
+            delay: Duration::from_millis(40),
+        },
+    )
+    .expect("service starts");
+
+    // Flood: with a 40ms execution and a depth-2 queue, a burst of 8
+    // instant submissions must overflow regardless of scheduling.
+    let mut accepted = Vec::new();
+    let mut overloaded = 0usize;
+    for i in 0..8 {
+        match serve.predict(request(0, i)) {
+            Ok(handle) => accepted.push(handle),
+            Err(ServeError::Overloaded { depth }) => {
+                assert_eq!(depth, 2);
+                overloaded += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert!(overloaded >= 1, "burst of 8 never tripped the depth-2 queue");
+    assert!(!accepted.is_empty());
+    assert_eq!(serve.stats().rejected, overloaded);
+
+    // Every accepted request completes promptly — the overload path must
+    // never wedge the worker or strand a handle.
+    for (i, handle) in accepted.into_iter().enumerate() {
+        match handle.wait_timeout(Duration::from_secs(10)) {
+            Ok(result) => {
+                result.unwrap_or_else(|e| panic!("accepted request {i} failed: {e}"));
+            }
+            Err(_) => panic!("accepted request {i} timed out: service deadlocked"),
+        }
+    }
+}
+
+/// Hot-swapping parameters under concurrent load: every result matches
+/// one of the two deployed generations exactly, and post-drain requests
+/// serve the new generation.
+#[test]
+fn hot_swap_under_load_never_tears_a_batch() {
+    let model = small_model();
+    let p0 = model.init_params(1);
+    let p1 = model.init_params(42);
+    let serve = QuServe::start(
+        model.clone(),
+        &p0,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_depth: 128,
+            coalesce: CoalesceMode::Batched,
+        },
+    )
+    .expect("service starts");
+
+    let mut old_gen = InferenceSession::new(model.clone(), &p0).expect("session");
+    let mut new_gen = InferenceSession::new(model.clone(), &p1).expect("session");
+
+    let served: Vec<(usize, Array2)> = std::thread::scope(|scope| {
+        let client = {
+            let serve = &serve;
+            scope.spawn(move || {
+                (0..60)
+                    .map(|i| (i, serve.predict_blocking(request(9, i)).expect("served")))
+                    .collect::<Vec<_>>()
+            })
+        };
+        // Deploy the new vector while the client streams requests.
+        std::thread::sleep(Duration::from_millis(2));
+        serve.deploy(&p1).expect("deploy");
+        client.join().expect("client thread")
+    });
+
+    for (i, map) in &served {
+        let expect_old = old_gen.predict(&request(9, *i)).expect("old generation");
+        let expect_new = new_gen.predict(&request(9, *i)).expect("new generation");
+        assert!(
+            *map == expect_old || *map == expect_new,
+            "request {i} matches neither parameter generation — torn swap"
+        );
+    }
+    // After the stream, the service must serve the new generation only.
+    let settled = serve.predict_blocking(request(9, 1000)).expect("served");
+    let expected = new_gen.predict(&request(9, 1000)).expect("new generation");
+    assert_eq!(settled, expected, "service still serving the old generation");
+}
