@@ -33,8 +33,9 @@
 //!
 //! Simulation-heavy paths (batch prediction, evaluation epochs, QuBatch
 //! forward passes) run through `qugeo_qsim`'s gate-fused batched engine
-//! — circuits are compiled once per parameter vector and swept across
-//! whole sample batches in one engine call; see
+//! — the fusion plan is compiled once per circuit shape, new parameter
+//! vectors are re-bound onto it in O(params), and whole sample batches
+//! sweep through in one engine call; see
 //! [`model::QuGeoVqc::predict_many`] and `docs/ARCHITECTURE.md`.
 //!
 //! Execution is **backend-pluggable**: every simulation-heavy entry
@@ -46,8 +47,9 @@
 //! flags.
 //!
 //! **Serving** is two layers. [`session::InferenceSession`] is the
-//! single-caller shape: backend + circuit compiled once per parameter
-//! vector + recycled batch buffers, with a QuBatch-packed batch path
+//! single-caller shape: backend + circuit structure compiled once and
+//! re-bound per parameter swap + recycled batch buffers, with a
+//! QuBatch-packed batch path
 //! ([`session::InferenceSession::predict_packed`]). [`serve::QuServe`]
 //! is the concurrent service on top: requests from many threads
 //! coalesce in a bounded queue (typed [`serve::ServeError::Overloaded`]

@@ -381,6 +381,14 @@ pub struct ServeStats {
     pub max_coalesced: usize,
     /// Parameter hot-swaps adopted by workers (counted per worker).
     pub swaps: usize,
+    /// Circuit *structure* compilations across all worker sessions —
+    /// one per worker at startup plus one per packed batch width a
+    /// worker first serves; deploys never add to it.
+    pub session_compilations: usize,
+    /// Parameter re-binds across all worker sessions — one per adopted
+    /// deploy per worker, plus one per stale packed-width entry lazily
+    /// refreshed after a deploy.
+    pub session_rebinds: usize,
 }
 
 impl ServeStats {
@@ -427,6 +435,8 @@ struct Shared {
     coalesced: AtomicUsize,
     max_coalesced: AtomicUsize,
     swaps: AtomicUsize,
+    session_compilations: AtomicUsize,
+    session_rebinds: AtomicUsize,
     generation: AtomicU64,
 }
 
@@ -557,6 +567,8 @@ impl QuServe {
             coalesced: AtomicUsize::new(0),
             max_coalesced: AtomicUsize::new(0),
             swaps: AtomicUsize::new(0),
+            session_compilations: AtomicUsize::new(0),
+            session_rebinds: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
         });
         let workers = sessions
@@ -646,9 +658,13 @@ impl QuServe {
     }
 
     /// Replaces the served parameter vector. Workers adopt the new
-    /// parameters **between batches** (recompiling their session once);
-    /// in-flight batches finish on the old vector, so no batch is ever
-    /// torn across two models. Returns the new parameter generation.
+    /// parameters **between batches** by re-binding their session's
+    /// compiled circuits in O(params) — the fusion plan and any packed
+    /// per-width cache survive the swap, no circuit is recompiled (see
+    /// [`ServeStats::session_compilations`] /
+    /// [`ServeStats::session_rebinds`]); in-flight batches finish on the
+    /// old vector, so no batch is ever torn across two models. Returns
+    /// the new parameter generation.
     ///
     /// # Errors
     ///
@@ -706,6 +722,8 @@ impl QuServe {
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             max_coalesced: self.shared.max_coalesced.load(Ordering::Relaxed),
             swaps: self.shared.swaps.load(Ordering::Relaxed),
+            session_compilations: self.shared.session_compilations.load(Ordering::Relaxed),
+            session_rebinds: self.shared.session_rebinds.load(Ordering::Relaxed),
         }
     }
 
@@ -830,19 +848,23 @@ fn worker_loop<B: QuantumBackend>(
         shared: Arc::clone(&shared),
     };
     let mut local_generation = 0u64;
+    // Session counter snapshots, so each loop publishes only the delta
+    // into the shared service-wide totals.
+    let mut seen_compilations = 0usize;
+    let mut seen_rebinds = 0usize;
     while let Some(batch) = collect_batch(&shared, &config) {
         if batch.is_empty() {
             continue;
         }
-        // Hot swap between batches: cheap generation check, recompile
+        // Hot swap between batches: cheap generation check, re-bind
         // only when a deploy actually happened.
         if shared.generation.load(Ordering::Acquire) != local_generation {
             let (generation, params) = {
                 let state = shared.params.lock().expect("param state poisoned");
                 (state.generation, Arc::clone(&state.params))
             };
-            // Deploy validated length and finiteness; compilation of a
-            // valid vector cannot fail, but a worker must never die on a
+            // Deploy validated length and finiteness; re-binding a valid
+            // vector cannot fail, but a worker must never die on a
             // swap — keep serving the old parameters if it somehow does.
             if session.set_params(&params).is_ok() {
                 local_generation = generation;
@@ -877,6 +899,19 @@ fn worker_loop<B: QuantumBackend>(
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared.coalesced.fetch_add(count, Ordering::Relaxed);
         shared.max_coalesced.fetch_max(count, Ordering::Relaxed);
+        // Publish this session's compile/rebind activity so tests can
+        // assert the deploy-rebinds-instead-of-recompiling contract
+        // across the whole fleet.
+        let compilations = session.compilations();
+        let rebinds = session.rebinds();
+        shared
+            .session_compilations
+            .fetch_add(compilations - seen_compilations, Ordering::Relaxed);
+        shared
+            .session_rebinds
+            .fetch_add(rebinds - seen_rebinds, Ordering::Relaxed);
+        seen_compilations = compilations;
+        seen_rebinds = rebinds;
     }
 }
 

@@ -1,14 +1,17 @@
 //! Reusable inference sessions: compile once, predict many requests.
 //!
-//! Training recompiles the ansatz every step because the parameters
-//! change every step. Serving is the opposite shape: parameters are
+//! Training re-binds the ansatz every step because the parameters
+//! change every step. Serving is even more static: parameters are
 //! frozen after training and the same circuit answers every request, so
 //! per-request compilation and per-request batch allocation are pure
 //! waste. An [`InferenceSession`] holds
 //!
 //! * a trained [`QuGeoVqc`] plus its parameter vector,
-//! * the ansatz compiled **once** per parameter vector
-//!   ([`qugeo_qsim::CompiledCircuit`]),
+//! * the ansatz **structure-compiled once** for the session's lifetime
+//!   ([`qugeo_qsim::CircuitStructure`], with the full optimizer pass
+//!   pipeline enabled) and bound to concrete parameter values
+//!   ([`qugeo_qsim::CompiledCircuit`]); parameter swaps re-bind the
+//!   existing fusion plan in O(params) instead of recompiling,
 //! * an execution backend ([`qugeo_qsim::QuantumBackend`]) chosen at
 //!   session construction (exact, finite-shot, noisy…),
 //! * a reusable [`qugeo_qsim::BatchedState`] whose allocation is
@@ -40,7 +43,10 @@
 
 use std::collections::HashMap;
 
-use qugeo_qsim::{BatchedState, CompiledCircuit, QuantumBackend, StatevectorBackend};
+use qugeo_qsim::{
+    BatchedState, CircuitStructure, CompiledCircuit, PassConfig, QuantumBackend,
+    StatevectorBackend,
+};
 use qugeo_tensor::Array2;
 
 use crate::model::QuGeoVqc;
@@ -57,10 +63,16 @@ pub struct InferenceSession<B: QuantumBackend = StatevectorBackend> {
     params: Vec<f64>,
     compiled: CompiledCircuit,
     buffer: Option<BatchedState>,
-    /// QuBatch-packed serving: widened circuits compiled once per
-    /// (parameter vector, batch width) pair, keyed by batch qubits.
-    packed: HashMap<usize, CompiledCircuit>,
+    /// QuBatch-packed serving: widened circuit structures compiled once
+    /// per batch width and kept across parameter swaps; each entry
+    /// remembers the parameter generation it was last bound under and
+    /// lazily re-binds when served after a [`InferenceSession::set_params`].
+    packed: HashMap<usize, (u64, CompiledCircuit)>,
+    /// Bumped by every [`InferenceSession::set_params`]; packed cache
+    /// entries bound under an older generation re-bind before serving.
+    param_gen: u64,
     compilations: usize,
+    rebinds: usize,
     requests: usize,
     buffer_reuses: usize,
 }
@@ -85,7 +97,8 @@ impl<B: QuantumBackend> InferenceSession<B> {
     /// Returns an error if `params` does not match the model's slot
     /// count.
     pub fn with_backend(model: QuGeoVqc, params: &[f64], backend: B) -> Result<Self, QuGeoError> {
-        let compiled = model.circuit().compile(params)?;
+        let structure = CircuitStructure::compile_with_passes(model.circuit(), &PassConfig::all());
+        let compiled = structure.bind(params)?;
         Ok(Self {
             model,
             backend,
@@ -93,7 +106,9 @@ impl<B: QuantumBackend> InferenceSession<B> {
             compiled,
             buffer: None,
             packed: HashMap::new(),
+            param_gen: 0,
             compilations: 1,
+            rebinds: 0,
             requests: 0,
             buffer_reuses: 0,
         })
@@ -114,12 +129,23 @@ impl<B: QuantumBackend> InferenceSession<B> {
         &self.params
     }
 
-    /// How many times a circuit has been compiled over the session's
-    /// lifetime: once per parameter vector for the base ansatz, plus
-    /// once per (parameter vector, batch width) the packed path serves
-    /// ([`InferenceSession::predict_packed`]) — never per request.
+    /// How many times a circuit *structure* has been compiled over the
+    /// session's lifetime: once for the base ansatz at construction,
+    /// plus once per batch width the packed path serves
+    /// ([`InferenceSession::predict_packed`]) — never per request and
+    /// never per parameter swap ([`InferenceSession::set_params`]
+    /// re-binds instead, counted by [`InferenceSession::rebinds`]).
     pub fn compilations(&self) -> usize {
         self.compilations
+    }
+
+    /// How many times existing compiled circuits were re-bound to new
+    /// parameter values instead of recompiled — one per
+    /// [`InferenceSession::set_params`] for the base ansatz, plus one
+    /// per stale packed-width entry lazily refreshed by
+    /// [`InferenceSession::predict_packed`].
+    pub fn rebinds(&self) -> usize {
+        self.rebinds
     }
 
     /// Requests served so far (one per sample).
@@ -133,19 +159,25 @@ impl<B: QuantumBackend> InferenceSession<B> {
         self.buffer_reuses
     }
 
-    /// Replaces the parameter vector, recompiling the circuit **once**.
+    /// Replaces the parameter vector by **re-binding** the compiled
+    /// circuit in place — the fusion plan, pass pipeline output and slot
+    /// layout are all parameter-independent, so no recompilation happens
+    /// ([`InferenceSession::compilations`] is unchanged;
+    /// [`InferenceSession::rebinds`] counts one). Packed per-width
+    /// circuits are kept and lazily re-bound the next time their width
+    /// is served.
     ///
     /// # Errors
     ///
     /// Returns an error if `params` does not match the model's slot
-    /// count.
+    /// count (the current binding is left untouched).
     pub fn set_params(&mut self, params: &[f64]) -> Result<(), QuGeoError> {
-        self.compiled = self.model.circuit().compile(params)?;
-        self.compilations += 1;
+        self.compiled.rebind(params)?;
+        self.rebinds += 1;
         self.params = params.to_vec();
-        // Widened circuits bake the old parameters in; drop them so the
-        // packed path recompiles lazily against the new vector.
-        self.packed.clear();
+        // Widened circuits bound under the old generation re-bind lazily
+        // on their next request.
+        self.param_gen += 1;
         Ok(())
     }
 
@@ -221,9 +253,11 @@ impl<B: QuantumBackend> InferenceSession<B> {
     ///   bit-identical results use [`InferenceSession::predict_many`]
     ///   instead.
     ///
-    /// Widened circuits are compiled once per (parameter vector, batch
-    /// width) and cached; [`InferenceSession::set_params`] invalidates
-    /// the cache.
+    /// Widened circuit structures are compiled once per batch width and
+    /// cached for the session's lifetime;
+    /// [`InferenceSession::set_params`] only marks them stale, and a
+    /// stale entry re-binds the new parameters in O(params) the next
+    /// time its width is served.
     ///
     /// # Errors
     ///
@@ -237,10 +271,24 @@ impl<B: QuantumBackend> InferenceSession<B> {
         let qubatch = QuBatch::new(&self.model)?;
         let batched = qubatch.encode_batch(seismic)?;
         let width = batched.batch_qubits();
-        if !self.packed.contains_key(&width) {
-            let wide = self.model.circuit().widened(width);
-            self.packed.insert(width, wide.compile(&self.params)?);
-            self.compilations += 1;
+        match self.packed.get_mut(&width) {
+            None => {
+                // First request at this width: structure-compile the
+                // widened ansatz (parameter-independent — survives every
+                // future set_params) and bind the current vector.
+                let wide = self.model.circuit().widened(width);
+                let structure = CircuitStructure::compile_with_passes(&wide, &PassConfig::all());
+                self.packed
+                    .insert(width, (self.param_gen, structure.bind(&self.params)?));
+                self.compilations += 1;
+            }
+            Some((generation, compiled)) if *generation != self.param_gen => {
+                // Bound under an older parameter vector: re-bind in place.
+                compiled.rebind(&self.params)?;
+                *generation = self.param_gen;
+                self.rebinds += 1;
+            }
+            Some(_) => {}
         }
         // The packed register recycles the same engine buffer the
         // multi-member path uses — `load_states` re-shapes it per call.
@@ -254,7 +302,8 @@ impl<B: QuantumBackend> InferenceSession<B> {
                 .buffer
                 .insert(BatchedState::replicate(batched.state(), 1)),
         };
-        let maps = qubatch.execute_packed(register, seismic.len(), &self.packed[&width], &self.backend)?;
+        let maps =
+            qubatch.execute_packed(register, seismic.len(), &self.packed[&width].1, &self.backend)?;
         self.requests += seismic.len();
         Ok(maps)
     }
@@ -318,7 +367,7 @@ mod tests {
     }
 
     #[test]
-    fn set_params_recompiles_exactly_once() {
+    fn set_params_rebinds_without_recompiling() {
         let model = small_model();
         let p0 = model.init_params(1);
         let p1 = model.init_params(2);
@@ -326,12 +375,18 @@ mod tests {
         session.predict(&request(0)).unwrap();
         session.set_params(&p1).unwrap();
         let after = session.predict(&request(0)).unwrap();
-        assert_eq!(session.compilations(), 2);
+        // The parameter swap re-binds the existing fusion plan: still
+        // exactly one structure compile for the session's lifetime.
+        assert_eq!(session.compilations(), 1);
+        assert_eq!(session.rebinds(), 1);
         let direct = model.predict(&request(0), &p1).unwrap();
         for (a, b) in after.iter().zip(direct.iter()) {
             assert!((a - b).abs() < 1e-12);
         }
         assert!(session.set_params(&[0.0]).is_err()); // wrong length
+        // A failed swap leaves the session serving the last good params.
+        assert_eq!(session.params(), &p1[..]);
+        assert_eq!(session.rebinds(), 1);
     }
 
     #[test]
@@ -383,7 +438,7 @@ mod tests {
     }
 
     #[test]
-    fn packed_compiles_once_per_width_and_invalidates_on_set_params() {
+    fn packed_compiles_once_per_width_and_rebinds_on_set_params() {
         let model = small_model();
         let params = model.init_params(2);
         let mut session = InferenceSession::new(model.clone(), &params).unwrap();
@@ -395,12 +450,25 @@ mod tests {
         assert_eq!(session.compilations(), 3);
 
         let p1 = model.init_params(5);
-        session.set_params(&p1).unwrap(); // base recompile, cache cleared
+        session.set_params(&p1).unwrap(); // base + widths marked stale
         let after = session.predict_packed(&requests).unwrap();
-        assert_eq!(session.compilations(), 5);
+        // No recompilation anywhere: the base ansatz and the width-2
+        // entry re-bound (the width-1 entry stays stale until served).
+        assert_eq!(session.compilations(), 3);
+        assert_eq!(session.rebinds(), 2);
         for (k, r) in requests.iter().enumerate() {
             let solo = model.predict(r, &p1).unwrap();
             for (a, b) in after[k].iter().zip(solo.iter()) {
+                assert!((a - b).abs() < 1e-9, "request {k} served stale params");
+            }
+        }
+        // Serving the stale width-1 entry refreshes it too.
+        let small = session.predict_packed(&requests[..2]).unwrap();
+        assert_eq!(session.compilations(), 3);
+        assert_eq!(session.rebinds(), 3);
+        for (k, r) in requests[..2].iter().enumerate() {
+            let solo = model.predict(r, &p1).unwrap();
+            for (a, b) in small[k].iter().zip(solo.iter()) {
                 assert!((a - b).abs() < 1e-9, "request {k} served stale params");
             }
         }

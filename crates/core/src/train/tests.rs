@@ -498,6 +498,124 @@ fn strategies_reuse_adjoint_workspace_without_reallocating() {
     assert_eq!(qubatch.adjoint_workspace().reuses(), 11);
 }
 
+/// A per-sample loop identical to [`PerSampleVqc`]'s adjoint path except
+/// that every step drops the workspace — forcing a full gradient-aware
+/// structure compile on every single step. Reference arm of the
+/// bind-vs-recompile training differential below.
+struct RecompileEveryStep<'a> {
+    model: &'a QuGeoVqc,
+    train: &'a [ScaledSample],
+    test: &'a [ScaledSample],
+    targets: Vec<Array2>,
+    encoded: Vec<qugeo_qsim::State>,
+    recompiles: usize,
+}
+
+impl<'a> RecompileEveryStep<'a> {
+    fn new(model: &'a QuGeoVqc, train: &'a [ScaledSample], test: &'a [ScaledSample]) -> Self {
+        Self {
+            model,
+            train,
+            test,
+            targets: train.iter().map(crate::pipeline::normalized_target).collect(),
+            encoded: train.iter().map(|s| model.encode(&s.seismic).unwrap()).collect(),
+            recompiles: 0,
+        }
+    }
+}
+
+impl TrainStep for RecompileEveryStep<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.model.init_params(seed)
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn qugeo_nn::optim::Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        use qugeo_qsim::{AdjointWorkspace, BatchedState, QuantumBackend, StatevectorBackend};
+        let backend = StatevectorBackend::default();
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        for &i in order {
+            // Fresh workspace per step: its circuit cache starts empty,
+            // so this step structure-compiles from scratch.
+            let mut ws = AdjointWorkspace::new();
+            let inputs = BatchedState::replicate(&self.encoded[i], 1);
+            let decoder = self.model.decoder();
+            let target = &self.targets[i];
+            let mut loss = 0.0;
+            backend.adjoint_gradient_batch(
+                self.model.circuit(),
+                params,
+                &inputs,
+                &mut |_, probs| {
+                    let (l, obs) = crate::model::member_loss_obs(decoder, probs, target)?;
+                    loss = l;
+                    Ok(obs)
+                },
+                &mut ws,
+            )?;
+            assert_eq!(ws.recompiles(), 1, "a cold workspace must compile");
+            self.recompiles += ws.recompiles();
+            optimizer.step(params, ws.grad(0));
+            loss_sum += loss;
+            norm_sum += qugeo_tensor::norm::l2_norm(ws.grad(0));
+        }
+        let n = order.len().max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc(self.model, params, self.test)
+    }
+}
+
+#[test]
+fn cached_training_loop_compiles_once_and_is_bit_identical_to_recompiling() {
+    // The compile-once training contract, asserted two ways at once:
+    // (1) counters — a 3-epoch loop through the strategy-held workspace
+    // structure-compiles exactly once and re-binds every later step;
+    // (2) differential — its entire training history and final
+    // parameters are BIT-identical to a loop that recompiles on every
+    // step, because bind and compile share one evaluation path.
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 3,
+        initial_lr: 0.1,
+        seed: 23,
+        eval_every: 1,
+    };
+    let mut recompiling = RecompileEveryStep::new(&model, &train, &test);
+    let reference = Trainer::new(cfg).fit(&mut recompiling).unwrap();
+    assert_eq!(recompiling.recompiles, 12, "4 samples x 3 epochs");
+
+    let mut cached = PerSampleVqc::new(&model, &train, &test).unwrap();
+    let run = Trainer::new(cfg).fit(&mut cached).unwrap();
+    assert_eq!(cached.adjoint_workspace().recompiles(), 1);
+    assert_eq!(cached.adjoint_workspace().rebinds(), 11);
+
+    assert_eq!(run.params, reference.params, "rebound steps must match bitwise");
+    assert_eq!(run.final_mse, reference.final_mse);
+    assert_eq!(run.final_ssim, reference.final_ssim);
+    assert_eq!(run.history.len(), reference.history.len());
+    for (a, b) in run.history.iter().zip(&reference.history) {
+        assert_eq!(a.train_loss, b.train_loss, "epoch {}", a.epoch);
+        assert_eq!(a.grad_norm, b.grad_norm, "epoch {}", a.epoch);
+        assert_eq!(a.test_mse, b.test_mse, "epoch {}", a.epoch);
+    }
+}
+
 #[test]
 fn evaluation_errors_on_empty_set() {
     let model = small_vqc(Decoder::LayerWise { rows: 4 });

@@ -23,6 +23,15 @@
 //!   engine, a contract the workspace counts
 //!   ([`AdjointWorkspace::allocations`] / [`AdjointWorkspace::reuses`])
 //!   so tests assert it instead of trusting it.
+//! * **Structure caching.** [`AdjointWorkspace::adjoint_batch`] keeps the
+//!   compiled circuit across steps and re-binds new parameter values into
+//!   the cached fusion plan ([`CompiledCircuit::rebind`]) instead of
+//!   recompiling; a training loop structure-compiles exactly once,
+//!   counted by [`AdjointWorkspace::recompiles`] /
+//!   [`AdjointWorkspace::rebinds`]. Bind stamps guard the forward/
+//!   backward pairing: a backward sweep against a circuit re-bound since
+//!   its forward pass is a typed [`QsimError::StaleBinding`], never a
+//!   silently mixed gradient.
 //!
 //! The split into [`AdjointWorkspace::forward`] and
 //! [`AdjointWorkspace::backward_with`] exists because QuGeo's losses need
@@ -86,8 +95,12 @@ pub struct AdjointWorkspace {
     batch: usize,
     num_slots: usize,
     forward_done: bool,
+    forward_stamp: u64,
+    cache: Option<(Circuit, CompiledCircuit)>,
     allocations: usize,
     reuses: usize,
+    recompiles: usize,
+    rebinds: usize,
 }
 
 impl AdjointWorkspace {
@@ -118,6 +131,21 @@ impl AdjointWorkspace {
     /// the allocator.
     pub fn reuses(&self) -> usize {
         self.reuses
+    }
+
+    /// How many [`AdjointWorkspace::adjoint_batch`] calls had to run a
+    /// full structure compile because the circuit changed (including the
+    /// very first call, which must). A training loop over a fixed circuit
+    /// holds this at `1` while [`AdjointWorkspace::rebinds`] climbs — the
+    /// compile-once contract, counted so tests can assert it.
+    pub fn recompiles(&self) -> usize {
+        self.recompiles
+    }
+
+    /// How many [`AdjointWorkspace::adjoint_batch`] calls reused the
+    /// cached circuit structure and only re-bound parameter values.
+    pub fn rebinds(&self) -> usize {
+        self.rebinds
     }
 
     /// Per-member expectation values `⟨ψ_b|O_b|ψ_b⟩` of the last
@@ -191,6 +219,7 @@ impl AdjointWorkspace {
         self.grads.resize(grads_len, 0.0);
         compiled.apply_members_threaded(&mut self.ket, threads);
         self.forward_done = true;
+        self.forward_stamp = compiled.binding();
         Ok(())
     }
 
@@ -241,6 +270,9 @@ impl AdjointWorkspace {
     ///
     /// Returns [`QsimError::Unsupported`] if `compiled` lacks gradient
     /// metadata or no forward pass is pending,
+    /// [`QsimError::StaleBinding`] if `compiled` was re-bound to other
+    /// parameters since the forward pass (the bra seeds in the workspace
+    /// would mix parameter vectors),
     /// [`QsimError::QubitCountMismatch`] if a returned observable has the
     /// wrong width, and propagates `obs_for` errors.
     pub fn backward_with(
@@ -252,6 +284,16 @@ impl AdjointWorkspace {
         if !self.forward_done {
             return Err(QsimError::Unsupported {
                 reason: "backward sweep without a pending forward pass".into(),
+            });
+        }
+        if compiled.binding() != self.forward_stamp {
+            // The circuit was re-bound (or swapped for a different
+            // binding) between forward and backward: the bra seeds in the
+            // workspace belong to the old parameters and the sweep would
+            // silently mix gradients across parameter vectors.
+            return Err(QsimError::StaleBinding {
+                expected: self.forward_stamp,
+                actual: compiled.binding(),
             });
         }
         if !compiled.has_gradients() {
@@ -336,6 +378,52 @@ impl AdjointWorkspace {
             }
         });
         Ok(())
+    }
+
+    /// One full gradient step — compile-or-rebind, forward, backward —
+    /// with the workspace caching the compiled circuit across calls.
+    ///
+    /// The first call (and any call with a *different* circuit) runs a
+    /// full gradient-aware structure compile and counts one
+    /// [`AdjointWorkspace::recompiles`]; subsequent calls with the same
+    /// circuit re-bind the new `params` into the cached fusion plan in
+    /// O(params) and count one [`AdjointWorkspace::rebinds`]. A training
+    /// loop that drives every step through this method therefore
+    /// structure-compiles exactly once, no matter how many epochs run.
+    ///
+    /// `obs_for` has the [`ObsForMember`] shape: called once per member,
+    /// in order, with that member's output distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if parameter counts or qubit counts mismatch, or
+    /// propagates `obs_for` errors.
+    pub fn adjoint_batch(
+        &mut self,
+        circuit: &Circuit,
+        params: &[f64],
+        inputs: &BatchedState,
+        threads: usize,
+        obs_for: &mut ObsForMember<'_>,
+    ) -> Result<(), QsimError> {
+        circuit.check_params(params)?;
+        let (cached, compiled) = match self.cache.take() {
+            Some((cached, mut compiled)) if cached == *circuit => {
+                compiled.rebind(params)?;
+                self.rebinds += 1;
+                (cached, compiled)
+            }
+            _ => {
+                let compiled = CompiledCircuit::compile_with_grad(circuit, params)?;
+                self.recompiles += 1;
+                (circuit.clone(), compiled)
+            }
+        };
+        let result = self
+            .forward(&compiled, inputs, threads)
+            .and_then(|()| self.backward_with(&compiled, threads, obs_for));
+        self.cache = Some((cached, compiled));
+        result
     }
 
     /// Sizes the result buffers without a fused forward pass — the entry
@@ -509,9 +597,7 @@ pub fn adjoint_gradient_batch_with(
     threads: usize,
     ws: &mut AdjointWorkspace,
 ) -> Result<(), QsimError> {
-    let compiled = CompiledCircuit::compile_with_grad(circuit, params)?;
-    ws.forward(&compiled, inputs, threads)?;
-    ws.backward(&compiled, obs, threads)
+    ws.adjoint_batch(circuit, params, inputs, threads, &mut |_, _| Ok(obs.clone()))
 }
 
 #[cfg(test)]
@@ -634,6 +720,86 @@ mod tests {
         // steady-state contract.
         assert_eq!(ws.allocations(), 1);
         assert_eq!(ws.reuses(), 9);
+        // And one warm-up structure compile, nine pure re-binds: the
+        // compile-once contract.
+        assert_eq!(ws.recompiles(), 1);
+        assert_eq!(ws.rebinds(), 9);
+    }
+
+    #[test]
+    fn cached_rebind_steps_match_recompiling_steps_bitwise() {
+        let circuit = u3_cu3_ansatz(AnsatzConfig {
+            num_qubits: 4,
+            num_blocks: 2,
+            entangle: EntangleOrder::Ring,
+        })
+        .unwrap();
+        let obs = DiagonalObservable::z(4, 1).unwrap();
+        let inputs = BatchedState::from_states(
+            &(0..3).map(|s| sample_state(4, s)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut cached = AdjointWorkspace::new();
+        for step in 0..5 {
+            let params: Vec<f64> = (0..circuit.num_slots())
+                .map(|i| ((i * 7 + step) as f64 * 0.23).sin())
+                .collect();
+            cached
+                .adjoint_batch(&circuit, &params, &inputs, 1, &mut |_, _| Ok(obs.clone()))
+                .unwrap();
+            // Recompile-every-step reference: results must be IDENTICAL,
+            // not merely close — bind and compile share one code path.
+            let compiled = CompiledCircuit::compile_with_grad(&circuit, &params).unwrap();
+            let mut fresh = AdjointWorkspace::new();
+            fresh.forward(&compiled, &inputs, 1).unwrap();
+            fresh.backward(&compiled, &obs, 1).unwrap();
+            for b in 0..inputs.batch_len() {
+                assert_eq!(cached.value(b), fresh.value(b), "step {step} member {b}");
+                assert_eq!(cached.grad(b), fresh.grad(b), "step {step} member {b}");
+            }
+        }
+        assert_eq!(cached.recompiles(), 1);
+        assert_eq!(cached.rebinds(), 4);
+    }
+
+    #[test]
+    fn changing_the_circuit_recompiles() {
+        let obs = DiagonalObservable::z(2, 0).unwrap();
+        let inputs = BatchedState::replicate(&State::zero(2), 2);
+        let mut ws = AdjointWorkspace::new();
+        let mut c1 = Circuit::new(2);
+        let s = c1.alloc_slot();
+        c1.ry_slot(0, s).unwrap();
+        let mut c2 = c1.clone();
+        c2.cx(0, 1).unwrap();
+        let shared = &mut |_: usize, _: &[f64]| Ok(obs.clone());
+        ws.adjoint_batch(&c1, &[0.3], &inputs, 1, shared).unwrap();
+        ws.adjoint_batch(&c2, &[0.3], &inputs, 1, shared).unwrap();
+        ws.adjoint_batch(&c2, &[0.4], &inputs, 1, shared).unwrap();
+        ws.adjoint_batch(&c1, &[0.3], &inputs, 1, shared).unwrap();
+        assert_eq!(ws.recompiles(), 3, "c1, c2, then c1 again");
+        assert_eq!(ws.rebinds(), 1, "only the repeated c2 call re-binds");
+    }
+
+    #[test]
+    fn rebind_between_forward_and_backward_is_stale() {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        let z = DiagonalObservable::z(1, 0).unwrap();
+        let inputs = BatchedState::replicate(&State::zero(1), 1);
+        let mut compiled = CompiledCircuit::compile_with_grad(&c, &[0.3]).unwrap();
+        let mut ws = AdjointWorkspace::new();
+        ws.forward(&compiled, &inputs, 1).unwrap();
+        compiled.rebind(&[0.9]).unwrap();
+        assert!(matches!(
+            ws.backward(&compiled, &z, 1),
+            Err(QsimError::StaleBinding { .. })
+        ));
+        // The pristine pairing still works.
+        ws.forward(&compiled, &inputs, 1).unwrap();
+        ws.backward(&compiled, &z, 1).unwrap();
+        assert!((ws.value(0) - 0.9f64.cos()).abs() < 1e-12);
     }
 
     #[test]

@@ -206,9 +206,13 @@ pub trait QuantumBackend: Send + Sync {
     /// ([`AdjointWorkspace::values`] / [`AdjointWorkspace::grad`]), whose
     /// buffers are recycled across calls.
     ///
-    /// The provided implementation compiles with gradient metadata and
-    /// drives the fused batched engine ([`crate::adjoint`]) under the
-    /// backend's thread budget. Exact backends may override it — the
+    /// The provided implementation drives the fused batched engine
+    /// ([`crate::adjoint`]) through
+    /// [`AdjointWorkspace::adjoint_batch`] under the backend's thread
+    /// budget: the workspace caches the compiled circuit, so repeated
+    /// calls with the same circuit re-bind parameters instead of
+    /// recompiling (see [`AdjointWorkspace::recompiles`] /
+    /// [`AdjointWorkspace::rebinds`]). Exact backends may override it — the
     /// [`NaiveBackend`] substitutes the serial unfused reference so
     /// differential tests can pin the fused engine through this very
     /// trait. Backends without amplitude access cannot implement it at
@@ -238,9 +242,7 @@ pub trait QuantumBackend: Send + Sync {
             });
         }
         let threads = self.config().effective_threads();
-        let compiled = CompiledCircuit::compile_with_grad(circuit, params)?;
-        ws.forward(&compiled, inputs, threads)?;
-        ws.backward_with(&compiled, threads, obs_for)
+        ws.adjoint_batch(circuit, params, inputs, threads, obs_for)
     }
 }
 

@@ -131,6 +131,64 @@ impl Gate1 {
         out
     }
 
+    /// Computes the gate's unitary and visits `(slot, ∂gate/∂slot-angle)`
+    /// for every trainable angle — the single-evaluation form of
+    /// [`Gate1::matrix`] + [`Gate1::slot_derivatives`]. The parameter
+    /// binder calls this once per absorbed gate per bind, so it shares
+    /// one trigonometric evaluation set per gate (a trainable U3 would
+    /// otherwise evaluate the same sines and cosines four times) and
+    /// never heap-allocates. The matrix and derivatives match the
+    /// separate entry points bit for bit.
+    pub fn matrix_with_slot_derivs(
+        &self,
+        params: &[f64],
+        visit: &mut dyn FnMut(usize, Matrix2),
+    ) -> Matrix2 {
+        match self {
+            Self::Rx(t) => {
+                if let Some(s) = t.slot() {
+                    visit(s, Matrix2::rx_deriv(t.resolve(params)));
+                }
+                self.matrix(params)
+            }
+            Self::Ry(t) => {
+                if let Some(s) = t.slot() {
+                    visit(s, Matrix2::ry_deriv(t.resolve(params)));
+                }
+                self.matrix(params)
+            }
+            Self::Rz(t) => {
+                if let Some(s) = t.slot() {
+                    visit(s, Matrix2::rz_deriv(t.resolve(params)));
+                }
+                self.matrix(params)
+            }
+            Self::Phase(l) => {
+                if let Some(s) = l.slot() {
+                    visit(s, Matrix2::phase_deriv(l.resolve(params)));
+                }
+                self.matrix(params)
+            }
+            Self::U3(t, p, l)
+                if t.slot().is_some() || p.slot().is_some() || l.slot().is_some() =>
+            {
+                let (tv, pv, lv) = (t.resolve(params), p.resolve(params), l.resolve(params));
+                let (m, dtheta, dphi, dlambda) = Matrix2::u3_with_derivs(tv, pv, lv);
+                if let Some(s) = t.slot() {
+                    visit(s, dtheta);
+                }
+                if let Some(s) = p.slot() {
+                    visit(s, dphi);
+                }
+                if let Some(s) = l.slot() {
+                    visit(s, dlambda);
+                }
+                m
+            }
+            _ => self.matrix(params),
+        }
+    }
+
     /// The gate's angle sources in declaration order (empty for constant
     /// gates), as a fixed-capacity, allocation-free collection — this is
     /// called once per gate occurrence per gradient evaluation, so a heap

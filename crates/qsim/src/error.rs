@@ -69,6 +69,19 @@ pub enum QsimError {
         /// Human-readable description of the unsupported request.
         reason: String,
     },
+    /// A compiled circuit was re-bound to new parameters (or swapped for
+    /// a different binding) between two operations that must observe one
+    /// consistent binding — e.g. an adjoint forward pass followed by a
+    /// backward sweep. Every bind stamps the compiled circuit with a
+    /// fresh generation number; paired consumers record the stamp they
+    /// started with and refuse to continue against a different one
+    /// instead of silently producing gradients for mixed parameters.
+    StaleBinding {
+        /// The bind stamp the operation started with.
+        expected: u64,
+        /// The bind stamp actually presented.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for QsimError {
@@ -95,6 +108,14 @@ impl fmt::Display for QsimError {
             }
             Self::InvalidEncoding { reason } => write!(f, "invalid encoding: {reason}"),
             Self::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
+            Self::StaleBinding { expected, actual } => {
+                write!(
+                    f,
+                    "stale parameter binding: operation started under bind stamp {expected} \
+                     but the compiled circuit now carries stamp {actual} (it was re-bound \
+                     in between)"
+                )
+            }
         }
     }
 }
@@ -125,6 +146,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<QsimError>();
+    }
+
+    #[test]
+    fn stale_binding_mentions_both_stamps() {
+        let e = QsimError::StaleBinding {
+            expected: 41,
+            actual: 57,
+        };
+        assert!(e.to_string().contains("41"));
+        assert!(e.to_string().contains("57"));
+        assert!(e.to_string().contains("stale"));
     }
 
     #[test]

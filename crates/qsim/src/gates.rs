@@ -274,6 +274,45 @@ impl Matrix2 {
         }
     }
 
+    /// [`Matrix2::u3`] together with its three partial derivatives
+    /// `(U, ∂U/∂θ, ∂U/∂φ, ∂U/∂λ)`, sharing one set of trigonometric
+    /// evaluations. The parameter binder calls this once per U3
+    /// occurrence per bind; the four independent constructors would
+    /// evaluate the same sines and cosines fourfold. The arithmetic per
+    /// entry is identical to the separate constructors, so the results
+    /// match them bit for bit.
+    pub fn u3_with_derivs(theta: f64, phi: f64, lambda: f64) -> (Self, Self, Self, Self) {
+        let (sin, cos) = (theta / 2.0).sin_cos();
+        let eip = Complex64::cis(phi);
+        let eil = Complex64::cis(lambda);
+        let eipl = Complex64::cis(phi + lambda);
+        let m = Self {
+            m: [
+                [Complex64::from_real(cos), -(eil * sin)],
+                [eip * sin, eipl * cos],
+            ],
+        };
+        let dtheta = Self {
+            m: [
+                [Complex64::from_real(-sin / 2.0), -(eil * (cos / 2.0))],
+                [eip * (cos / 2.0), eipl * (-sin / 2.0)],
+            ],
+        };
+        let dphi = Self {
+            m: [
+                [Complex64::ZERO, Complex64::ZERO],
+                [eip * Complex64::I * sin, eipl * Complex64::I * cos],
+            ],
+        };
+        let dlambda = Self {
+            m: [
+                [Complex64::ZERO, -(eil * Complex64::I * sin)],
+                [Complex64::ZERO, eipl * Complex64::I * cos],
+            ],
+        };
+        (m, dtheta, dphi, dlambda)
+    }
+
     /// Conjugate transpose.
     pub fn dagger(&self) -> Self {
         Self {

@@ -22,10 +22,17 @@
 //!   qubits ⇒ 576 parameters).
 //! * [`encoding`] — amplitude encoding: plain, grouped (ST-Encoder) and
 //!   batched (QuBatch).
-//! * [`fusion`] — gate-fused circuit compilation: [`CompiledCircuit`]
-//!   merges runs of mergeable gates into composite 2×2, multiplexed
-//!   (uniformly-controlled) and dense 4×4 operations, roughly halving
-//!   amplitude sweeps on the paper's ansatz.
+//! * [`fusion`] — gate-fused circuit compilation split into a
+//!   parameter-independent structure compile ([`CircuitStructure`]) and a
+//!   cheap angle bind: the structure merges runs of mergeable gates into
+//!   composite 2×2, multiplexed (uniformly-controlled) and dense 4×4
+//!   operations (roughly halving amplitude sweeps on the paper's ansatz),
+//!   and [`CompiledCircuit`] binds — and O(params) *re-binds* — concrete
+//!   angle values into that fixed plan without re-fusing.
+//! * [`passes`] — the optimizer pass pipeline between structure compile
+//!   and bind: rotation merging, inverse-pair cancellation and
+//!   commutation-aware pair widening, each independently toggleable via
+//!   [`passes::PassConfig`].
 //! * [`batch`] — [`BatchedState`]: `B` independent statevectors stored
 //!   contiguously and executed through one engine call (the training and
 //!   parameter-shift hot path).
@@ -94,6 +101,7 @@ pub mod encoding;
 pub mod fusion;
 pub mod gradient;
 pub mod noise;
+pub mod passes;
 
 pub use adjoint::{adjoint_gradient_batch, adjoint_gradient_batch_with, AdjointWorkspace};
 pub use backend::{
@@ -104,8 +112,9 @@ pub use batch::BatchedState;
 pub use circuit::{AngleSources, Circuit, Gate1, Op, ParamSource};
 pub use complex::Complex64;
 pub use error::QsimError;
-pub use fusion::{CompiledCircuit, DerivKind, FusedOp, SlotDeriv};
+pub use fusion::{CircuitStructure, CompiledCircuit, DerivKind, FusedOp, SlotDeriv};
 pub use gates::{Matrix2, Matrix4};
+pub use passes::{run_passes, CancelInverses, MergeRotations, Pass, PassConfig, PassIr, WidenPairs};
 pub use gradient::{
     adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,
     parameter_shift_gradient_backend, parameter_shift_gradient_batched,

@@ -1,0 +1,712 @@
+//! Optimizer passes over the compiler's structural IR.
+//!
+//! Structure compilation ([`crate::CircuitStructure`]) lowers a circuit
+//! to a list of fused-op *recipes* — shape plus absorbed source factors.
+//! The passes here rewrite that recipe list before any angle values are
+//! bound, so they run once per circuit layout and their savings apply to
+//! every subsequent bind and amplitude sweep:
+//!
+//! * [`MergeRotations`] — fuses directly-adjacent same-kind fixed-angle
+//!   rotations (`Rz(a)·Rz(b) → Rz(a+b)`), shrinking per-bind work.
+//! * [`CancelInverses`] — removes constant recipes whose product is the
+//!   identity (`G·G† → I`, `CX·CX → I`), shrinking both bind work and
+//!   amplitude sweeps.
+//! * [`WidenPairs`] — commutation-aware reordering that folds leftover
+//!   single-qubit ops into an adjacent two-qubit op touching the same
+//!   qubit, lengthening fusible runs and cutting the sweep count.
+//!
+//! Each pass is an independent [`Pass`] impl toggled by a [`PassConfig`]
+//! flag, so tests can exercise any combination. [`run_passes`] runs the
+//! enabled passes to a fixpoint, which makes the pipeline idempotent: a
+//! second invocation changes nothing. Every pass preserves the circuit's
+//! unitary *exactly* (not merely up to global phase) and its dependence
+//! on every trainable slot; correctness is pinned by the metamorphic
+//! tests below and the `compiler_differential` suite at the workspace
+//! root.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_qsim::passes::{run_passes, PassConfig, PassIr};
+//! use qugeo_qsim::Circuit;
+//!
+//! # fn main() -> Result<(), qugeo_qsim::QsimError> {
+//! let mut c = Circuit::new(2);
+//! c.h(0)?;
+//! c.h(0)?; // H·H = I — cancellable
+//! c.cx(0, 1)?;
+//! let mut ir = PassIr::from_circuit(&c);
+//! run_passes(&PassConfig::all(), &mut ir);
+//! assert_eq!(ir.num_ops(), 1); // only the CX survives
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::{Circuit, Gate1, ParamSource};
+use crate::fusion::{build_recipes, eval_recipe, ordered, Factor, FusedOp, OpRecipe, OpShape};
+use crate::gates::{Matrix2, Matrix4};
+
+/// Matrices this close to the exact identity cancel. `H·H` is the
+/// motivating case: `(1/√2)² + (1/√2)²` is one ulp off `1.0`, so exact
+/// bitwise comparison would keep it. The tolerance is far below every
+/// simulation tolerance in the workspace (1e-10), so cancellation never
+/// moves an observable by more than the tests already allow.
+const IDENTITY_TOL: f64 = 1e-12;
+
+/// Which optimizer passes run between structure compilation and binding.
+///
+/// The default is [`PassConfig::none`]: plain
+/// [`crate::CircuitStructure::compile`] and the one-shot
+/// [`crate::CompiledCircuit::compile`] never rewrite the fusion plan, so
+/// op-count expectations of existing callers hold unless passes are
+/// requested explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassConfig {
+    /// Enable [`MergeRotations`].
+    pub merge_rotations: bool,
+    /// Enable [`CancelInverses`].
+    pub cancel_inverses: bool,
+    /// Enable [`WidenPairs`].
+    pub widen_pairs: bool,
+}
+
+impl PassConfig {
+    /// Every pass enabled.
+    pub fn all() -> Self {
+        Self {
+            merge_rotations: true,
+            cancel_inverses: true,
+            widen_pairs: true,
+        }
+    }
+
+    /// No passes (the default): compilation output is identical to the
+    /// pass-free pipeline.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// The mutable structural IR passes rewrite: a circuit's fused-op
+/// recipes between structure compilation and binding.
+///
+/// Obtain one with [`PassIr::from_circuit`], rewrite it with
+/// [`run_passes`] or individual [`Pass`] impls, and inspect the effect
+/// through [`PassIr::num_ops`] / [`PassIr::num_factors`]. Equality
+/// compares the full recipe list, which is what the idempotency tests
+/// assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassIr {
+    num_qubits: usize,
+    recipes: Vec<OpRecipe>,
+}
+
+impl PassIr {
+    /// Structure-compiles `circuit` into pass-ready IR.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        Self {
+            num_qubits: circuit.num_qubits(),
+            recipes: build_recipes(circuit),
+        }
+    }
+
+    pub(crate) fn from_recipes(num_qubits: usize, recipes: Vec<OpRecipe>) -> Self {
+        Self {
+            num_qubits,
+            recipes,
+        }
+    }
+
+    pub(crate) fn into_recipes(self) -> Vec<OpRecipe> {
+        self.recipes
+    }
+
+    /// Number of fused-op recipes currently in the IR (each becomes one
+    /// amplitude sweep per execution).
+    pub fn num_ops(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// Total source factors across all recipes (each costs one
+    /// small-matrix evaluation per bind).
+    pub fn num_factors(&self) -> usize {
+        self.recipes.iter().map(|r| r.factors.len()).sum()
+    }
+}
+
+/// One rewrite of the structural IR.
+///
+/// Implementations must preserve the circuit's unitary exactly and its
+/// dependence on every trainable parameter slot; they may only reduce
+/// (never grow) the op or factor count, which is what guarantees the
+/// pass pipeline's fixpoint terminates.
+pub trait Pass {
+    /// Short stable pass name for logs and test diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites `ir`; returns `true` iff anything changed.
+    fn run(&self, ir: &mut PassIr) -> bool;
+}
+
+/// Runs the passes enabled in `config` over `ir` until none of them
+/// reports a change (a fixpoint — one pass can expose opportunities for
+/// another, e.g. widening may make two rotations adjacent). Running the
+/// pipeline on its own output is therefore a no-op, which the
+/// idempotency tests assert literally.
+pub fn run_passes(config: &PassConfig, ir: &mut PassIr) {
+    let passes: [(bool, &dyn Pass); 3] = [
+        (config.merge_rotations, &MergeRotations),
+        (config.cancel_inverses, &CancelInverses),
+        (config.widen_pairs, &WidenPairs),
+    ];
+    loop {
+        let mut changed = false;
+        for (enabled, pass) in passes {
+            if enabled {
+                changed |= pass.run(ir);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Entry point for [`crate::CircuitStructure::compile_with_passes`].
+pub(crate) fn run_pipeline(config: &PassConfig, num_qubits: usize, recipes: &mut Vec<OpRecipe>) {
+    let mut ir = PassIr::from_recipes(num_qubits, std::mem::take(recipes));
+    run_passes(config, &mut ir);
+    *recipes = ir.into_recipes();
+}
+
+/// Merges directly-adjacent fixed-angle rotations of the same kind on
+/// the same wires within a recipe: `Rz(a)·Rz(b) → Rz(a+b)` (same for
+/// `Rx`, `Ry`, `Phase`, and their controlled forms on an identical
+/// control/target pair). Trainable (slot-referencing) rotations never
+/// merge — a [`ParamSource`] cannot express the sum of two slots, and
+/// collapsing them would change the gradient layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeRotations;
+
+impl Pass for MergeRotations {
+    fn name(&self) -> &'static str {
+        "merge-rotations"
+    }
+
+    fn run(&self, ir: &mut PassIr) -> bool {
+        let mut changed = false;
+        for recipe in &mut ir.recipes {
+            let mut i = 0;
+            while i + 1 < recipe.factors.len() {
+                if let Some(merged) = merge_adjacent(&recipe.factors[i], &recipe.factors[i + 1]) {
+                    recipe.factors[i] = merged;
+                    recipe.factors.remove(i + 1);
+                    changed = true;
+                    // Stay at i: the merged rotation may chain further.
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        changed
+    }
+}
+
+fn merge_adjacent(first: &Factor, second: &Factor) -> Option<Factor> {
+    match (first, second) {
+        (
+            Factor::Single { gate: g1, q: q1 },
+            Factor::Single { gate: g2, q: q2 },
+        ) if q1 == q2 => merged_fixed_rotation(g1, g2).map(|gate| Factor::Single { gate, q: *q1 }),
+        (
+            Factor::Controlled {
+                gate: g1,
+                control: c1,
+                target: t1,
+            },
+            Factor::Controlled {
+                gate: g2,
+                control: c2,
+                target: t2,
+            },
+        ) if (c1, t1) == (c2, t2) => merged_fixed_rotation(g1, g2).map(|gate| Factor::Controlled {
+            gate,
+            control: *c1,
+            target: *t1,
+        }),
+        _ => None,
+    }
+}
+
+/// `R(a)·R(b) = R(a+b)` for the one-angle rotation families, fixed
+/// angles only.
+fn merged_fixed_rotation(first: &Gate1, second: &Gate1) -> Option<Gate1> {
+    use ParamSource::Fixed;
+    match (first, second) {
+        (Gate1::Rx(Fixed(a)), Gate1::Rx(Fixed(b))) => Some(Gate1::Rx(Fixed(a + b))),
+        (Gate1::Ry(Fixed(a)), Gate1::Ry(Fixed(b))) => Some(Gate1::Ry(Fixed(a + b))),
+        (Gate1::Rz(Fixed(a)), Gate1::Rz(Fixed(b))) => Some(Gate1::Rz(Fixed(a + b))),
+        (Gate1::Phase(Fixed(a)), Gate1::Phase(Fixed(b))) => Some(Gate1::Phase(Fixed(a + b))),
+        _ => None,
+    }
+}
+
+/// Removes recipes that are constant (reference no trainable slot) and
+/// whose fused product is the identity within `IDENTITY_TOL` (1e-12) —
+/// `G·G† → I`, `CX·CX → I`, a SWAP pair, and anything the other passes
+/// reduce to identity.
+///
+/// Deliberately **not** up to global phase: `Rz(π)·Rz(π) = -I` changes
+/// amplitudes (observably, once entangled with other qubits through a
+/// control), so only true identities cancel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CancelInverses;
+
+impl Pass for CancelInverses {
+    fn name(&self) -> &'static str {
+        "cancel-inverses"
+    }
+
+    fn run(&self, ir: &mut PassIr) -> bool {
+        let before = ir.recipes.len();
+        ir.recipes.retain(|recipe| !is_constant_identity(recipe));
+        ir.recipes.len() != before
+    }
+}
+
+fn is_constant_identity(recipe: &OpRecipe) -> bool {
+    if !recipe.factors.iter().all(Factor::is_constant) {
+        return false;
+    }
+    // Constant recipes evaluate against an empty parameter vector.
+    match eval_recipe(recipe, &[], None) {
+        FusedOp::One { m, .. } => m2_near_identity(&m),
+        FusedOp::Multiplexed { a0, a1, .. } => m2_near_identity(&a0) && m2_near_identity(&a1),
+        FusedOp::Two { m, .. } => m4_near_identity(&m),
+    }
+}
+
+fn m2_near_identity(m: &Matrix2) -> bool {
+    let id = Matrix2::identity();
+    (0..2).all(|r| (0..2).all(|c| (m.m[r][c] - id.m[r][c]).norm() <= IDENTITY_TOL))
+}
+
+fn m4_near_identity(m: &Matrix4) -> bool {
+    let id = Matrix4::identity();
+    (0..4).all(|r| (0..4).all(|c| (m.m[r][c] - id.m[r][c]).norm() <= IDENTITY_TOL))
+}
+
+/// Commutation-aware widening: folds a leftover single-qubit recipe into
+/// an adjacent two-qubit recipe touching the same qubit — in either
+/// direction — so the pair executes as one sweep. "Adjacent" uses the
+/// same last-writer reasoning as fusion itself: nothing between the two
+/// recipes touches the shared qubit, so the single commutes to its
+/// partner.
+///
+/// Folding into a multiplexed op's *control* side densifies the shape to
+/// a dense 4×4 two-qubit shape — arithmetic per amplitude doubles for that op
+/// but one whole sweep disappears, a win for the memory-bound kernels.
+/// This is exactly the case plain fusion declines (it cannot know a
+/// later single will make the densification pay); the pass sees the
+/// whole recipe list and can.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WidenPairs;
+
+impl Pass for WidenPairs {
+    fn name(&self) -> &'static str {
+        "widen-pairs"
+    }
+
+    fn run(&self, ir: &mut PassIr) -> bool {
+        let mut changed = false;
+        loop {
+            let mut round = false;
+            let mut slots: Vec<Option<OpRecipe>> =
+                std::mem::take(&mut ir.recipes).into_iter().map(Some).collect();
+            let mut last: Vec<Option<usize>> = vec![None; ir.num_qubits];
+            for i in 0..slots.len() {
+                let Some(shape) = slots[i].as_ref().map(|r| r.shape) else {
+                    continue;
+                };
+                match shape {
+                    OpShape::One { q } => {
+                        // Backward fold: append onto the most recent
+                        // two-qubit recipe touching q.
+                        let prev_two = last[q].filter(|&j| {
+                            matches!(
+                                slots[j].as_ref().map(|r| r.shape),
+                                Some(OpShape::Multiplexed { .. }) | Some(OpShape::Two { .. })
+                            )
+                        });
+                        if let Some(j) = prev_two {
+                            let one = slots[i].take().expect("shape read from live recipe");
+                            let prev = slots[j].as_mut().expect("last_touch points at live recipe");
+                            prev.factors.extend(one.factors);
+                            prev.shape = widen(prev.shape, q);
+                            round = true;
+                            // last[q] keeps pointing at j.
+                        } else {
+                            last[q] = Some(i);
+                        }
+                    }
+                    OpShape::Multiplexed { c, t } => {
+                        round |= absorb_preceding_singles(&mut slots, &mut last, i, c, t);
+                        touch(&mut last, &slots, i);
+                    }
+                    OpShape::Two { a, b } => {
+                        round |= absorb_preceding_singles(&mut slots, &mut last, i, a, b);
+                        touch(&mut last, &slots, i);
+                    }
+                }
+            }
+            ir.recipes.extend(slots.into_iter().flatten());
+            changed |= round;
+            if !round {
+                break;
+            }
+        }
+        changed
+    }
+}
+
+/// Forward fold: a single-qubit recipe that is the last writer of one of
+/// the two-qubit recipe `i`'s qubits prepends into it.
+fn absorb_preceding_singles(
+    slots: &mut [Option<OpRecipe>],
+    last: &mut [Option<usize>],
+    i: usize,
+    x: usize,
+    y: usize,
+) -> bool {
+    let mut any = false;
+    for q in [x, y] {
+        let prev_one = last[q].filter(|&j| {
+            j != i
+                && matches!(
+                    slots[j].as_ref().map(|r| r.shape),
+                    Some(OpShape::One { q: oq }) if oq == q
+                )
+        });
+        if let Some(j) = prev_one {
+            let one = slots[j].take().expect("last_touch points at live recipe");
+            let cur = slots[i].as_mut().expect("live two-qubit recipe");
+            let mut factors = one.factors;
+            factors.append(&mut cur.factors);
+            cur.factors = factors;
+            cur.shape = widen(cur.shape, q);
+            last[q] = None;
+            any = true;
+        }
+    }
+    any
+}
+
+/// A single on a multiplexed op's control qubit forces the dense shape;
+/// anywhere else the shape is unchanged.
+fn widen(shape: OpShape, q: usize) -> OpShape {
+    match shape {
+        OpShape::Multiplexed { c, t } if q == c => {
+            let (a, b) = ordered(c, t);
+            OpShape::Two { a, b }
+        }
+        other => other,
+    }
+}
+
+fn touch(last: &mut [Option<usize>], slots: &[Option<OpRecipe>], i: usize) {
+    if let Some(recipe) = slots[i].as_ref() {
+        match recipe.shape {
+            OpShape::One { q } => last[q] = Some(i),
+            OpShape::Multiplexed { c, t } => {
+                last[c] = Some(i);
+                last[t] = Some(i);
+            }
+            OpShape::Two { a, b } => {
+                last[a] = Some(i);
+                last[b] = Some(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{u3_cu3_ansatz, AnsatzConfig};
+    use crate::{Circuit, CircuitStructure, State};
+
+    fn assert_equivalent(c: &Circuit, config: &PassConfig, params: &[f64], tol: f64) {
+        let plain = CircuitStructure::compile(c).bind(params).unwrap();
+        let opt = CircuitStructure::compile_with_passes(c, config)
+            .bind(params)
+            .unwrap();
+        let dim = 1usize << c.num_qubits();
+        let input =
+            State::from_real_normalized(&(1..=dim).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        let a = plain.run(&input).unwrap();
+        let b = opt.run(&input).unwrap();
+        for (i, (x, y)) in a.amplitudes().iter().zip(b.amplitudes()).enumerate() {
+            assert!((*x - *y).norm() < tol, "amplitude {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn merge_rotations_sums_fixed_angles() {
+        let mut c = Circuit::new(1);
+        c.push_single(Gate1::Rz(ParamSource::Fixed(0.3)), 0).unwrap();
+        c.push_single(Gate1::Rz(ParamSource::Fixed(0.4)), 0).unwrap();
+        let mut ir = PassIr::from_circuit(&c);
+        assert_eq!((ir.num_ops(), ir.num_factors()), (1, 2));
+        assert!(MergeRotations.run(&mut ir));
+        assert_eq!((ir.num_ops(), ir.num_factors()), (1, 1));
+        // The surviving factor is literally Rz(0.7).
+        let Factor::Single { gate, q: 0 } = ir.recipes[0].factors[0] else {
+            panic!("expected a single factor, got {:?}", ir.recipes[0]);
+        };
+        assert_eq!(gate, Gate1::Rz(ParamSource::Fixed(0.3 + 0.4)));
+        assert_equivalent(
+            &c,
+            &PassConfig {
+                merge_rotations: true,
+                ..PassConfig::none()
+            },
+            &[],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn merge_rotations_chains_and_handles_controlled() {
+        let mut c = Circuit::new(2);
+        for a in [0.1, 0.2, 0.3] {
+            c.push_single(Gate1::Ry(ParamSource::Fixed(a)), 1).unwrap();
+        }
+        c.push_controlled(Gate1::Rz(ParamSource::Fixed(0.5)), 0, 1).unwrap();
+        c.push_controlled(Gate1::Rz(ParamSource::Fixed(-0.2)), 0, 1).unwrap();
+        let mut ir = PassIr::from_circuit(&c);
+        // Everything fused into one multiplexed recipe of 5 factors.
+        assert_eq!((ir.num_ops(), ir.num_factors()), (1, 5));
+        assert!(MergeRotations.run(&mut ir));
+        // 3 Ry → 1, 2 CRz → 1.
+        assert_eq!(ir.num_factors(), 2);
+        assert!(!MergeRotations.run(&mut ir), "second run is a no-op");
+    }
+
+    #[test]
+    fn merge_rotations_leaves_trainable_slots_alone() {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        c.ry_slot(0, s).unwrap();
+        c.ry_fixed(0, 0.4).unwrap();
+        let mut ir = PassIr::from_circuit(&c);
+        assert!(!MergeRotations.run(&mut ir));
+        assert_eq!(ir.num_factors(), 3);
+    }
+
+    #[test]
+    fn cancel_inverses_removes_true_identities_only() {
+        // H·H = I cancels; S·S = Z does not; Rz(π)·Rz(π) = -I must NOT
+        // cancel (global phase is observable through entanglement).
+        let mut c = Circuit::new(3);
+        c.h(0).unwrap();
+        c.h(0).unwrap();
+        c.push_single(Gate1::S, 1).unwrap();
+        c.push_single(Gate1::S, 1).unwrap();
+        c.push_single(Gate1::Rz(ParamSource::Fixed(std::f64::consts::PI)), 2).unwrap();
+        c.push_single(Gate1::Rz(ParamSource::Fixed(std::f64::consts::PI)), 2).unwrap();
+        let mut ir = PassIr::from_circuit(&c);
+        assert_eq!(ir.num_ops(), 3);
+        assert!(CancelInverses.run(&mut ir));
+        assert_eq!(ir.num_ops(), 2, "only the H·H recipe cancels");
+        assert!(!CancelInverses.run(&mut ir));
+    }
+
+    #[test]
+    fn cancel_inverses_handles_two_qubit_identities() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).unwrap();
+        c.cx(0, 1).unwrap(); // fuse to identity branches
+        c.swap(0, 1).unwrap();
+        c.swap(0, 1).unwrap(); // dense identity
+        let mut ir = PassIr::from_circuit(&c);
+        assert!(CancelInverses.run(&mut ir));
+        assert_eq!(ir.num_ops(), 0);
+    }
+
+    #[test]
+    fn cancel_inverses_skips_trainable_recipes() {
+        let mut c = Circuit::new(1);
+        let s = c.alloc_slot();
+        c.ry_slot(0, s).unwrap();
+        let mut ir = PassIr::from_circuit(&c);
+        // At θ=0 the gate IS identity, but it references a slot — the
+        // recipe must survive for other parameter values.
+        assert!(!CancelInverses.run(&mut ir));
+        assert_eq!(ir.num_ops(), 1);
+    }
+
+    #[test]
+    fn widen_pairs_folds_leading_single_into_pair() {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap();
+        c.cx(0, 1).unwrap(); // H sits on the control side: fusion keeps it
+        let mut ir = PassIr::from_circuit(&c);
+        assert_eq!(ir.num_ops(), 2);
+        assert!(WidenPairs.run(&mut ir));
+        assert_eq!(ir.num_ops(), 1);
+        assert!(matches!(ir.recipes[0].shape, OpShape::Two { a: 0, b: 1 }));
+        assert!(!WidenPairs.run(&mut ir));
+        assert_equivalent(
+            &c,
+            &PassConfig {
+                widen_pairs: true,
+                ..PassConfig::none()
+            },
+            &[],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn widen_pairs_folds_trailing_single_backward() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 1).unwrap();
+        c.h(2).unwrap(); // unrelated qubit in between — commutes
+        c.push_single(Gate1::T, 0).unwrap(); // control side, after the CX
+        let mut ir = PassIr::from_circuit(&c);
+        assert_eq!(ir.num_ops(), 3);
+        assert!(WidenPairs.run(&mut ir));
+        assert_eq!(ir.num_ops(), 2, "T folds back into the CX; H(2) survives");
+        assert_equivalent(
+            &c,
+            &PassConfig {
+                widen_pairs: true,
+                ..PassConfig::none()
+            },
+            &[],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn widen_pairs_takes_paper_ansatz_below_97() {
+        let c = u3_cu3_ansatz(AnsatzConfig::paper_default()).unwrap();
+        let plain = CircuitStructure::compile(&c);
+        assert_eq!(plain.num_ops(), 97);
+        let opt = CircuitStructure::compile_with_passes(&c, &PassConfig::all());
+        assert_eq!(
+            opt.num_ops(),
+            96,
+            "the lone leftover U3 folds into the first CU3 ring op"
+        );
+        let params: Vec<f64> = (0..c.num_slots()).map(|i| (i as f64 * 0.17).cos()).collect();
+        assert_equivalent(&c, &PassConfig::all(), &params, 1e-10);
+    }
+
+    /// Hand-built worst case exercising every pass, with exact op and
+    /// factor counts asserted before/after each pass individually.
+    #[test]
+    fn worst_case_circuit_exact_counts_per_pass() {
+        let mut c = Circuit::new(3);
+        // Recipe 1 (One on q0): two mergeable rotations + an H·H pair.
+        c.push_single(Gate1::Rz(ParamSource::Fixed(0.2)), 0).unwrap();
+        c.push_single(Gate1::Rz(ParamSource::Fixed(-0.2)), 0).unwrap();
+        // Recipe 2 (One on q1): H·H — cancels entirely (after merge the
+        // Rz(0.0) recipe on q0 is identity too and also cancels).
+        c.h(1).unwrap();
+        c.h(1).unwrap();
+        // Recipe 3: CX(1,2) — q1's last op after the H·H cancels.
+        c.cx(1, 2).unwrap();
+        // Recipe 4 (One on q2... absorbed): T on the CX target fuses at
+        // build time; T on the control (q1) stays — widen folds it.
+        c.push_single(Gate1::T, 2).unwrap();
+        c.push_single(Gate1::T, 1).unwrap();
+
+        // Build-time fusion: [Rz·Rz on q0] [H·H on q1] [CX+T mux] [T on q1].
+        let base = PassIr::from_circuit(&c);
+        assert_eq!((base.num_ops(), base.num_factors()), (4, 7));
+
+        // MergeRotations alone: Rz pair merges to one factor.
+        let mut ir = base.clone();
+        assert!(MergeRotations.run(&mut ir));
+        assert_eq!((ir.num_ops(), ir.num_factors()), (4, 6));
+
+        // CancelInverses alone: only H·H goes (Rz·Rz not yet merged to a
+        // single identity factor — the recipe still cancels! Rz(0.2)·Rz(-0.2)
+        // is constant and evaluates to I).
+        let mut ir = base.clone();
+        assert!(CancelInverses.run(&mut ir));
+        assert_eq!(ir.num_ops(), 2);
+
+        // WidenPairs alone: trailing T(q1) folds into the CX recipe
+        // (densifying); H·H is q1's last writer before the CX, it is a
+        // One recipe so it folds forward into the CX too; Rz·Rz on q0
+        // stays (no two-qubit partner on q0).
+        let mut ir = base.clone();
+        assert!(WidenPairs.run(&mut ir));
+        assert_eq!(ir.num_ops(), 2);
+
+        // Full pipeline to fixpoint: Rz·Rz merges → identity → cancels,
+        // H·H cancels, T(q1) widens into the CX: one dense op remains.
+        let mut ir = base.clone();
+        run_passes(&PassConfig::all(), &mut ir);
+        assert_eq!(ir.num_ops(), 1);
+
+        // And the pipeline is idempotent: a second run changes nothing.
+        let snapshot = ir.clone();
+        run_passes(&PassConfig::all(), &mut ir);
+        assert_eq!(ir, snapshot);
+
+        assert_equivalent(&c, &PassConfig::all(), &[], 1e-12);
+    }
+
+    #[test]
+    fn pipeline_idempotent_on_paper_ansatz() {
+        let c = u3_cu3_ansatz(AnsatzConfig::paper_default()).unwrap();
+        for config in [
+            PassConfig::all(),
+            PassConfig {
+                merge_rotations: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                cancel_inverses: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                widen_pairs: true,
+                ..PassConfig::none()
+            },
+        ] {
+            let mut ir = PassIr::from_circuit(&c);
+            run_passes(&config, &mut ir);
+            let snapshot = ir.clone();
+            run_passes(&config, &mut ir);
+            assert_eq!(ir, snapshot, "pipeline not idempotent under {config:?}");
+        }
+    }
+
+    #[test]
+    fn passes_preserve_gradient_layout() {
+        // Trainable adversarial circuit: every pass combination must
+        // keep the total derivative-record count (shared slots included).
+        let mut c = Circuit::new(3);
+        let s0 = c.alloc_slots(3);
+        let shared = c.alloc_slot();
+        c.h(0).unwrap();
+        c.u3_slots(1, s0).unwrap();
+        c.ry_slot(0, shared).unwrap();
+        c.cu3_slots(0, 2, s0).unwrap();
+        c.swap(1, 2).unwrap();
+        c.ry_slot(1, shared).unwrap();
+        let params = [0.7, -0.2, 1.1, 0.45];
+        let opt = CircuitStructure::compile_with_passes(&c, &PassConfig::all());
+        let bound = opt.bind_with_grad(&params).unwrap();
+        let total: usize = (0..bound.num_fused_ops())
+            .map(|i| bound.op_derivs(i).len())
+            .sum();
+        assert_eq!(total, c.num_trainable_refs());
+        assert_equivalent(&c, &PassConfig::all(), &params, 1e-12);
+    }
+}

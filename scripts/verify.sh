@@ -7,6 +7,7 @@
 #   ./scripts/verify.sh lint         # clippy gate only
 #   ./scripts/verify.sh bench-smoke  # gradient-engine smoke gate only
 #   ./scripts/verify.sh serve-smoke  # serving-layer smoke gate only
+#   ./scripts/verify.sh compiler-smoke  # structure/bind + pass-pipeline gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
 # (lib, tests, benches, examples, bins) — warnings are errors, and use
@@ -78,21 +79,37 @@ serve_smoke() {
     }
 }
 
+# Compiler gate: the differential-test harness pinning the structure/bind
+# split and every optimizer-pass combination against the unfused
+# reference (bind ≡ compile bitwise, semantics to 1e-10, pipeline
+# idempotent), then the compiler_pipeline bin's built-in
+# bind-vs-recompile check on the smoke workload. The JSON goes to a
+# scratch path so a smoke run never clobbers the tracked BENCH_qsim.json.
+compiler_smoke() {
+    echo "==> cargo test --release --test compiler_differential (compiler-smoke)"
+    cargo test -q --release --test compiler_differential
+    echo "==> compiler_pipeline --smoke"
+    cargo run --release --quiet -p qugeo-bench --bin compiler_pipeline -- \
+        --smoke --json target/BENCH_qsim.smoke.json
+}
+
 case "${1:-all}" in
     docs) docs_gate ;;
     lint) lint_gate ;;
     tier1) tier1 ;;
     bench-smoke|--bench-smoke) bench_smoke ;;
     serve-smoke|--serve-smoke) serve_smoke ;;
+    compiler-smoke|--compiler-smoke) compiler_smoke ;;
     all)
         tier1
         lint_gate
         docs_gate
         bench_smoke
         serve_smoke
+        compiler_smoke
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke]" >&2
+        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke]" >&2
         exit 2
         ;;
 esac

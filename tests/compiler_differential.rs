@@ -1,0 +1,280 @@
+//! Compiler differential-test harness: the structure/bind split and the
+//! optimizer pass pipeline, pinned against the unfused gate-by-gate
+//! reference on arbitrary trainable circuits.
+//!
+//! Three properties (see `qsim::fusion` / `qsim::passes`):
+//!
+//! * **bind ≡ compile, bitwise.** Re-binding a compiled circuit to new
+//!   parameters must produce *exactly* the fused ops and derivative
+//!   records a fresh compile of those parameters produces — not close,
+//!   identical. Bind and compile share one evaluation path; this test
+//!   keeps it that way.
+//! * **Passes preserve semantics.** Every one of the 8 pass-pipeline
+//!   combinations must reproduce the unfused reference's statevector,
+//!   expectations, and adjoint gradients (via the `NaiveBackend`'s
+//!   serial unfused engine) to ≤ 1e-10 on circuits with shared slots,
+//!   CU3s, swaps and densified reversed-control pairs.
+//! * **The pipeline is a fixpoint.** Running any pass combination on its
+//!   own output changes nothing.
+
+use proptest::prelude::*;
+use qugeo_qsim::{
+    AdjointWorkspace, BatchedState, Circuit, CircuitStructure, CompiledCircuit,
+    DiagonalObservable, Gate1, ParamSource, PassConfig, PassIr, QuantumBackend, NaiveBackend,
+    State, run_passes,
+};
+
+const QUBITS: usize = 3;
+const DIM: usize = 1 << QUBITS;
+
+/// One gate draw: (kind, qubit a, qubit b, fixed angle, slot mode).
+/// Slot mode 0 = fixed angle, 1 = fresh trainable slot(s), 2 = reuse an
+/// earlier gate's slot(s) — the shared-slot case the gradient
+/// accumulation must sum over.
+type GateSpec = (usize, usize, usize, f64, usize);
+
+fn gate_strategy() -> impl Strategy<Value = GateSpec> {
+    (0..9usize, 0..QUBITS, 0..QUBITS, -3.1f64..3.1, 0..3usize)
+}
+
+fn circuit_strategy() -> impl Strategy<Value = Vec<GateSpec>> {
+    prop::collection::vec(gate_strategy(), 1..24)
+}
+
+/// Deterministically lowers a spec list to a trainable circuit,
+/// threading slot reuse through pools of previously-allocated slots.
+fn build_circuit(specs: &[GateSpec]) -> Circuit {
+    let mut c = Circuit::new(QUBITS);
+    let mut singles: Vec<usize> = Vec::new(); // 1-slot rotations
+    let mut triples: Vec<usize> = Vec::new(); // U3/CU3 first-slots
+    for (k, &(kind, a, b, angle, slot_mode)) in specs.iter().enumerate() {
+        let q = a % QUBITS;
+        let mut r = b % QUBITS;
+        if r == q {
+            r = (r + 1) % QUBITS;
+        }
+        let single_slot = |c: &mut Circuit, singles: &mut Vec<usize>| match slot_mode {
+            0 => None,
+            2 if !singles.is_empty() => Some(singles[k % singles.len()]),
+            _ => {
+                let s = c.alloc_slot();
+                singles.push(s);
+                Some(s)
+            }
+        };
+        let triple_slot = |c: &mut Circuit, triples: &mut Vec<usize>| match slot_mode {
+            2 if !triples.is_empty() => triples[k % triples.len()],
+            _ => {
+                let s = c.alloc_slots(3);
+                triples.push(s);
+                s
+            }
+        };
+        match kind {
+            0 => {
+                c.h(q).unwrap();
+            }
+            1 => match single_slot(&mut c, &mut singles) {
+                Some(s) => {
+                    c.ry_slot(q, s).unwrap();
+                }
+                None => {
+                    c.ry_fixed(q, angle).unwrap();
+                }
+            },
+            2 => {
+                c.push_single(Gate1::Rz(ParamSource::Fixed(angle)), q).unwrap();
+            }
+            3 => match slot_mode {
+                0 => {
+                    let gate = Gate1::U3(
+                        ParamSource::Fixed(angle),
+                        ParamSource::Fixed(angle * 0.5),
+                        ParamSource::Fixed(-angle),
+                    );
+                    c.push_single(gate, q).unwrap();
+                }
+                _ => {
+                    let s = triple_slot(&mut c, &mut triples);
+                    c.u3_slots(q, s).unwrap();
+                }
+            },
+            4 => {
+                c.cx(q, r).unwrap();
+            }
+            5 => {
+                let s = triple_slot(&mut c, &mut triples);
+                c.cu3_slots(q, r, s).unwrap();
+            }
+            6 => {
+                c.swap(q, r).unwrap();
+            }
+            7 => {
+                c.push_controlled(Gate1::Rz(ParamSource::Fixed(angle)), q, r).unwrap();
+            }
+            _ => match single_slot(&mut c, &mut singles) {
+                Some(s) => {
+                    c.ry_slot(r, s).unwrap();
+                }
+                None => {
+                    c.h(r).unwrap();
+                }
+            },
+        }
+    }
+    c
+}
+
+fn params_for(circuit: &Circuit, seed: f64) -> Vec<f64> {
+    (0..circuit.num_slots())
+        .map(|i| ((i as f64 + seed) * 0.37).sin() * 1.2)
+        .collect()
+}
+
+fn input_state(raw: &[f64]) -> State {
+    State::from_real_normalized(raw).expect("filtered non-zero")
+}
+
+fn all_pass_configs() -> [PassConfig; 8] {
+    let mut configs = [PassConfig::none(); 8];
+    for (i, config) in configs.iter_mut().enumerate() {
+        config.merge_rotations = i & 1 != 0;
+        config.cancel_inverses = i & 2 != 0;
+        config.widen_pairs = i & 4 != 0;
+    }
+    configs
+}
+
+fn amps_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0f64..1.0, DIM)
+        .prop_filter("nonzero", |v| v.iter().map(|x| x * x).sum::<f64>() > 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property (a): bind(params) on a pre-compiled structure — and
+    /// rebind on a live compiled circuit — equal a fresh compile of the
+    /// same parameters bit-for-bit, gradient metadata included.
+    #[test]
+    fn bind_equals_fresh_compile_bitwise(
+        specs in circuit_strategy(),
+        seed in -2.0f64..2.0,
+    ) {
+        let circuit = build_circuit(&specs);
+        let p0 = params_for(&circuit, seed);
+        let p1 = params_for(&circuit, seed + 0.61);
+
+        let structure = CircuitStructure::compile(&circuit);
+        prop_assert_eq!(
+            structure.bind(&p0).unwrap(),
+            CompiledCircuit::compile(&circuit, &p0).unwrap()
+        );
+
+        // Re-bind across two parameter vectors, with gradients.
+        let mut live = structure.bind_with_grad(&p0).unwrap();
+        live.rebind(&p1).unwrap();
+        prop_assert_eq!(
+            live.clone(),
+            CompiledCircuit::compile_with_grad(&circuit, &p1).unwrap()
+        );
+        // And back again — rebinding is not a one-way trip.
+        live.rebind(&p0).unwrap();
+        prop_assert_eq!(
+            live,
+            CompiledCircuit::compile_with_grad(&circuit, &p0).unwrap()
+        );
+    }
+
+    /// Property (c): every pass combination is idempotent — running the
+    /// pipeline on its own output is a no-op.
+    #[test]
+    fn pass_pipeline_is_idempotent(specs in circuit_strategy()) {
+        let circuit = build_circuit(&specs);
+        for config in all_pass_configs() {
+            let mut ir = PassIr::from_circuit(&circuit);
+            run_passes(&config, &mut ir);
+            let once = ir.clone();
+            run_passes(&config, &mut ir);
+            prop_assert_eq!(&ir, &once, "pipeline not a fixpoint under {:?}", config);
+        }
+    }
+}
+
+proptest! {
+    // The heavy differential: 8 pass combos × (statevector + expectation
+    // + serial-adjoint gradients) per case.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property (b): every pass combination preserves the statevector,
+    /// diagonal expectations and adjoint gradients of the unfused
+    /// reference to ≤ 1e-10.
+    #[test]
+    fn pass_combinations_preserve_semantics(
+        specs in circuit_strategy(),
+        raw in amps_strategy(),
+        seed in -2.0f64..2.0,
+        proj in 0..DIM,
+        zq in 0..QUBITS,
+    ) {
+        let circuit = build_circuit(&specs);
+        let params = params_for(&circuit, seed);
+        let input = input_state(&raw);
+        let obs = DiagonalObservable::weighted_sum(
+            &[
+                DiagonalObservable::z(QUBITS, zq).unwrap(),
+                DiagonalObservable::projector(QUBITS, proj).unwrap(),
+            ],
+            &[1.0, -1.7],
+        )
+        .unwrap();
+
+        // Unfused references: gate-by-gate execution for the state, the
+        // NaiveBackend's serial unfused adjoint for the gradients.
+        let reference_state = circuit.run(&input, &params).unwrap();
+        let reference_value = obs.expectation(&reference_state);
+        let inputs = BatchedState::replicate(&input, 1);
+        let naive = NaiveBackend::default();
+        let mut naive_ws = AdjointWorkspace::new();
+        naive
+            .adjoint_gradient_batch(&circuit, &params, &inputs, &mut |_, _| Ok(obs.clone()), &mut naive_ws)
+            .unwrap();
+
+        for config in all_pass_configs() {
+            let structure = CircuitStructure::compile_with_passes(&circuit, &config);
+            let compiled = structure.bind_with_grad(&params).unwrap();
+
+            let state = compiled.run(&input).unwrap();
+            for (i, (a, b)) in state
+                .amplitudes()
+                .iter()
+                .zip(reference_state.amplitudes())
+                .enumerate()
+            {
+                prop_assert!(
+                    (*a - *b).norm() < 1e-10,
+                    "{:?}: amplitude {} diverged: {:?} vs {:?}", config, i, a, b
+                );
+            }
+            let value = obs.expectation(&state);
+            prop_assert!(
+                (value - reference_value).abs() < 1e-10,
+                "{:?}: expectation {} vs {}", config, value, reference_value
+            );
+
+            let mut ws = AdjointWorkspace::new();
+            ws.forward(&compiled, &inputs, 1).unwrap();
+            ws.backward_with(&compiled, 1, &mut |_, _| Ok(obs.clone())).unwrap();
+            prop_assert!(
+                (ws.value(0) - naive_ws.value(0)).abs() < 1e-10,
+                "{:?}: adjoint value {} vs {}", config, ws.value(0), naive_ws.value(0)
+            );
+            for (s, (g, r)) in ws.grad(0).iter().zip(naive_ws.grad(0)).enumerate() {
+                prop_assert!(
+                    (g - r).abs() < 1e-10,
+                    "{:?}: gradient slot {} diverged: {} vs {}", config, s, g, r
+                );
+            }
+        }
+    }
+}

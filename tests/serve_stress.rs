@@ -312,3 +312,81 @@ fn hot_swap_under_load_never_tears_a_batch() {
     let expected = new_gen.predict(&request(9, 1000)).expect("new generation");
     assert_eq!(settled, expected, "service still serving the old generation");
 }
+
+/// Polls the service counters until `done` holds (workers publish their
+/// session counters after answering a batch, so a just-returned request's
+/// bookkeeping may trail by a scheduling quantum).
+fn wait_for_stats(
+    serve: &QuServe,
+    done: impl Fn(&qugeo::serve::ServeStats) -> bool,
+) -> qugeo::serve::ServeStats {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = serve.stats();
+        if done(&stats) || std::time::Instant::now() > deadline {
+            return stats;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Deploying under packed coalescing must *re-bind* the worker sessions —
+/// the base circuit and the per-width packed cache both survive the swap
+/// with zero recompilation, and post-swap results serve the new vector.
+#[test]
+fn packed_deploy_rebinds_instead_of_recompiling_the_width_cache() {
+    let model = small_model();
+    let p0 = model.init_params(5);
+    let p1 = model.init_params(77);
+    // One worker so the session counters are exact, and strictly
+    // sequential requests so every packed batch has one member (a single
+    // width-0 register) — the counter arithmetic below is deterministic.
+    let serve = QuServe::start(
+        model.clone(),
+        &p0,
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_depth: 64,
+            coalesce: CoalesceMode::Packed,
+        },
+    )
+    .expect("service starts");
+
+    for i in 0..6 {
+        serve.predict_blocking(request(1, i)).expect("warm request");
+    }
+    let warm = wait_for_stats(&serve, |s| s.session_compilations >= 2);
+    // One base structure compile at session construction plus one for
+    // the width the packed path serves — and nothing re-bound yet.
+    assert_eq!(warm.session_compilations, 2);
+    assert_eq!(warm.session_rebinds, 0);
+
+    serve.deploy(&p1).expect("deploy");
+    let served: Vec<Array2> = (0..6)
+        .map(|i| serve.predict_blocking(request(2, i)).expect("post-swap request"))
+        .collect();
+
+    let stats = wait_for_stats(&serve, |s| s.session_rebinds >= 2);
+    // The hot swap re-bound the base circuit once and lazily re-bound
+    // the stale width entry once — no structure was recompiled and the
+    // per-width cache was not dropped.
+    assert_eq!(
+        stats.session_compilations, 2,
+        "deploy must not recompile or drop the packed width cache"
+    );
+    assert_eq!(stats.session_rebinds, 2);
+    assert_eq!(stats.swaps, 1);
+
+    let mut reference = InferenceSession::new(model, &p1).expect("session");
+    for (i, map) in served.iter().enumerate() {
+        let expected = reference.predict(&request(2, i)).expect("reference");
+        for (a, b) in map.iter().zip(expected.iter()) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "post-swap request {i} not serving the deployed vector: {a} vs {b}"
+            );
+        }
+    }
+}
