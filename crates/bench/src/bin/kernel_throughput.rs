@@ -1,0 +1,307 @@
+//! Kernel-layer throughput: the SIMD tier vs the pinned scalar tier on
+//! the acceptance workload (10 qubits × 12 `U3+CU3` blocks, batch 16).
+//!
+//! Both tiers run in one process via [`set_simd_enabled`], so the A/B is
+//! same-binary, same-buffers, same-compile — the only variable is the
+//! kernel bodies the dispatchers select:
+//!
+//! * `scalar_per_sample` / `simd_per_sample` — one
+//!   [`CompiledCircuit::run`] per batch member (the interleaved-lane
+//!   kernels when SIMD is on).
+//! * `scalar_batched` / `simd_batched` — one
+//!   [`BatchedState::apply_compiled`] sweep for the whole batch (the
+//!   batch-major tile path when SIMD is on).
+//! * `scalar_fused_batched` / `simd_fused_batched` — the full adjoint
+//!   training step ([`adjoint_gradient_batch_with`]) through a
+//!   persistent [`AdjointWorkspace`].
+//!
+//! ```text
+//! cargo run --release -p qugeo-bench --bin kernel_throughput [--smoke] [--json PATH]
+//! ```
+//!
+//! `--smoke` shrinks to 6 qubits × 2 blocks with one rep — the CI gate
+//! shape (`scripts/verify.sh kernel-smoke`). Results are merged into
+//! `BENCH_qsim.json` (entries under `simd_*` are replaced, everything
+//! else is preserved), alongside the detected CPU feature level.
+//!
+//! Every run ends with a built-in differential: scalar and SIMD tiers
+//! must agree on forward amplitudes and adjoint values/gradients to
+//! 1e-12. Outside smoke mode the acceptance ratios are asserted too:
+//! SIMD ≥ 2x scalar on the batched forward, ≥ 1.5x on the fused adjoint,
+//! and the batched sweep ≥ 1.2x the per-sample path on the SIMD tier.
+
+use std::time::Instant;
+
+use qugeo_qsim::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+use qugeo_qsim::{
+    adjoint_gradient_batch_with, set_simd_enabled, simd_feature_level, AdjointWorkspace,
+    BatchedState, Circuit, CompiledCircuit, DiagonalObservable, State,
+};
+
+struct Config {
+    qubits: usize,
+    blocks: usize,
+    batch: usize,
+    reps: usize,
+    smoke: bool,
+    json_path: String,
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Self {
+            qubits: 10,
+            blocks: 12,
+            batch: 16,
+            reps: 7,
+            smoke: false,
+            json_path: "BENCH_qsim.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => {
+                    cfg.qubits = 6;
+                    cfg.blocks = 2;
+                    cfg.batch = 8;
+                    cfg.reps = 1;
+                    cfg.smoke = true;
+                }
+                "--json" => {
+                    cfg.json_path = args.next().expect("--json needs a path");
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    eprintln!("usage: kernel_throughput [--smoke] [--json PATH]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// One timed call, in ns. Series are timed round-robin — every series
+/// once per round, minimum across rounds — so slow clock drift (thermal
+/// or frequency-governor) hits all series alike instead of biasing
+/// whichever one runs last.
+fn time_once(f: &mut dyn FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64
+}
+
+fn member_states(circuit: &Circuit, batch: usize) -> Vec<State> {
+    (0..batch)
+        .map(|k| {
+            let data: Vec<f64> = (0..1usize << circuit.num_qubits())
+                .map(|i| ((i + k * 17) as f64 * 0.11).sin() + 0.2)
+                .collect();
+            State::from_real_normalized(&data).expect("valid state")
+        })
+        .collect()
+}
+
+/// Replaces this bin's entries (`simd_*`) in the trajectory file,
+/// preserving every entry owned by other benches. Both writers emit one
+/// object per line, so the merge is line-based.
+fn merge_json(path: &str, fresh: &[String]) -> std::io::Result<()> {
+    let mut kept: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let entry = line.trim().trim_end_matches(',');
+            if entry.starts_with('{') && !entry.contains("\"name\": \"simd_") {
+                kept.push(entry.to_string());
+            }
+        }
+    }
+    kept.extend(fresh.iter().cloned());
+    let mut out = String::from("[\n");
+    for (i, entry) in kept.iter().enumerate() {
+        let comma = if i + 1 == kept.len() { "" } else { "," };
+        out.push_str(&format!("  {entry}{comma}\n"));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Minimum time per series, round-robin across tiers: each round runs
+/// scalar per-sample / batched / adjoint then the SIMD triple, so every
+/// series samples the same portion of any clock drift. Returns
+/// `([scalar_per_sample, scalar_batched, scalar_adjoint], [simd_...])`.
+fn measure(
+    cfg: &Config,
+    circuit: &Circuit,
+    params: &[f64],
+    compiled: &CompiledCircuit,
+    states: &[State],
+    obs: &DiagonalObservable,
+) -> ([f64; 3], [f64; 3]) {
+    let inputs = BatchedState::from_states(states).expect("batch");
+    let mut ws = AdjointWorkspace::new();
+    let mut per_sample = || {
+        for s in states {
+            std::hint::black_box(compiled.run(s).expect("runs"));
+        }
+    };
+    let mut batched = || {
+        let mut batch = BatchedState::from_states(states).expect("batch");
+        batch.apply_compiled(compiled).expect("applies");
+        std::hint::black_box(batch.amps().len());
+    };
+    let mut adjoint = || {
+        adjoint_gradient_batch_with(circuit, params, &inputs, obs, 1, &mut ws).expect("grads");
+        std::hint::black_box(ws.values().len());
+    };
+
+    let mut mins = [[f64::INFINITY; 3]; 2];
+    // One untimed warm-up round per tier, then the timed rounds.
+    for round in 0..cfg.reps.max(1) + 1 {
+        for (tier, simd_on) in [false, true].into_iter().enumerate() {
+            set_simd_enabled(simd_on);
+            let samples = [
+                time_once(&mut per_sample),
+                time_once(&mut batched),
+                time_once(&mut adjoint),
+            ];
+            if round > 0 {
+                for (min, s) in mins[tier].iter_mut().zip(samples) {
+                    *min = min.min(s);
+                }
+            }
+        }
+    }
+    set_simd_enabled(true);
+    (mins[0], mins[1])
+}
+
+/// The outputs of one tier's forward + adjoint pass, for the built-in
+/// scalar-vs-SIMD differential. Captured outside the timed region.
+struct TierOutputs {
+    batched_amps: Vec<qugeo_qsim::Complex64>,
+    values: Vec<f64>,
+    grads: Vec<f64>,
+}
+
+fn capture_outputs(
+    circuit: &Circuit,
+    params: &[f64],
+    compiled: &CompiledCircuit,
+    states: &[State],
+    obs: &DiagonalObservable,
+) -> TierOutputs {
+    let mut batch = BatchedState::from_states(states).expect("batch");
+    batch.apply_compiled(compiled).expect("applies");
+    let inputs = BatchedState::from_states(states).expect("batch");
+    let mut ws = AdjointWorkspace::new();
+    adjoint_gradient_batch_with(circuit, params, &inputs, obs, 1, &mut ws).expect("grads");
+    TierOutputs {
+        batched_amps: batch.amps().to_vec(),
+        values: ws.values().to_vec(),
+        grads: (0..inputs.batch_len()).flat_map(|b| ws.grad(b).to_vec()).collect(),
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let circuit = u3_cu3_ansatz(AnsatzConfig {
+        num_qubits: cfg.qubits,
+        num_blocks: cfg.blocks,
+        entangle: EntangleOrder::Ring,
+    })
+    .expect("valid ansatz");
+    let params: Vec<f64> = (0..circuit.num_slots())
+        .map(|i| (i as f64 * 0.13).sin() * 0.4)
+        .collect();
+    let compiled = CompiledCircuit::compile(&circuit, &params).expect("compiles");
+    let states = member_states(&circuit, cfg.batch);
+    let obs = DiagonalObservable::z(cfg.qubits, 0).expect("valid observable");
+
+    let level = simd_feature_level();
+    println!(
+        "kernel_throughput: {}q x {} blocks, batch {}, {} rep(s), detected feature level: {level}",
+        cfg.qubits, cfg.blocks, cfg.batch, cfg.reps
+    );
+
+    let ([scalar_per_sample, scalar_batched, scalar_adjoint], [simd_per_sample, simd_batched, simd_adjoint]) =
+        measure(&cfg, &circuit, &params, &compiled, &states, &obs);
+
+    set_simd_enabled(false);
+    let scalar = capture_outputs(&circuit, &params, &compiled, &states, &obs);
+    set_simd_enabled(true);
+    let simd = capture_outputs(&circuit, &params, &compiled, &states, &obs);
+
+    // Built-in differential: the two tiers must agree to 1e-12.
+    assert_eq!(scalar.batched_amps.len(), simd.batched_amps.len());
+    for (i, (s, v)) in scalar.batched_amps.iter().zip(&simd.batched_amps).enumerate() {
+        assert!(
+            (*s - *v).norm() < 1e-12,
+            "scalar/simd forward diverge at amplitude {i}: {s:?} vs {v:?}"
+        );
+    }
+    for (i, (s, v)) in scalar.values.iter().zip(&simd.values).enumerate() {
+        assert!((s - v).abs() < 1e-12, "scalar/simd values diverge at member {i}");
+    }
+    for (i, (s, v)) in scalar.grads.iter().zip(&simd.grads).enumerate() {
+        assert!((s - v).abs() < 1e-12, "scalar/simd gradients diverge at entry {i}");
+    }
+    println!("differential: scalar and {level} tiers agree to 1e-12");
+
+    let fwd = format!("simd_forward_{}q_{}blocks_batch{}", cfg.qubits, cfg.blocks, cfg.batch);
+    let adj = format!("simd_adjoint_{}q_{}blocks_batch{}", cfg.qubits, cfg.blocks, cfg.batch);
+    let rows = [
+        (format!("{fwd}/scalar_per_sample"), scalar_per_sample),
+        (format!("{fwd}/scalar_batched"), scalar_batched),
+        (format!("{fwd}/simd_per_sample"), simd_per_sample),
+        (format!("{fwd}/simd_batched"), simd_batched),
+        (format!("{adj}/scalar_fused_batched"), scalar_adjoint),
+        (format!("{adj}/simd_fused_batched"), simd_adjoint),
+    ];
+    println!("{:-<66}", "");
+    println!("{:<46} {:>12} {:>6}", "series", "ns/step", "vs scalar");
+    let baselines = [
+        scalar_per_sample,
+        scalar_batched,
+        scalar_per_sample,
+        scalar_batched,
+        scalar_adjoint,
+        scalar_adjoint,
+    ];
+    for ((name, ns), base) in rows.iter().zip(baselines) {
+        println!("{name:<46} {ns:>12.0} {:>5.2}x", base / ns);
+    }
+    println!("{:-<66}", "");
+
+    let mut entries: Vec<String> = rows
+        .iter()
+        .map(|(name, ns)| {
+            format!(
+                "{{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}, \"iters\": {}}}",
+                cfg.reps
+            )
+        })
+        .collect();
+    entries.push(format!("{{\"name\": \"simd_feature_level\", \"value\": \"{level}\"}}"));
+    match merge_json(&cfg.json_path, &entries) {
+        Ok(()) => println!("results merged into {}", cfg.json_path),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", cfg.json_path);
+            std::process::exit(1);
+        }
+    }
+
+    // Acceptance ratios (full mode on SIMD-capable hosts only; the smoke
+    // gate checks correctness, not machine-dependent speedups).
+    if !cfg.smoke && level != "scalar" {
+        let fwd_speedup = scalar_batched / simd_batched;
+        let adj_speedup = scalar_adjoint / simd_adjoint;
+        let batch_edge = simd_per_sample / simd_batched;
+        println!(
+            "acceptance: forward {fwd_speedup:.2}x (need 2.0), \
+             adjoint {adj_speedup:.2}x (need 1.5), batched-vs-per-sample {batch_edge:.2}x (need 1.2)"
+        );
+        assert!(fwd_speedup >= 2.0, "SIMD batched forward below 2x: {fwd_speedup:.2}x");
+        assert!(adj_speedup >= 1.5, "SIMD fused adjoint below 1.5x: {adj_speedup:.2}x");
+        assert!(batch_edge >= 1.2, "batched sweep below 1.2x per-sample: {batch_edge:.2}x");
+    }
+}

@@ -346,15 +346,15 @@ impl AdjointWorkspace {
             && total >= PARALLEL_MIN_AMPS;
         if !member_parallel {
             let ns = self.num_slots;
-            for b in 0..self.batch {
-                backward_member(
-                    compiled,
-                    &mut self.ket[b * dim..(b + 1) * dim],
-                    &mut self.bra[b * dim..(b + 1) * dim],
-                    &mut self.grads[b * ns..(b + 1) * ns],
-                    threads,
-                );
-            }
+            backward_members_serial(
+                compiled,
+                &mut self.ket,
+                &mut self.bra,
+                &mut self.grads,
+                dim,
+                ns,
+                threads,
+            );
             return Ok(());
         }
         let per = self.batch.div_ceil(member_threads);
@@ -367,13 +367,7 @@ impl AdjointWorkspace {
                 .zip(self.grads.chunks_mut(per * ns))
             {
                 scope.spawn(move || {
-                    for ((ket, bra), grad) in kets
-                        .chunks_mut(dim)
-                        .zip(bras.chunks_mut(dim))
-                        .zip(grads.chunks_mut(ns))
-                    {
-                        backward_member(compiled, ket, bra, grad, 1);
-                    }
+                    backward_members_serial(compiled, kets, bras, grads, dim, ns, 1);
                 });
             }
         });
@@ -457,6 +451,37 @@ impl AdjointWorkspace {
         assert_eq!(grad.len(), self.num_slots, "gradient length mismatch");
         self.values[b] = value;
         self.grads[b * self.num_slots..(b + 1) * self.num_slots].copy_from_slice(grad);
+    }
+}
+
+/// One worker's backward sweep over a contiguous member range: groups of
+/// four cache-sized members go through the batch-major SIMD tile
+/// ([`kernels::tile::backward_members`] — zero members when the SIMD tier
+/// is off or members exceed the circuit-major cap), the remainder through
+/// the per-member sweep.
+#[allow(clippy::too_many_arguments)]
+fn backward_members_serial(
+    compiled: &CompiledCircuit,
+    ket: &mut [Complex64],
+    bra: &mut [Complex64],
+    grads: &mut [f64],
+    dim: usize,
+    ns: usize,
+    threads: usize,
+) {
+    let done = if dim <= CompiledCircuit::CIRCUIT_MAJOR_MAX_DIM {
+        kernels::tile::backward_members(compiled, ket, bra, grads, dim, ns)
+    } else {
+        // A tile would spill L2 and beat the gate-parallel kernels at
+        // nothing; keep huge members on the per-member path.
+        0
+    };
+    for ((ket, bra), grad) in ket[done * dim..]
+        .chunks_mut(dim)
+        .zip(bra[done * dim..].chunks_mut(dim))
+        .zip(grads[done * ns..].chunks_mut(ns))
+    {
+        backward_member(compiled, ket, bra, grad, threads);
     }
 }
 

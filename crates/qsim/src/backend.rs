@@ -10,10 +10,14 @@
 //! model code can run:
 //!
 //! * [`StatevectorBackend`] — the default: today's gate-fused,
-//!   chunk-parallel engine, bit-identical to calling the engine directly;
+//!   chunk-parallel, runtime-SIMD-dispatched engine (scalar / AVX2 /
+//!   AVX-512 batched tile; see [`crate::simd_feature_level`]),
+//!   bit-identical to calling the engine directly — and, by the kernel
+//!   layer's canonical-FMA contract, bit-identical across SIMD tiers;
 //! * [`NaiveBackend`] — a reference gate-by-gate interpreter using the
 //!   seed's masked full-scan loops, kept for differential testing of the
-//!   branch-free kernels;
+//!   branch-free kernels (`tests/simd_differential.rs` pins the default
+//!   backend against it on arbitrary circuits);
 //! * [`ShotSamplerBackend`] — exact state evolution but **finite-shot**
 //!   measurement statistics with a seedable RNG, the hardware-realism
 //!   axis of arXiv:2503.05009;

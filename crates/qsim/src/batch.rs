@@ -346,19 +346,15 @@ impl BatchedState {
         Ok(self
             .amps
             .chunks(dim)
-            .map(|member| {
-                member
-                    .iter()
-                    .zip(obs.diagonal())
-                    .map(|(a, d)| a.norm_sqr() * d)
-                    .sum()
-            })
+            .map(|member| crate::kernels::expectation_diag(member, obs.diagonal()))
             .collect())
     }
 
     /// Probabilities of every member, concatenated (`B · 2^n` values).
     pub fn probabilities_flat(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let mut out = vec![0.0; self.amps.len()];
+        crate::kernels::probabilities_into(&self.amps, &mut out);
+        out
     }
 
     /// Basis-state probabilities of member `b`.
@@ -367,7 +363,10 @@ impl BatchedState {
     ///
     /// Returns [`QsimError::InvalidEncoding`] if `b` is out of range.
     pub fn member_probabilities(&self, b: usize) -> Result<Vec<f64>, QsimError> {
-        Ok(self.member_amps(b)?.iter().map(|a| a.norm_sqr()).collect())
+        let member = self.member_amps(b)?;
+        let mut out = vec![0.0; member.len()];
+        crate::kernels::probabilities_into(member, &mut out);
+        Ok(out)
     }
 }
 

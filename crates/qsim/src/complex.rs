@@ -7,6 +7,10 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// simulator carries its own. Only the operations a statevector simulator
 /// needs are provided.
 ///
+/// The layout is `#[repr(C)]` — `re` at offset 0, `im` at offset 8 — so a
+/// `&[Complex64]` can be reinterpreted as an interleaved `f64` stream by
+/// the SIMD kernels in `kernels::simd`.
+///
 /// # Examples
 ///
 /// ```
@@ -17,6 +21,7 @@ use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// assert_eq!(Complex64::new(3.0, 4.0).norm_sqr(), 25.0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real component.
     pub re: f64,

@@ -637,6 +637,17 @@ impl CompiledCircuit {
     /// circuit over one member stops fitting in per-core cache and
     /// gate-major whole-array sweeps (which parallelise within a gate)
     /// win instead.
+    ///
+    /// Measured crossover (Xeon @2.1 GHz, AVX-512, `kernel_throughput`,
+    /// 2026-08): at 10 qubits × batch 16 the batched tile sweep runs the
+    /// paper ansatz 1.46× faster than 16 per-sample `run` calls, despite
+    /// the transpose in/out of member-major layout (~100 µs of the
+    /// ~600 µs sweep). The edge comes from the tile's unit-stride lanes
+    /// plus L1 chunk-blocking (`tile::x86::CHUNK_AMPS`), not from
+    /// threading — 16 × 2^10 amplitudes stays under the serial threshold
+    /// [`crate::kernels::PARALLEL_MIN_AMPS`]. Members of `2^14` amps put
+    /// a 4-member tile at 2 MiB (full L2), which is where the tile's
+    /// working-set advantage dies and gate-major threading takes over.
     pub(crate) const CIRCUIT_MAJOR_MAX_DIM: usize = 1 << 14;
 
     /// Applies the compiled circuit to every `2^n`-amplitude member block
@@ -663,21 +674,28 @@ impl CompiledCircuit {
         // Spawning workers for a sweep smaller than the kernels' own
         // parallel threshold costs more than it saves.
         if threads <= 1 || amps.len() < kernels::PARALLEL_MIN_AMPS {
-            for member in amps.chunks_mut(dim) {
-                self.apply_amps_threaded(member, 1);
-            }
+            self.apply_members_serial(amps, dim);
             return;
         }
         let per = batch.div_ceil(threads);
         std::thread::scope(|scope| {
             for members in amps.chunks_mut(per * dim) {
                 scope.spawn(move || {
-                    for member in members.chunks_mut(dim) {
-                        self.apply_amps_threaded(member, 1);
-                    }
+                    self.apply_members_serial(members, dim);
                 });
             }
         });
+    }
+
+    /// Circuit-major sweep of one worker's member range: groups of four
+    /// members go through the batch-major SIMD tile
+    /// ([`kernels::tile::apply_members`] — zero members when the SIMD
+    /// tier is off), the remainder through the per-member kernels.
+    fn apply_members_serial(&self, amps: &mut [Complex64], dim: usize) {
+        let done = kernels::tile::apply_members(&self.ops, amps, dim);
+        for member in amps[done * dim..].chunks_mut(dim) {
+            self.apply_amps_threaded(member, 1);
+        }
     }
 
     /// Applies the compiled circuit to `state` in place.

@@ -1,0 +1,1386 @@
+//! Cache-blocked, batch-major SIMD sweeps for [`crate::BatchedState`].
+//!
+//! The interleaved kernels in [`super::simd`] put two *amplitudes of one
+//! member* in a register, which forces per-qubit-position layouts (the
+//! `q = 0` butterfly needs in-register shuffles). This module uses the
+//! orthogonal decomposition: a register holds the **same amplitude index
+//! of several batch members**, stored as split re/im planes
+//! (`re[idx·G + member]`). In that layout every gate — any qubit
+//! position, controlled or dense — is a pure broadcast-FMA with zero
+//! shuffles, and the control-clear half of a controlled op is skipped
+//! exactly like the scalar kernels do.
+//!
+//! Two tile widths share this design: [`x86`] packs [`GROUP`] = 4
+//! members per 256-bit AVX2 register, and [`w8`] packs 8 per 512-bit
+//! register where `avx512f` is available (twice the f64 FMA throughput
+//! on server cores with dual 512-bit FMA ports — the fused-ansatz sweep
+//! is FMA-port-bound, so the wider tile is where most of the batched
+//! speedup comes from). [`apply_members`] dispatches widest-first and
+//! leaves any remainder to the caller's per-member path.
+//!
+//! A group of members is transposed into a thread-local scratch tile
+//! once, swept through **all** fused ops of the circuit, and transposed
+//! back out. Two cache refinements keep the hot loops fed:
+//!
+//! * **L1-chunked sweeps.** A full tile is `G·dim` complex amplitudes —
+//!   128 KiB at 10 qubits for the 4-member tile, which no longer fits
+//!   L1. Maximal runs of ops whose [`op_span`] fits an L1-sized window
+//!   (`CHUNK_AMPS` per width) are applied chunk-by-chunk: every op of
+//!   the run visits one aligned window before the sweep moves to the
+//!   next, so the window stays L1-resident across the whole run. Ops
+//!   spanning the top qubits (24 of the paper ansatz's 121 fused ops
+//!   touch q9) are applied whole-tile between runs. The reordering is
+//!   bit-transparent: an op with span ≤ chunk is block-diagonal over
+//!   aligned windows, so the same FP operations run in the same
+//!   per-amplitude order.
+//! * **Blocked transposes.** The member-major↔plane transpose is done in
+//!   `TRANSPOSE_BLOCK`-amplitude blocks so the strided plane accesses
+//!   reuse L1 lines instead of touching a fresh cache line per scalar —
+//!   without blocking the transposes re-streamed the whole tile once
+//!   per member and cost ~20% of the sweep.
+//!
+//! Entry points return the number of members handled (a multiple of 4,
+//! or 0 when the SIMD tier is off or the arch is not x86-64); callers
+//! run the remainder through the per-member path.
+
+#![allow(dead_code)] // the non-x86 build compiles the entry points only
+
+use super::simd;
+use crate::fusion::{CompiledCircuit, FusedOp};
+use crate::Complex64;
+
+/// Members per tile group — one AVX2 register of `f64` lanes. The
+/// 512-bit tile variant ([`w8`]) packs [`w8::GROUP`] = 8 members instead.
+pub(crate) const GROUP: usize = 4;
+
+/// Smallest aligned window size an op is block-diagonal over:
+/// `2^(highest qubit + 1)` amplitudes. Both tile widths use this to plan
+/// their L1-blocked sweeps.
+fn op_span(op: &FusedOp) -> usize {
+    let top = match op {
+        FusedOp::One { q, .. } => *q,
+        FusedOp::Multiplexed { c, t, .. } => (*c).max(*t),
+        FusedOp::Two { a, b, .. } => (*a).max(*b),
+    };
+    1usize << (top + 1)
+}
+
+/// Batch-major forward sweep: applies `ops` to as many leading groups of
+/// [`GROUP`] members of `amps` (member-major, `dim` amplitudes each) as
+/// the tile layout covers. Returns the number of members handled.
+pub(crate) fn apply_members(ops: &[FusedOp], amps: &mut [Complex64], dim: usize) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd::level() == simd::SimdLevel::Avx2 && dim >= 2 {
+            // Widest groups first: eight-member 512-bit tiles where the
+            // CPU has them, four-member 256-bit tiles on the remainder,
+            // per-member kernels (the caller's job) on what's left.
+            let mut done = 0;
+            if simd::avx512_tile() {
+                done = w8::apply_members(ops, amps, dim);
+            }
+            done += x86::apply_members(ops, &mut amps[done * dim..], dim);
+            return done;
+        }
+    }
+    let _ = (ops, amps, dim);
+    0
+}
+
+/// Batch-major backward sweep: the tile analogue of the per-member
+/// adjoint pass. `ket`/`bra` hold member-major amplitudes, `grads` holds
+/// member-major gradient rows of `num_slots` entries for the same
+/// members. Returns the number of members handled.
+pub(crate) fn backward_members(
+    compiled: &CompiledCircuit,
+    ket: &mut [Complex64],
+    bra: &mut [Complex64],
+    grads: &mut [f64],
+    dim: usize,
+    num_slots: usize,
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd::level() == simd::SimdLevel::Avx2 && dim >= 2 {
+            return x86::backward_members(compiled, ket, bra, grads, dim, num_slots);
+        }
+    }
+    let _ = (compiled, ket, bra, grads, dim, num_slots);
+    0
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    use super::super::insert_zero_bit;
+    use crate::fusion::{CompiledCircuit, DerivKind, FusedOp};
+    use crate::gates::{Matrix2, Matrix4};
+    use crate::Complex64;
+
+    use super::GROUP;
+
+    std::thread_local! {
+        /// Per-thread tile scratch, grown once and reused — keeps the
+        /// engine's zero-steady-state-allocation contract.
+        static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// One split-plane tile: `re[idx·4 + m]` / `im[idx·4 + m]` for the
+    /// four members of the current group. Raw pointers into the
+    /// thread-local scratch; never shared across threads.
+    #[derive(Clone, Copy)]
+    struct Plane {
+        re: *mut f64,
+        im: *mut f64,
+    }
+
+    /// Four members' worth of one amplitude index.
+    #[derive(Clone, Copy)]
+    struct V4 {
+        re: __m256d,
+        im: __m256d,
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn v4_zero() -> V4 {
+        V4 {
+            re: _mm256_setzero_pd(),
+            im: _mm256_setzero_pd(),
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn v4_load(p: Plane, idx: usize) -> V4 {
+        V4 {
+            re: _mm256_loadu_pd(p.re.add(idx * GROUP)),
+            im: _mm256_loadu_pd(p.im.add(idx * GROUP)),
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn v4_store(p: Plane, idx: usize, v: V4) {
+        _mm256_storeu_pd(p.re.add(idx * GROUP), v.re);
+        _mm256_storeu_pd(p.im.add(idx * GROUP), v.im);
+    }
+
+    /// `acc + a·conj(b)` lane-wise — the reduction product of the
+    /// backward steps.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mul_conj_add(a: V4, b: V4, acc: V4) -> V4 {
+        V4 {
+            re: _mm256_fmadd_pd(a.re, b.re, _mm256_fmadd_pd(a.im, b.im, acc.re)),
+            im: _mm256_fnmadd_pd(a.re, b.im, _mm256_fmadd_pd(a.im, b.re, acc.im)),
+        }
+    }
+
+    /// Spills a reduction accumulator to the four members' values.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn v4_lanes(v: V4) -> [Complex64; GROUP] {
+        let mut re = [0.0f64; GROUP];
+        let mut im = [0.0f64; GROUP];
+        _mm256_storeu_pd(re.as_mut_ptr(), v.re);
+        _mm256_storeu_pd(im.as_mut_ptr(), v.im);
+        [
+            Complex64::new(re[0], im[0]),
+            Complex64::new(re[1], im[1]),
+            Complex64::new(re[2], im[2]),
+            Complex64::new(re[3], im[3]),
+        ]
+    }
+
+    /// A complex coefficient broadcast across the member lanes.
+    #[derive(Clone, Copy)]
+    struct K {
+        rr: __m256d,
+        ii: __m256d,
+    }
+
+    impl K {
+        #[inline]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn new(c: Complex64) -> Self {
+            Self {
+                rr: _mm256_set1_pd(c.re),
+                ii: _mm256_set1_pd(c.im),
+            }
+        }
+
+        /// `self·v`.
+        #[inline]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn mul(self, v: V4) -> V4 {
+            V4 {
+                re: _mm256_fnmadd_pd(v.im, self.ii, _mm256_mul_pd(v.re, self.rr)),
+                im: _mm256_fmadd_pd(v.re, self.ii, _mm256_mul_pd(v.im, self.rr)),
+            }
+        }
+
+        /// `acc + self·v`.
+        #[inline]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn mul_add(self, v: V4, acc: V4) -> V4 {
+            V4 {
+                re: _mm256_fnmadd_pd(v.im, self.ii, _mm256_fmadd_pd(v.re, self.rr, acc.re)),
+                im: _mm256_fmadd_pd(v.re, self.ii, _mm256_fmadd_pd(v.im, self.rr, acc.im)),
+            }
+        }
+    }
+
+    /// Broadcast coefficients of a 2×2.
+    #[derive(Clone, Copy)]
+    struct K2 {
+        k: [[K; 2]; 2],
+    }
+
+    impl K2 {
+        #[inline]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn new(g: &Matrix2) -> Self {
+            Self {
+                k: [
+                    [K::new(g.m[0][0]), K::new(g.m[0][1])],
+                    [K::new(g.m[1][0]), K::new(g.m[1][1])],
+                ],
+            }
+        }
+
+        /// In-place butterfly on amplitude indices `i`, `j`.
+        #[inline]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn butterfly(self, p: Plane, i: usize, j: usize) {
+            let vi = v4_load(p, i);
+            let vj = v4_load(p, j);
+            // Canonical 2×2 row order (cross-layout bit-identity contract):
+            // fold column 1 first, then fuse column 0 on top, matching the
+            // interleaved kernels' `bfly2`/two-stream bodies exactly.
+            v4_store(p, i, self.k[0][0].mul_add(vi, self.k[0][1].mul(vj)));
+            v4_store(p, j, self.k[1][0].mul_add(vi, self.k[1][1].mul(vj)));
+        }
+    }
+
+    // ---- Transpose in/out --------------------------------------------------
+
+    /// Amp-index block size for the transposes — see the wide tile's
+    /// [`super::w8::TRANSPOSE_BLOCK`] note; blocking keeps the strided
+    /// side of the transpose on L1-resident lines.
+    const TRANSPOSE_BLOCK: usize = 64;
+
+    /// Member-major → split-plane tile for one group of four members.
+    fn transpose_in(members: &[Complex64], dim: usize, p: Plane) {
+        let bs = dim.min(TRANSPOSE_BLOCK);
+        for start in (0..dim).step_by(bs) {
+            for (m, member) in members.chunks_exact(dim).enumerate() {
+                for (i, a) in member[start..start + bs].iter().enumerate() {
+                    // SAFETY: the scratch tile holds dim·GROUP entries per
+                    // plane; start + i < dim and m < GROUP.
+                    unsafe {
+                        *p.re.add((start + i) * GROUP + m) = a.re;
+                        *p.im.add((start + i) * GROUP + m) = a.im;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split-plane tile → member-major for one group of four members.
+    fn transpose_out(members: &mut [Complex64], dim: usize, p: Plane) {
+        let bs = dim.min(TRANSPOSE_BLOCK);
+        for start in (0..dim).step_by(bs) {
+            for (m, member) in members.chunks_exact_mut(dim).enumerate() {
+                for (i, a) in member[start..start + bs].iter_mut().enumerate() {
+                    // SAFETY: same bounds as `transpose_in`.
+                    unsafe {
+                        a.re = *p.re.add((start + i) * GROUP + m);
+                        a.im = *p.im.add((start + i) * GROUP + m);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Forward op sweeps -------------------------------------------------
+    //
+    // Every forward kernel takes a `(base, len)` window: the op is applied
+    // to amplitude indices `[base, base + len)` only. An op whose qubits
+    // all lie below `log2(len)` is block-diagonal over aligned windows of
+    // that size, so a full sweep (`base = 0, len = dim`) and a
+    // window-by-window sweep compute the *identical* floating-point
+    // operations per amplitude — the L1 chunking below is bit-transparent.
+
+    /// One-qubit op on a tile window: `len/2` uniform butterflies, any `q`
+    /// with `2^(q+1) <= len`. Enumerated as nested unit-stride loops (not
+    /// `insert_zero_bit`) so the inner loop walks contiguous addresses.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_one(p: Plane, base: usize, len: usize, g: &Matrix2, q: usize) {
+        let k = K2::new(g);
+        let mask = 1usize << q;
+        let mut block = base;
+        while block < base + len {
+            for i in block..block + mask {
+                k.butterfly(p, i, i | mask);
+            }
+            block += 2 * mask;
+        }
+    }
+
+    /// Controlled op (`a0 = I`): butterflies on the control-set quarter
+    /// only — the tile keeps the scalar kernels' sparsity advantage.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_controlled(p: Plane, base: usize, len: usize, g: &Matrix2, c: usize, t: usize) {
+        let k = K2::new(g);
+        let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+        let mlo = 1usize << lo;
+        let mhi = 1usize << hi;
+        let cmask = 1usize << c;
+        let tmask = 1usize << t;
+        let mut outer = base;
+        while outer < base + len {
+            let mut inner = outer;
+            while inner < outer + mhi {
+                for i in inner..inner + mlo {
+                    let x = i | cmask;
+                    k.butterfly(p, x, x | tmask);
+                }
+                inner += 2 * mlo;
+            }
+            outer += 2 * mhi;
+        }
+    }
+
+    /// General multiplexed op: independent butterflies on both branches.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tile_multiplexed(
+        p: Plane,
+        base: usize,
+        len: usize,
+        a0: &Matrix2,
+        a1: &Matrix2,
+        c: usize,
+        t: usize,
+    ) {
+        let k0 = K2::new(a0);
+        let k1 = K2::new(a1);
+        let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+        let mlo = 1usize << lo;
+        let mhi = 1usize << hi;
+        let cmask = 1usize << c;
+        let tmask = 1usize << t;
+        let mut outer = base;
+        while outer < base + len {
+            let mut inner = outer;
+            while inner < outer + mhi {
+                for quad in inner..inner + mlo {
+                    k0.butterfly(p, quad, quad | tmask);
+                    k1.butterfly(p, quad | cmask, quad | cmask | tmask);
+                }
+                inner += 2 * mlo;
+            }
+            outer += 2 * mhi;
+        }
+    }
+
+    /// Dense two-qubit op: a 4×4 on every quad.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_two(p: Plane, base: usize, len: usize, g: &Matrix4, a: usize, b: usize) {
+        let mut k = [[K::new(Complex64::ZERO); 4]; 4];
+        for (row, mrow) in k.iter_mut().zip(&g.m) {
+            for (coef, entry) in row.iter_mut().zip(mrow) {
+                *coef = K::new(*entry);
+            }
+        }
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let mut outer = base;
+        while outer < base + len {
+            let mut inner = outer;
+            while inner < outer + mb {
+                for quad in inner..inner + ma {
+                    let idx = [quad, quad | ma, quad | mb, quad | ma | mb];
+                    let v = [
+                        v4_load(p, idx[0]),
+                        v4_load(p, idx[1]),
+                        v4_load(p, idx[2]),
+                        v4_load(p, idx[3]),
+                    ];
+                    for (krow, &i) in k.iter().zip(&idx) {
+                        let acc = krow[1].mul_add(v[1], krow[0].mul(v[0]));
+                        let acc = krow[2].mul_add(v[2], acc);
+                        v4_store(p, i, krow[3].mul_add(v[3], acc));
+                    }
+                }
+                inner += 2 * ma;
+            }
+            outer += 2 * mb;
+        }
+    }
+
+    /// Applies one fused op to a tile window, peeling the identity-`a0`
+    /// controlled case like the interleaved dispatcher does.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_op(p: Plane, base: usize, len: usize, op: &FusedOp) {
+        match op {
+            FusedOp::One { m, q } => tile_one(p, base, len, m, *q),
+            FusedOp::Multiplexed { a0, a1, c, t } => {
+                if *a0 == Matrix2::identity() {
+                    tile_controlled(p, base, len, a1, *c, *t);
+                } else {
+                    tile_multiplexed(p, base, len, a0, a1, *c, *t);
+                }
+            }
+            FusedOp::Two { m, a, b } => tile_two(p, base, len, m, *a, *b),
+        }
+    }
+
+    use super::op_span;
+
+    /// L1-blocking chunk, in amplitudes. One chunk's working set is
+    /// `2 planes × GROUP lanes × CHUNK_AMPS × 8 B = 32 KiB` — inside a
+    /// 48 KiB L1d with room for the coefficient broadcasts. Above ~9
+    /// qubits the full group tile (64 KiB at 10 qubits) no longer fits
+    /// L1, and streaming it from L2 once per op erases the tile's
+    /// fewer-ops advantage over the per-member path; chunked runs keep
+    /// the hot window L1-resident across consecutive low-qubit ops.
+    const CHUNK_AMPS: usize = 512;
+
+    /// Forward sweep of all ops over one group tile, L1-blocked: maximal
+    /// runs of ops spanning at most [`CHUNK_AMPS`] are applied
+    /// chunk-by-chunk (every op of the run to one chunk, then the next
+    /// chunk), ops reaching higher qubits sweep the full tile alone.
+    /// Bit-identical to the naive per-op sweep — see the window note on
+    /// the kernels above.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_sweep(p: Plane, dim: usize, ops: &[FusedOp]) {
+        let chunk = dim.min(CHUNK_AMPS);
+        let mut i = 0;
+        while i < ops.len() {
+            let mut j = i;
+            while j < ops.len() && op_span(&ops[j]) <= chunk {
+                j += 1;
+            }
+            if j == i {
+                tile_op(p, 0, dim, &ops[i]);
+                i += 1;
+            } else {
+                for base in (0..dim).step_by(chunk) {
+                    for op in &ops[i..j] {
+                        tile_op(p, base, chunk, op);
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+
+    pub(super) fn apply_members(ops: &[FusedOp], amps: &mut [Complex64], dim: usize) -> usize {
+        let batch = amps.len() / dim;
+        let groups = batch / GROUP;
+        if groups == 0 {
+            return 0;
+        }
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.resize(2 * GROUP * dim, 0.0);
+            let (re, im) = scratch.split_at_mut(GROUP * dim);
+            let p = Plane {
+                re: re.as_mut_ptr(),
+                im: im.as_mut_ptr(),
+            };
+            for chunk in amps.chunks_exact_mut(GROUP * dim).take(groups) {
+                transpose_in(chunk, dim, p);
+                // SAFETY: callers checked the avx2 tier (AVX2 + FMA
+                // present); the tile covers indices below dim.
+                unsafe { tile_sweep(p, dim, ops) };
+                transpose_out(chunk, dim, p);
+            }
+        });
+        groups * GROUP
+    }
+
+    // ---- Backward op sweeps ------------------------------------------------
+
+    /// Backward one-qubit step on the tile: applies the daggered op to
+    /// ket and bra planes while reducing the four per-member 2×2
+    /// matrices `R[x][y] = Σ k'_x·conj(b_y)`.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_backward_one(
+        ket: Plane,
+        bra: Plane,
+        dim: usize,
+        g: &Matrix2,
+        q: usize,
+    ) -> [Matrix2; GROUP] {
+        let k = K2::new(g);
+        let mask = 1usize << q;
+        let mut acc = [v4_zero(); 4];
+        for r in 0..dim / 2 {
+            let i = insert_zero_bit(r, q);
+            let j = i | mask;
+            let k0 = v4_load(ket, i);
+            let k1 = v4_load(ket, j);
+            let nk0 = k.k[0][0].mul_add(k0, k.k[0][1].mul(k1));
+            let nk1 = k.k[1][0].mul_add(k0, k.k[1][1].mul(k1));
+            v4_store(ket, i, nk0);
+            v4_store(ket, j, nk1);
+            let b0 = v4_load(bra, i);
+            let b1 = v4_load(bra, j);
+            acc[0] = mul_conj_add(nk0, b0, acc[0]);
+            acc[1] = mul_conj_add(nk0, b1, acc[1]);
+            acc[2] = mul_conj_add(nk1, b0, acc[2]);
+            acc[3] = mul_conj_add(nk1, b1, acc[3]);
+            v4_store(bra, i, k.k[0][0].mul_add(b0, k.k[0][1].mul(b1)));
+            v4_store(bra, j, k.k[1][0].mul_add(b0, k.k[1][1].mul(b1)));
+        }
+        let l = [
+            v4_lanes(acc[0]),
+            v4_lanes(acc[1]),
+            v4_lanes(acc[2]),
+            v4_lanes(acc[3]),
+        ];
+        std::array::from_fn(|m| Matrix2 {
+            m: [[l[0][m], l[1][m]], [l[2][m], l[3][m]]],
+        })
+    }
+
+    /// Backward multiplexed step on the tile; when `skip_zero` is set the
+    /// control-clear branch is untouched (identity `a0` with all-zero
+    /// branch derivatives) and its reduction matrices are returned as
+    /// zero.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tile_backward_multiplexed(
+        ket: Plane,
+        bra: Plane,
+        dim: usize,
+        a0: &Matrix2,
+        a1: &Matrix2,
+        c: usize,
+        t: usize,
+        skip_zero: bool,
+    ) -> ([Matrix2; GROUP], [Matrix2; GROUP]) {
+        let k0 = K2::new(a0);
+        let k1 = K2::new(a1);
+        let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+        let cmask = 1usize << c;
+        let tmask = 1usize << t;
+        let mut acc = [v4_zero(); 8];
+        for r in 0..dim / 4 {
+            let base = insert_zero_bit(insert_zero_bit(r, lo), hi);
+            if !skip_zero {
+                let (i, j) = (base, base | tmask);
+                let x0 = v4_load(ket, i);
+                let x1 = v4_load(ket, j);
+                let nk0 = k0.k[0][0].mul_add(x0, k0.k[0][1].mul(x1));
+                let nk1 = k0.k[1][0].mul_add(x0, k0.k[1][1].mul(x1));
+                v4_store(ket, i, nk0);
+                v4_store(ket, j, nk1);
+                let b0 = v4_load(bra, i);
+                let b1 = v4_load(bra, j);
+                acc[0] = mul_conj_add(nk0, b0, acc[0]);
+                acc[1] = mul_conj_add(nk0, b1, acc[1]);
+                acc[2] = mul_conj_add(nk1, b0, acc[2]);
+                acc[3] = mul_conj_add(nk1, b1, acc[3]);
+                v4_store(bra, i, k0.k[0][0].mul_add(b0, k0.k[0][1].mul(b1)));
+                v4_store(bra, j, k0.k[1][0].mul_add(b0, k0.k[1][1].mul(b1)));
+            }
+            let (i, j) = (base | cmask, base | cmask | tmask);
+            let x0 = v4_load(ket, i);
+            let x1 = v4_load(ket, j);
+            let nk0 = k1.k[0][0].mul_add(x0, k1.k[0][1].mul(x1));
+            let nk1 = k1.k[1][0].mul_add(x0, k1.k[1][1].mul(x1));
+            v4_store(ket, i, nk0);
+            v4_store(ket, j, nk1);
+            let b0 = v4_load(bra, i);
+            let b1 = v4_load(bra, j);
+            acc[4] = mul_conj_add(nk0, b0, acc[4]);
+            acc[5] = mul_conj_add(nk0, b1, acc[5]);
+            acc[6] = mul_conj_add(nk1, b0, acc[6]);
+            acc[7] = mul_conj_add(nk1, b1, acc[7]);
+            v4_store(bra, i, k1.k[0][0].mul_add(b0, k1.k[0][1].mul(b1)));
+            v4_store(bra, j, k1.k[1][0].mul_add(b0, k1.k[1][1].mul(b1)));
+        }
+        let l: [[Complex64; GROUP]; 8] = std::array::from_fn(|i| unsafe { v4_lanes(acc[i]) });
+        (
+            std::array::from_fn(|m| Matrix2 {
+                m: [[l[0][m], l[1][m]], [l[2][m], l[3][m]]],
+            }),
+            std::array::from_fn(|m| Matrix2 {
+                m: [[l[4][m], l[5][m]], [l[6][m], l[7][m]]],
+            }),
+        )
+    }
+
+    /// Backward dense two-qubit step on the tile.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tile_backward_two(
+        ket: Plane,
+        bra: Plane,
+        dim: usize,
+        g: &Matrix4,
+        a: usize,
+        b: usize,
+    ) -> [Matrix4; GROUP] {
+        let mut k = [[K::new(Complex64::ZERO); 4]; 4];
+        for (row, mrow) in k.iter_mut().zip(&g.m) {
+            for (coef, entry) in row.iter_mut().zip(mrow) {
+                *coef = K::new(*entry);
+            }
+        }
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let mut acc = [v4_zero(); 16];
+        for r in 0..dim / 4 {
+            let base = insert_zero_bit(insert_zero_bit(r, a), b);
+            let idx = [base, base | ma, base | mb, base | ma | mb];
+            let kv = [
+                v4_load(ket, idx[0]),
+                v4_load(ket, idx[1]),
+                v4_load(ket, idx[2]),
+                v4_load(ket, idx[3]),
+            ];
+            let bv = [
+                v4_load(bra, idx[0]),
+                v4_load(bra, idx[1]),
+                v4_load(bra, idx[2]),
+                v4_load(bra, idx[3]),
+            ];
+            for (row, (krow, &i)) in k.iter().zip(&idx).enumerate() {
+                let nk = krow[1].mul_add(kv[1], krow[0].mul(kv[0]));
+                let nk = krow[2].mul_add(kv[2], nk);
+                let nk = krow[3].mul_add(kv[3], nk);
+                v4_store(ket, i, nk);
+                for (col, &bcol) in bv.iter().enumerate() {
+                    acc[row * 4 + col] = mul_conj_add(nk, bcol, acc[row * 4 + col]);
+                }
+                let nb = krow[1].mul_add(bv[1], krow[0].mul(bv[0]));
+                let nb = krow[2].mul_add(bv[2], nb);
+                let nb = krow[3].mul_add(bv[3], nb);
+                v4_store(bra, i, nb);
+            }
+        }
+        let l: [[Complex64; GROUP]; 16] = std::array::from_fn(|i| unsafe { v4_lanes(acc[i]) });
+        std::array::from_fn(|m| {
+            let mut out = Matrix4::zero();
+            for (row, orow) in out.m.iter_mut().enumerate() {
+                for (col, entry) in orow.iter_mut().enumerate() {
+                    *entry = l[row * 4 + col][m];
+                }
+            }
+            out
+        })
+    }
+
+    /// `Σ_{r,c} d[r][c]·R[c][r]` (local copy of the adjoint contraction).
+    fn trace2(d: &Matrix2, r: &Matrix2) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for row in 0..2 {
+            for col in 0..2 {
+                acc += d.m[row][col] * r.m[col][row];
+            }
+        }
+        acc
+    }
+
+    /// The 4×4 analogue of [`trace2`].
+    fn trace4(d: &Matrix4, r: &Matrix4) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for row in 0..4 {
+            for col in 0..4 {
+                acc += d.m[row][col] * r.m[col][row];
+            }
+        }
+        acc
+    }
+
+    pub(super) fn backward_members(
+        compiled: &CompiledCircuit,
+        ket: &mut [Complex64],
+        bra: &mut [Complex64],
+        grads: &mut [f64],
+        dim: usize,
+        num_slots: usize,
+    ) -> usize {
+        let batch = ket.len() / dim;
+        let groups = batch / GROUP;
+        if groups == 0 {
+            return 0;
+        }
+        let identity = Matrix2::identity();
+        let zero2 = Matrix2::zero();
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.resize(4 * GROUP * dim, 0.0);
+            let (kplane, bplane) = scratch.split_at_mut(2 * GROUP * dim);
+            let (kre, kim) = kplane.split_at_mut(GROUP * dim);
+            let (bre, bim) = bplane.split_at_mut(GROUP * dim);
+            let kp = Plane {
+                re: kre.as_mut_ptr(),
+                im: kim.as_mut_ptr(),
+            };
+            let bp = Plane {
+                re: bre.as_mut_ptr(),
+                im: bim.as_mut_ptr(),
+            };
+            for (g, (kchunk, bchunk)) in ket
+                .chunks_exact_mut(GROUP * dim)
+                .zip(bra.chunks_exact_mut(GROUP * dim))
+                .take(groups)
+                .enumerate()
+            {
+                transpose_in(kchunk, dim, kp);
+                transpose_in(bchunk, dim, bp);
+                let gbase = g * GROUP * num_slots;
+                for (idx, op) in compiled.ops().iter().enumerate().rev() {
+                    let derivs = compiled.op_derivs(idx);
+                    if derivs.is_empty() {
+                        // Constant op: plain dagger sweeps on both tiles.
+                        // SAFETY: callers checked the avx2 tier.
+                        unsafe {
+                            match op {
+                                FusedOp::One { m, q } => {
+                                    let d = m.dagger();
+                                    tile_one(kp, 0, dim, &d, *q);
+                                    tile_one(bp, 0, dim, &d, *q);
+                                }
+                                FusedOp::Multiplexed { a0, a1, c, t } => {
+                                    let d0 = a0.dagger();
+                                    let d1 = a1.dagger();
+                                    if d0 == identity {
+                                        tile_controlled(kp, 0, dim, &d1, *c, *t);
+                                        tile_controlled(bp, 0, dim, &d1, *c, *t);
+                                    } else {
+                                        tile_multiplexed(kp, 0, dim, &d0, &d1, *c, *t);
+                                        tile_multiplexed(bp, 0, dim, &d0, &d1, *c, *t);
+                                    }
+                                }
+                                FusedOp::Two { m, a, b } => {
+                                    let d = m.dagger();
+                                    tile_two(kp, 0, dim, &d, *a, *b);
+                                    tile_two(bp, 0, dim, &d, *a, *b);
+                                }
+                            }
+                        }
+                        continue;
+                    }
+                    match op {
+                        FusedOp::One { m, q } => {
+                            // SAFETY: callers checked the avx2 tier.
+                            let r =
+                                unsafe { tile_backward_one(kp, bp, dim, &m.dagger(), *q) };
+                            for (m, rm) in r.iter().enumerate() {
+                                let grow = gbase + m * num_slots;
+                                for sd in derivs {
+                                    let DerivKind::One(d) = &sd.d else {
+                                        unreachable!("deriv shape matches its fused op");
+                                    };
+                                    grads[grow + sd.slot] += 2.0 * trace2(d, rm).re;
+                                }
+                            }
+                        }
+                        FusedOp::Multiplexed { a0, a1, c, t } => {
+                            // Identity control-clear branch with all-zero
+                            // branch derivatives never contributes to R0:
+                            // skip that half of the sweep entirely.
+                            let skip_zero = *a0 == identity
+                                && derivs.iter().all(|sd| {
+                                    matches!(&sd.d, DerivKind::Multiplexed(d0, _) if *d0 == zero2)
+                                });
+                            // SAFETY: callers checked the avx2 tier.
+                            let (r0, r1) = unsafe {
+                                tile_backward_multiplexed(
+                                    kp,
+                                    bp,
+                                    dim,
+                                    &a0.dagger(),
+                                    &a1.dagger(),
+                                    *c,
+                                    *t,
+                                    skip_zero,
+                                )
+                            };
+                            for m in 0..GROUP {
+                                let grow = gbase + m * num_slots;
+                                for sd in derivs {
+                                    let DerivKind::Multiplexed(d0, d1) = &sd.d else {
+                                        unreachable!("deriv shape matches its fused op");
+                                    };
+                                    grads[grow + sd.slot] +=
+                                        2.0 * (trace2(d0, &r0[m]) + trace2(d1, &r1[m])).re;
+                                }
+                            }
+                        }
+                        FusedOp::Two { m, a, b } => {
+                            // SAFETY: callers checked the avx2 tier.
+                            let r = unsafe {
+                                tile_backward_two(kp, bp, dim, &m.dagger(), *a, *b)
+                            };
+                            for (m, rm) in r.iter().enumerate() {
+                                let grow = gbase + m * num_slots;
+                                for sd in derivs {
+                                    let DerivKind::Two(d) = &sd.d else {
+                                        unreachable!("deriv shape matches its fused op");
+                                    };
+                                    grads[grow + sd.slot] += 2.0 * trace4(d, rm).re;
+                                }
+                            }
+                        }
+                    }
+                }
+                transpose_out(kchunk, dim, kp);
+                transpose_out(bchunk, dim, bp);
+            }
+        });
+        groups * GROUP
+    }
+}
+
+/// The 512-bit tile variant: identical structure to [`x86`] but eight
+/// members per `__m512d` lane. Forward sweep only — the backward pass is
+/// reduction-heavy and stays on the 256-bit tile, while the forward
+/// sweep is FMA-throughput-bound and scales with lane width on CPUs with
+/// 512-bit FMA units. Per-lane arithmetic uses the same canonical
+/// `mul_add` ordering as every other layout, so results stay
+/// bit-identical to the scalar and 256-bit paths.
+#[cfg(target_arch = "x86_64")]
+mod w8 {
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    use super::op_span;
+    use crate::fusion::FusedOp;
+    use crate::gates::{Matrix2, Matrix4};
+    use crate::Complex64;
+
+    /// Members per 512-bit tile group.
+    pub(super) const GROUP: usize = 8;
+
+    std::thread_local! {
+        /// Per-thread tile scratch for the wide tile, grown once.
+        static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Split-plane tile over eight members: `re[idx·8 + m]`.
+    #[derive(Clone, Copy)]
+    struct Plane {
+        re: *mut f64,
+        im: *mut f64,
+    }
+
+    /// Eight members' worth of one amplitude index.
+    #[derive(Clone, Copy)]
+    struct V8 {
+        re: __m512d,
+        im: __m512d,
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn v8_load(p: Plane, idx: usize) -> V8 {
+        V8 {
+            re: _mm512_loadu_pd(p.re.add(idx * GROUP)),
+            im: _mm512_loadu_pd(p.im.add(idx * GROUP)),
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn v8_store(p: Plane, idx: usize, v: V8) {
+        _mm512_storeu_pd(p.re.add(idx * GROUP), v.re);
+        _mm512_storeu_pd(p.im.add(idx * GROUP), v.im);
+    }
+
+    /// A complex coefficient broadcast across the eight member lanes.
+    #[derive(Clone, Copy)]
+    struct K {
+        rr: __m512d,
+        ii: __m512d,
+    }
+
+    impl K {
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn new(c: Complex64) -> Self {
+            Self {
+                rr: _mm512_set1_pd(c.re),
+                ii: _mm512_set1_pd(c.im),
+            }
+        }
+
+        /// `self·v`.
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn mul(self, v: V8) -> V8 {
+            V8 {
+                re: _mm512_fnmadd_pd(v.im, self.ii, _mm512_mul_pd(v.re, self.rr)),
+                im: _mm512_fmadd_pd(v.re, self.ii, _mm512_mul_pd(v.im, self.rr)),
+            }
+        }
+
+        /// `acc + self·v`.
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn mul_add(self, v: V8, acc: V8) -> V8 {
+            V8 {
+                re: _mm512_fnmadd_pd(v.im, self.ii, _mm512_fmadd_pd(v.re, self.rr, acc.re)),
+                im: _mm512_fmadd_pd(v.re, self.ii, _mm512_fmadd_pd(v.im, self.rr, acc.im)),
+            }
+        }
+    }
+
+    /// Broadcast coefficients of a 2×2.
+    #[derive(Clone, Copy)]
+    struct K2 {
+        k: [[K; 2]; 2],
+    }
+
+    impl K2 {
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn new(g: &Matrix2) -> Self {
+            Self {
+                k: [
+                    [K::new(g.m[0][0]), K::new(g.m[0][1])],
+                    [K::new(g.m[1][0]), K::new(g.m[1][1])],
+                ],
+            }
+        }
+
+        /// In-place butterfly on amplitude indices `i`, `j` — canonical
+        /// row order (column 1 first), like every other layout.
+        #[inline]
+        #[target_feature(enable = "avx512f")]
+        unsafe fn butterfly(self, p: Plane, i: usize, j: usize) {
+            let vi = v8_load(p, i);
+            let vj = v8_load(p, j);
+            v8_store(p, i, self.k[0][0].mul_add(vi, self.k[0][1].mul(vj)));
+            v8_store(p, j, self.k[1][0].mul_add(vi, self.k[1][1].mul(vj)));
+        }
+    }
+
+    /// Amp-index block size for the transposes: all eight members fill
+    /// (or drain) one block of tile rows before moving on, so the
+    /// stride-`GROUP` side of the transpose stays within a few KiB of
+    /// L1-resident lines instead of streaming the whole tile per member.
+    const TRANSPOSE_BLOCK: usize = 64;
+
+    /// Member-major → split-plane tile for one group of eight members.
+    fn transpose_in(members: &[Complex64], dim: usize, p: Plane) {
+        let bs = dim.min(TRANSPOSE_BLOCK);
+        for start in (0..dim).step_by(bs) {
+            for (m, member) in members.chunks_exact(dim).enumerate() {
+                for (i, a) in member[start..start + bs].iter().enumerate() {
+                    // SAFETY: the scratch holds dim·GROUP entries per plane.
+                    unsafe {
+                        *p.re.add((start + i) * GROUP + m) = a.re;
+                        *p.im.add((start + i) * GROUP + m) = a.im;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split-plane tile → member-major for one group of eight members.
+    fn transpose_out(members: &mut [Complex64], dim: usize, p: Plane) {
+        let bs = dim.min(TRANSPOSE_BLOCK);
+        for start in (0..dim).step_by(bs) {
+            for (m, member) in members.chunks_exact_mut(dim).enumerate() {
+                for (i, a) in member[start..start + bs].iter_mut().enumerate() {
+                    // SAFETY: same bounds as `transpose_in`.
+                    unsafe {
+                        a.re = *p.re.add((start + i) * GROUP + m);
+                        a.im = *p.im.add((start + i) * GROUP + m);
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile_one(p: Plane, base: usize, len: usize, g: &Matrix2, q: usize) {
+        let k = K2::new(g);
+        let mask = 1usize << q;
+        let mut block = base;
+        while block < base + len {
+            for i in block..block + mask {
+                k.butterfly(p, i, i | mask);
+            }
+            block += 2 * mask;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile_controlled(p: Plane, base: usize, len: usize, g: &Matrix2, c: usize, t: usize) {
+        let k = K2::new(g);
+        let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+        let mlo = 1usize << lo;
+        let mhi = 1usize << hi;
+        let cmask = 1usize << c;
+        let tmask = 1usize << t;
+        let mut outer = base;
+        while outer < base + len {
+            let mut inner = outer;
+            while inner < outer + mhi {
+                for i in inner..inner + mlo {
+                    let x = i | cmask;
+                    k.butterfly(p, x, x | tmask);
+                }
+                inner += 2 * mlo;
+            }
+            outer += 2 * mhi;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn tile_multiplexed(
+        p: Plane,
+        base: usize,
+        len: usize,
+        a0: &Matrix2,
+        a1: &Matrix2,
+        c: usize,
+        t: usize,
+    ) {
+        let k0 = K2::new(a0);
+        let k1 = K2::new(a1);
+        let (lo, hi) = if c < t { (c, t) } else { (t, c) };
+        let mlo = 1usize << lo;
+        let mhi = 1usize << hi;
+        let cmask = 1usize << c;
+        let tmask = 1usize << t;
+        let mut outer = base;
+        while outer < base + len {
+            let mut inner = outer;
+            while inner < outer + mhi {
+                for quad in inner..inner + mlo {
+                    k0.butterfly(p, quad, quad | tmask);
+                    k1.butterfly(p, quad | cmask, quad | cmask | tmask);
+                }
+                inner += 2 * mlo;
+            }
+            outer += 2 * mhi;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile_two(p: Plane, base: usize, len: usize, g: &Matrix4, a: usize, b: usize) {
+        let mut k = [[K::new(Complex64::ZERO); 4]; 4];
+        for (row, mrow) in k.iter_mut().zip(&g.m) {
+            for (coef, entry) in row.iter_mut().zip(mrow) {
+                *coef = K::new(*entry);
+            }
+        }
+        let ma = 1usize << a;
+        let mb = 1usize << b;
+        let mut outer = base;
+        while outer < base + len {
+            let mut inner = outer;
+            while inner < outer + mb {
+                for quad in inner..inner + ma {
+                    let idx = [quad, quad | ma, quad | mb, quad | ma | mb];
+                    let v = [
+                        v8_load(p, idx[0]),
+                        v8_load(p, idx[1]),
+                        v8_load(p, idx[2]),
+                        v8_load(p, idx[3]),
+                    ];
+                    for (krow, &i) in k.iter().zip(&idx) {
+                        let acc = krow[1].mul_add(v[1], krow[0].mul(v[0]));
+                        let acc = krow[2].mul_add(v[2], acc);
+                        v8_store(p, i, krow[3].mul_add(v[3], acc));
+                    }
+                }
+                inner += 2 * ma;
+            }
+            outer += 2 * mb;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile_op(p: Plane, base: usize, len: usize, op: &FusedOp) {
+        match op {
+            FusedOp::One { m, q } => tile_one(p, base, len, m, *q),
+            FusedOp::Multiplexed { a0, a1, c, t } => {
+                if *a0 == Matrix2::identity() {
+                    tile_controlled(p, base, len, a1, *c, *t);
+                } else {
+                    tile_multiplexed(p, base, len, a0, a1, *c, *t);
+                }
+            }
+            FusedOp::Two { m, a, b } => tile_two(p, base, len, m, *a, *b),
+        }
+    }
+
+    /// L1-blocking chunk for the wide tile: `2 planes × 8 lanes ×
+    /// CHUNK_AMPS × 8 B = 32 KiB`, same budget as the 256-bit tile's
+    /// 512-amplitude chunks.
+    const CHUNK_AMPS: usize = 256;
+
+    /// Forward sweep, L1-blocked exactly like the 256-bit tile's.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn tile_sweep(p: Plane, dim: usize, ops: &[FusedOp]) {
+        let chunk = dim.min(CHUNK_AMPS);
+        let mut i = 0;
+        while i < ops.len() {
+            let mut j = i;
+            while j < ops.len() && op_span(&ops[j]) <= chunk {
+                j += 1;
+            }
+            if j == i {
+                tile_op(p, 0, dim, &ops[i]);
+                i += 1;
+            } else {
+                for base in (0..dim).step_by(chunk) {
+                    for op in &ops[i..j] {
+                        tile_op(p, base, chunk, op);
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+
+    pub(super) fn apply_members(ops: &[FusedOp], amps: &mut [Complex64], dim: usize) -> usize {
+        let batch = amps.len() / dim;
+        let groups = batch / GROUP;
+        if groups == 0 {
+            return 0;
+        }
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            scratch.resize(2 * GROUP * dim, 0.0);
+            let (re, im) = scratch.split_at_mut(GROUP * dim);
+            let p = Plane {
+                re: re.as_mut_ptr(),
+                im: im.as_mut_ptr(),
+            };
+            for chunk in amps.chunks_exact_mut(GROUP * dim).take(groups) {
+                transpose_in(chunk, dim, p);
+                // SAFETY: callers checked `avx512_tile()` (AVX-512F
+                // present); the tile covers indices below dim.
+                unsafe { tile_sweep(p, dim, ops) };
+                transpose_out(chunk, dim, p);
+            }
+        });
+        groups * GROUP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{u3_cu3_ansatz, AnsatzConfig, EntangleOrder};
+    use crate::fusion::DerivKind;
+    use crate::gates::{Matrix2, Matrix4};
+    use crate::kernels;
+
+    fn random_amps(len: usize, seed: u64) -> Vec<Complex64> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    /// An op list covering every tile kernel shape: one-qubit at the edge
+    /// positions, multiplexed in both orientations, identity-`a0`
+    /// (controlled sparsity) and a dense two-qubit op.
+    fn op_suite(n: usize) -> Vec<FusedOp> {
+        let u = |a, b, c| Matrix2::u3(a, b, c);
+        vec![
+            FusedOp::One { m: u(0.3, -0.8, 1.1), q: 0 },
+            FusedOp::One { m: u(-1.2, 0.4, 0.9), q: 1 },
+            FusedOp::One { m: u(0.6, 0.2, -0.5), q: n - 1 },
+            FusedOp::Multiplexed { a0: u(0.1, 0.7, -0.3), a1: u(-0.9, 0.2, 0.8), c: 0, t: 2 },
+            FusedOp::Multiplexed { a0: u(1.3, -0.2, 0.5), a1: u(0.4, 0.9, -1.1), c: 2, t: 0 },
+            FusedOp::Multiplexed { a0: Matrix2::identity(), a1: u(0.8, -0.6, 0.2), c: 1, t: n - 1 },
+            FusedOp::Two {
+                m: Matrix4::controlled(&u(0.5, 0.3, -0.7), true)
+                    .matmul(&Matrix4::single_on_low(&u(-0.4, 1.0, 0.6))),
+                a: 1,
+                b: 3,
+            },
+        ]
+    }
+
+    /// The QuServe batching contract: tile-handled members carry exactly
+    /// the same bits as the per-member interleaved path (`assert_eq!` on
+    /// the raw f64 bits, not a tolerance).
+    #[test]
+    fn tile_forward_is_bit_identical_to_per_member_path() {
+        let n = 5;
+        let dim = 1usize << n;
+        let ops = op_suite(n);
+        for batch in [4usize, 5, 7, 8, 16] {
+            let mut tiled = random_amps(batch * dim, 0xBA7C + batch as u64);
+            let reference = tiled.clone();
+            let done = apply_members(&ops, &mut tiled, dim);
+            if done == 0 {
+                return; // no AVX2 tier on this host: tile declines, nothing to pin
+            }
+            assert_eq!(done, (batch / GROUP) * GROUP, "batch {batch}");
+            let mut expect = reference.clone();
+            for member in expect[..done * dim].chunks_mut(dim) {
+                for op in &ops {
+                    match op {
+                        FusedOp::One { m, q } => kernels::apply_one(member, m, *q, 1),
+                        FusedOp::Multiplexed { a0, a1, c, t } => {
+                            kernels::apply_multiplexed(member, a0, a1, *c, *t, 1)
+                        }
+                        FusedOp::Two { m, a, b } => kernels::apply_two(member, m, *a, *b, 1),
+                    }
+                }
+            }
+            for (i, (x, y)) in tiled[..done * dim].iter().zip(&expect[..done * dim]).enumerate() {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "batch {batch}, amplitude {i}: {x:?} vs {y:?}"
+                );
+            }
+            // The remainder group is the caller's job and must be untouched.
+            for (i, (x, y)) in tiled[done * dim..].iter().zip(&reference[done * dim..]).enumerate() {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "batch {batch}, tail amplitude {i} was modified"
+                );
+            }
+        }
+    }
+
+    fn trace2(d: &Matrix2, r: &Matrix2) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for row in 0..2 {
+            for col in 0..2 {
+                acc += d.m[row][col] * r.m[col][row];
+            }
+        }
+        acc
+    }
+
+    fn trace4(d: &Matrix4, r: &Matrix4) -> Complex64 {
+        let mut acc = Complex64::ZERO;
+        for row in 0..4 {
+            for col in 0..4 {
+                acc += d.m[row][col] * r.m[col][row];
+            }
+        }
+        acc
+    }
+
+    /// Per-member reference of the backward sweep, written against the
+    /// dispatcher kernels (mirrors `adjoint::backward_member`).
+    fn backward_reference(
+        compiled: &CompiledCircuit,
+        ket: &mut [Complex64],
+        bra: &mut [Complex64],
+        grad: &mut [f64],
+    ) {
+        for (idx, op) in compiled.ops().iter().enumerate().rev() {
+            let derivs = compiled.op_derivs(idx);
+            if derivs.is_empty() {
+                for amps in [&mut *ket, &mut *bra] {
+                    match op {
+                        FusedOp::One { m, q } => kernels::apply_one(amps, &m.dagger(), *q, 1),
+                        FusedOp::Multiplexed { a0, a1, c, t } => kernels::apply_multiplexed(
+                            amps,
+                            &a0.dagger(),
+                            &a1.dagger(),
+                            *c,
+                            *t,
+                            1,
+                        ),
+                        FusedOp::Two { m, a, b } => {
+                            kernels::apply_two(amps, &m.dagger(), *a, *b, 1)
+                        }
+                    }
+                }
+                continue;
+            }
+            match op {
+                FusedOp::One { m, q } => {
+                    let r = kernels::backward_step_one(ket, bra, &m.dagger(), *q, 1);
+                    for sd in derivs {
+                        let DerivKind::One(d) = &sd.d else { unreachable!() };
+                        grad[sd.slot] += 2.0 * trace2(d, &r).re;
+                    }
+                }
+                FusedOp::Multiplexed { a0, a1, c, t } => {
+                    let (r0, r1) = kernels::backward_step_multiplexed(
+                        ket,
+                        bra,
+                        &a0.dagger(),
+                        &a1.dagger(),
+                        *c,
+                        *t,
+                        1,
+                    );
+                    for sd in derivs {
+                        let DerivKind::Multiplexed(d0, d1) = &sd.d else { unreachable!() };
+                        grad[sd.slot] += 2.0 * (trace2(d0, &r0) + trace2(d1, &r1)).re;
+                    }
+                }
+                FusedOp::Two { m, a, b } => {
+                    let r = kernels::backward_step_two(ket, bra, &m.dagger(), *a, *b, 1);
+                    for sd in derivs {
+                        let DerivKind::Two(d) = &sd.d else { unreachable!() };
+                        grad[sd.slot] += 2.0 * trace4(d, &r).re;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_backward_matches_per_member_reference() {
+        // An ansatz plus constant gates so the sweep hits the
+        // empty-derivative (dagger-only) arm too.
+        let mut circuit = u3_cu3_ansatz(AnsatzConfig {
+            num_qubits: 4,
+            num_blocks: 2,
+            entangle: EntangleOrder::Ring,
+        })
+        .unwrap();
+        circuit.h(0).unwrap().swap(1, 3).unwrap();
+        let params: Vec<f64> = (0..circuit.num_slots()).map(|i| 0.1 + 0.05 * i as f64).collect();
+        let compiled = CompiledCircuit::compile_with_grad(&circuit, &params).unwrap();
+        let dim = 1usize << 4;
+        let ns = compiled.num_slots();
+        for batch in [4usize, 8] {
+            let mut ket = random_amps(batch * dim, 0x5EED + batch as u64);
+            let mut bra = random_amps(batch * dim, 0xF00D + batch as u64);
+            let mut grads = vec![0.0; batch * ns];
+            let mut ket_ref = ket.clone();
+            let mut bra_ref = bra.clone();
+            let mut grads_ref = vec![0.0; batch * ns];
+            let done = backward_members(&compiled, &mut ket, &mut bra, &mut grads, dim, ns);
+            if done == 0 {
+                return; // no AVX2 tier on this host
+            }
+            assert_eq!(done, batch);
+            for ((k, b), g) in ket_ref
+                .chunks_mut(dim)
+                .zip(bra_ref.chunks_mut(dim))
+                .zip(grads_ref.chunks_mut(ns))
+            {
+                backward_reference(&compiled, k, b, g);
+            }
+            for (i, (a, b)) in grads.iter().zip(&grads_ref).enumerate() {
+                assert!((a - b).abs() < 1e-12, "grad {i}: {a} vs {b}");
+            }
+            for (i, (a, b)) in ket.iter().zip(&ket_ref).enumerate() {
+                assert!((*a - *b).norm() < 1e-12, "ket {i}: {a:?} vs {b:?}");
+            }
+            for (i, (a, b)) in bra.iter().zip(&bra_ref).enumerate() {
+                assert!((*a - *b).norm() < 1e-12, "bra {i}: {a:?} vs {b:?}");
+            }
+        }
+    }
+}

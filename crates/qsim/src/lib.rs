@@ -57,7 +57,15 @@
 //! chunked multi-threading (scoped threads; no external dependencies) on
 //! registers of ≥ 2¹⁵ amplitudes, with a serial fallback below that. The
 //! thread budget is a [`BackendConfig`] field; `QUGEO_SIM_THREADS` is the
-//! fallback when none is configured.
+//! fallback when none is configured. On x86-64 CPUs with AVX2 and FMA the
+//! kernels run explicit-lane SIMD bodies selected once per process by
+//! runtime feature detection, and where AVX-512F is also present the
+//! batched tile sweeps widen to 512-bit eight-member registers
+//! ([`simd_feature_level`] reports the resolved tier: `"avx512"`,
+//! `"avx2"` or `"scalar"`). `QUGEO_SIMD=off` — or
+//! [`set_simd_enabled`]`(false)` for in-process A/B runs — pins the
+//! bit-identical scalar tier, and `QUGEO_SIMD=avx2` pins the 256-bit
+//! tile on AVX-512 hardware.
 //!
 //! # Qubit ordering
 //!
@@ -114,6 +122,7 @@ pub use complex::Complex64;
 pub use error::QsimError;
 pub use fusion::{CircuitStructure, CompiledCircuit, DerivKind, FusedOp, SlotDeriv};
 pub use gates::{Matrix2, Matrix4};
+pub use kernels::{set_simd_enabled, simd_feature_level};
 pub use passes::{run_passes, CancelInverses, MergeRotations, Pass, PassConfig, PassIr, WidenPairs};
 pub use gradient::{
     adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,

@@ -155,12 +155,7 @@ impl DiagonalObservable {
             self.num_qubits,
             "observable and state disagree on qubit count"
         );
-        state
-            .amplitudes()
-            .iter()
-            .zip(&self.diag)
-            .map(|(a, &d)| d * a.norm_sqr())
-            .sum()
+        crate::kernels::expectation_diag(state.amplitudes(), &self.diag)
     }
 
     /// Applies the observable to a state, producing `O|ψ⟩` (element-wise

@@ -117,12 +117,14 @@ impl State {
 
     /// Probabilities of all basis states.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let mut out = vec![0.0; self.amps.len()];
+        crate::kernels::probabilities_into(&self.amps, &mut out);
+        out
     }
 
     /// Euclidean norm of the state (1.0 for a physical state).
     pub fn norm(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+        crate::kernels::norm_sqr_sum(&self.amps).sqrt()
     }
 
     /// Rescales to unit norm (no-op on a zero vector).

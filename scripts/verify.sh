@@ -8,6 +8,7 @@
 #   ./scripts/verify.sh bench-smoke  # gradient-engine smoke gate only
 #   ./scripts/verify.sh serve-smoke  # serving-layer smoke gate only
 #   ./scripts/verify.sh compiler-smoke  # structure/bind + pass-pipeline gate only
+#   ./scripts/verify.sh kernel-smoke # SIMD/scalar differential + throughput gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
 # (lib, tests, benches, examples, bins) — warnings are errors, and use
@@ -93,6 +94,23 @@ compiler_smoke() {
         --smoke --json target/BENCH_qsim.smoke.json
 }
 
+# Kernel gate: the full-circuit SIMD differential suite run twice — once
+# with QUGEO_SIMD=off (scalar tier vs references) and once with the
+# default runtime dispatch (AVX2/AVX-512 where detected) — then a 1-rep
+# kernel_throughput smoke run, whose built-in differential asserts the
+# scalar and SIMD tiers agree to 1e-12 on forward amplitudes, values and
+# gradients. The JSON goes to a scratch path so a smoke run never
+# clobbers the tracked BENCH_qsim.json numbers.
+kernel_smoke() {
+    echo "==> cargo test --release --test simd_differential (QUGEO_SIMD=off)"
+    QUGEO_SIMD=off cargo test -q --release -p qugeo-qsim --test simd_differential
+    echo "==> cargo test --release --test simd_differential (runtime dispatch)"
+    cargo test -q --release -p qugeo-qsim --test simd_differential
+    echo "==> kernel_throughput --smoke"
+    cargo run --release --quiet -p qugeo-bench --bin kernel_throughput -- \
+        --smoke --json target/BENCH_kernel.smoke.json
+}
+
 case "${1:-all}" in
     docs) docs_gate ;;
     lint) lint_gate ;;
@@ -100,6 +118,7 @@ case "${1:-all}" in
     bench-smoke|--bench-smoke) bench_smoke ;;
     serve-smoke|--serve-smoke) serve_smoke ;;
     compiler-smoke|--compiler-smoke) compiler_smoke ;;
+    kernel-smoke|--kernel-smoke) kernel_smoke ;;
     all)
         tier1
         lint_gate
@@ -107,9 +126,10 @@ case "${1:-all}" in
         bench_smoke
         serve_smoke
         compiler_smoke
+        kernel_smoke
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke]" >&2
+        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke|kernel-smoke]" >&2
         exit 2
         ;;
 esac
