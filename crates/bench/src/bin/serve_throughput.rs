@@ -143,7 +143,7 @@ fn run_coalesced<B, F>(
 ) -> (f64, f64)
 where
     B: QuantumBackend + 'static,
-    F: FnMut(usize) -> B,
+    F: FnMut(usize) -> B + Send + 'static,
 {
     // Closed-loop clients coalesce through queue backlog (the worker is
     // busy while clients enqueue), so the straggler window stays off —
@@ -154,6 +154,7 @@ where
         max_wait: Duration::ZERO,
         queue_depth: 4096,
         coalesce: mode,
+        ..ServeConfig::default()
     };
     let serve =
         QuServe::start_with(model.clone(), params, config, backend_for).expect("service starts");
@@ -177,6 +178,127 @@ where
     let us = start.elapsed().as_secs_f64() * 1e6 / (per_client * clients) as f64;
     let mean_batch = serve.stats().mean_batch();
     (us, mean_batch)
+}
+
+/// What the chaos/recovery scenario measured.
+struct ChaosReport {
+    requests: usize,
+    us_per_req: f64,
+    panics: usize,
+    transients: usize,
+    nans: usize,
+    latency_spikes: usize,
+    restarts: usize,
+    retries: usize,
+    /// Fraction of requests that succeeded on their first attempt.
+    availability: f64,
+    /// Whether the fleet healed back to the configured worker count.
+    recovered: bool,
+    /// Mean supervisor backoff paid per worker respawn.
+    mean_backoff_us: f64,
+}
+
+/// The recovery scenario: closed-loop clients with unbounded retries
+/// against a service whose backend injects a seeded fault schedule
+/// (panics, transient errors, NaN outputs, latency spikes). Measures
+/// throughput *under* chaos, first-attempt availability, and whether the
+/// supervisor heals the fleet back to full size.
+fn run_chaos(model: &QuGeoVqc, params: &[f64], total: usize, clients: usize) -> ChaosReport {
+    use qugeo_qsim::{FaultInjectingBackend, FaultPlan, FaultState};
+    use std::sync::Arc;
+
+    const WORKERS: usize = 2;
+    let plan = FaultPlan {
+        seed: 0xC4A0_5EED,
+        panic_rate: 0.015,
+        transient_rate: 0.02,
+        nan_rate: 0.02,
+        latency_rate: 0.01,
+        latency: Duration::from_micros(200),
+    };
+    let state = Arc::new(FaultState::default());
+    let one_core = BackendConfig::with_threads(1);
+    let serve = QuServe::start_with(
+        model.clone(),
+        params,
+        ServeConfig {
+            workers: WORKERS,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_depth: 4096,
+            coalesce: CoalesceMode::Batched,
+            restart_budget: 10_000,
+            restart_window: Duration::from_secs(3600),
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+        {
+            let state = Arc::clone(&state);
+            move |_| {
+                FaultInjectingBackend::with_state(
+                    StatevectorBackend::with_config(one_core),
+                    plan,
+                    Arc::clone(&state),
+                )
+            }
+        },
+    )
+    .expect("service starts");
+
+    let policy = qugeo::serve::RetryPolicy {
+        max_attempts: usize::MAX,
+        base_backoff: Duration::from_micros(50),
+        backoff_cap: Duration::from_millis(1),
+        jitter_seed: 11,
+    };
+    let per_client = total / clients;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let serve = &serve;
+            let model = &model;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    std::hint::black_box(
+                        serve
+                            .predict_with_retry(request(model, c * per_client + i), policy)
+                            .expect("request survives chaos"),
+                    );
+                }
+            });
+        }
+    });
+    let served = per_client * clients;
+    let us = start.elapsed().as_secs_f64() * 1e6 / served as f64;
+
+    // Give the supervisor a bounded window to finish healing the fleet.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let recovered = loop {
+        let stats = serve.stats();
+        if serve.alive_workers() == WORKERS && stats.worker_restarts == state.panics() as usize {
+            break true;
+        }
+        if Instant::now() >= deadline {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let stats = serve.stats();
+    let faults = state.faults() as usize - state.latencies() as usize;
+    ChaosReport {
+        requests: served,
+        us_per_req: us,
+        panics: state.panics() as usize,
+        transients: state.transients() as usize,
+        nans: state.nans() as usize,
+        latency_spikes: state.latencies() as usize,
+        restarts: stats.worker_restarts,
+        retries: stats.retries,
+        availability: (served.saturating_sub(faults)) as f64 / served as f64,
+        recovered,
+        mean_backoff_us: stats.backoff_total_us as f64 / stats.worker_restarts.max(1) as f64,
+    }
 }
 
 fn main() {
@@ -231,7 +353,7 @@ fn main() {
             CoalesceMode::Batched,
             clients,
             cfg.total_requests,
-            |_| StatevectorBackend::with_config(one_core),
+            move |_| StatevectorBackend::with_config(one_core),
         );
         print_row(Row {
             backend: "statevector",
@@ -271,7 +393,7 @@ fn main() {
             CoalesceMode::Packed,
             clients,
             cfg.total_requests,
-            |w| ShotSamplerBackend::with_config(shots, 7 + w as u64, one_core),
+            move |w| ShotSamplerBackend::with_config(shots, 7 + w as u64, one_core),
         );
         print_row(Row {
             backend: "shot-sampler",
@@ -285,6 +407,25 @@ fn main() {
         });
     }
     println!("{:-<86}", "");
+
+    // Scenario 3: chaos/recovery — throughput and availability while a
+    // fault-injecting backend kills workers and corrupts executions.
+    let chaos = run_chaos(&model, &params, cfg.total_requests, 4);
+    println!(
+        "chaos: {} req at {:.1} us/req under {} panics / {} transients / {} NaN / {} latency; \
+         availability {:.4}, {} restarts (mean backoff {:.0} us), recovered: {}",
+        chaos.requests,
+        chaos.us_per_req,
+        chaos.panics,
+        chaos.transients,
+        chaos.nans,
+        chaos.latency_spikes,
+        chaos.availability,
+        chaos.restarts,
+        chaos.mean_backoff_us,
+        chaos.recovered,
+    );
+    assert!(chaos.recovered, "fleet failed to heal after the chaos run");
 
     // Determinism guards (what the verify.sh serve-smoke gate relies
     // on): Batched coalescing is bit-identical to sequential prediction;
@@ -372,6 +513,23 @@ fn main() {
             r.mean_batch,
         ));
     }
+    json.push_str(&format!(
+        "  {{\"workload\": \"serve_chaos\", \"requests\": {}, \"us_per_req\": {:.1}, \
+         \"panics\": {}, \"transients\": {}, \"nan_outputs\": {}, \"latency_spikes\": {}, \
+         \"worker_restarts\": {}, \"retries\": {}, \"availability\": {:.4}, \
+         \"mean_backoff_us\": {:.1}, \"recovered\": {}}},\n",
+        chaos.requests,
+        chaos.us_per_req,
+        chaos.panics,
+        chaos.transients,
+        chaos.nans,
+        chaos.latency_spikes,
+        chaos.restarts,
+        chaos.retries,
+        chaos.availability,
+        chaos.mean_backoff_us,
+        chaos.recovered,
+    ));
     json.push_str(&format!(
         "  {{\"workload\": \"serve_determinism\", \"batched_bit_identical\": true, \
          \"packed_max_abs_err\": {packed_max_err:.3e}}}\n]\n"

@@ -3,15 +3,43 @@
 //! A checkpoint stores the trained parameter vector together with enough
 //! model metadata to refuse loading into an incompatible [`QuGeoVqc`] —
 //! so experiment binaries can train once and evaluate many times.
+//!
+//! # Durability
+//!
+//! [`Checkpoint::save`] is crash-safe: the record is serialised in
+//! memory, written to a temporary file in the *target's own directory*,
+//! fsynced, and renamed over the destination — so a crash mid-save
+//! leaves either the old file or the new one, never a torn hybrid. The
+//! record ends in a CRC32 footer over every preceding byte;
+//! [`Checkpoint::load`] recomputes it and returns
+//! [`QuGeoError::CorruptCheckpoint`] on any mismatch or truncation, the
+//! typed signal recovery code uses to skip a damaged artifact and fall
+//! back to an older one (see `train::callback::latest_valid`).
+//!
+//! # Resume metadata
+//!
+//! Version-2 checkpoints additionally carry the epoch they were taken
+//! after and the optimiser's flat state vector
+//! ([`qugeo_nn::optim::Optimizer::state`]), which is what lets
+//! `Trainer::fit_resuming` continue an interrupted run bit-identically.
+//! Version-1 files (pre-footer) still load, with no resume metadata.
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 use crate::model::QuGeoVqc;
 use crate::QuGeoError;
 
-/// File magic of the checkpoint format.
-const MAGIC: &[u8; 8] = b"QGCKPT01";
+/// File magic of the legacy (v1) checkpoint format: no integrity footer,
+/// no resume metadata.
+const MAGIC_V1: &[u8; 8] = b"QGCKPT01";
+
+/// File magic of the current checkpoint format: epoch + optimiser state
+/// + CRC32 footer.
+const MAGIC_V2: &[u8; 8] = b"QGCKPT02";
+
+/// Epoch sentinel meaning "no resume metadata".
+const NO_EPOCH: u64 = u64::MAX;
 
 /// A trained-parameter checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,10 +50,18 @@ pub struct Checkpoint {
     pub data_qubits: usize,
     /// Free-form label (e.g. "Q-M-LY on Q-D-FW, 500 epochs").
     pub label: String,
+    /// The 0-based epoch this checkpoint was taken *after*, when captured
+    /// mid-training ([`Checkpoint::capture_training`]); `None` for plain
+    /// end-of-run captures and legacy v1 files. A resumed run continues
+    /// at `epoch + 1`.
+    pub epoch: Option<usize>,
+    /// The optimiser's serialised state at capture time
+    /// ([`qugeo_nn::optim::Optimizer::state`]); empty when absent.
+    pub opt_state: Vec<f64>,
 }
 
 impl Checkpoint {
-    /// Captures a model's trained parameters.
+    /// Captures a model's trained parameters (no resume metadata).
     ///
     /// # Errors
     ///
@@ -45,7 +81,30 @@ impl Checkpoint {
             params: params.to_vec(),
             data_qubits: model.data_qubits(),
             label: label.to_string(),
+            epoch: None,
+            opt_state: Vec::new(),
         })
+    }
+
+    /// Captures a mid-training snapshot carrying everything a resumed
+    /// run needs to continue bit-identically: the epoch just finished and
+    /// the optimiser's serialised state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] if the parameter count disagrees
+    /// with the model.
+    pub fn capture_training(
+        model: &QuGeoVqc,
+        params: &[f64],
+        label: &str,
+        epoch: usize,
+        opt_state: &[f64],
+    ) -> Result<Self, QuGeoError> {
+        let mut ckpt = Self::capture(model, params, label)?;
+        ckpt.epoch = Some(epoch);
+        ckpt.opt_state = opt_state.to_vec();
+        Ok(ckpt)
     }
 
     /// Restores the parameters, validating against the target model.
@@ -69,7 +128,37 @@ impl Checkpoint {
         Ok(self.params.clone())
     }
 
-    /// Writes the checkpoint to `path`.
+    /// Serialises the checkpoint in the v2 on-disk layout, CRC footer
+    /// included.
+    fn to_bytes(&self) -> Vec<u8> {
+        let label = self.label.as_bytes();
+        let mut buf = Vec::with_capacity(
+            8 + 8 * 4 + label.len() + 8 * (self.params.len() + self.opt_state.len()) + 4,
+        );
+        buf.extend_from_slice(MAGIC_V2);
+        buf.extend_from_slice(&(self.data_qubits as u64).to_le_bytes());
+        buf.extend_from_slice(&(label.len() as u64).to_le_bytes());
+        buf.extend_from_slice(label);
+        buf.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for p in &self.params {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        let epoch = self.epoch.map_or(NO_EPOCH, |e| e as u64);
+        buf.extend_from_slice(&epoch.to_le_bytes());
+        buf.extend_from_slice(&(self.opt_state.len() as u64).to_le_bytes());
+        for s in &self.opt_state {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Writes the checkpoint to `path`, atomically.
+    ///
+    /// The bytes land in a temporary file in the same directory, are
+    /// fsynced, and the temp file is renamed over `path` — a crash at any
+    /// point leaves either the previous file or the complete new one.
     ///
     /// # Errors
     ///
@@ -78,69 +167,198 @@ impl Checkpoint {
         let io_err = |e: std::io::Error| QuGeoError::Config {
             reason: format!("checkpoint write failed: {e}"),
         };
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
-        f.write_all(MAGIC).map_err(io_err)?;
-        f.write_all(&(self.data_qubits as u64).to_le_bytes())
-            .map_err(io_err)?;
-        let label = self.label.as_bytes();
-        f.write_all(&(label.len() as u64).to_le_bytes()).map_err(io_err)?;
-        f.write_all(label).map_err(io_err)?;
-        f.write_all(&(self.params.len() as u64).to_le_bytes())
-            .map_err(io_err)?;
-        for p in &self.params {
-            f.write_all(&p.to_le_bytes()).map_err(io_err)?;
+        let bytes = self.to_bytes();
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(&bytes).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+            std::fs::rename(&tmp, path).map_err(io_err)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
         }
-        f.flush().map_err(io_err)
+        result
     }
 
-    /// Reads a checkpoint from `path`.
+    /// Reads a checkpoint from `path`, accepting the current (v2) format
+    /// and legacy v1 files.
     ///
     /// # Errors
     ///
-    /// Returns [`QuGeoError::Config`] for I/O failures or malformed
-    /// files.
+    /// Returns [`QuGeoError::CorruptCheckpoint`] when a v2 file is
+    /// truncated or fails its CRC32 footer — the torn-file signal —
+    /// and [`QuGeoError::Config`] for I/O failures or files that were
+    /// never checkpoints (wrong magic, implausible counts).
     pub fn load(path: &Path) -> Result<Self, QuGeoError> {
-        let bad = |reason: String| QuGeoError::Config { reason };
-        let io_err = |e: std::io::Error| QuGeoError::Config {
+        let bytes = std::fs::read(path).map_err(|e| QuGeoError::Config {
             reason: format!("checkpoint read failed: {e}"),
-        };
-        let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
-
-        let mut magic = [0u8; 8];
-        f.read_exact(&mut magic).map_err(io_err)?;
-        if &magic != MAGIC {
-            return Err(bad("not a qugeo checkpoint".into()));
+        })?;
+        if bytes.len() < 8 {
+            return Err(QuGeoError::CorruptCheckpoint {
+                reason: format!("file is {} bytes — shorter than the magic", bytes.len()),
+            });
         }
-        let mut u64buf = [0u8; 8];
-        f.read_exact(&mut u64buf).map_err(io_err)?;
-        let data_qubits = u64::from_le_bytes(u64buf) as usize;
+        match &bytes[..8] {
+            m if m == MAGIC_V2 => Self::parse_v2(&bytes),
+            m if m == MAGIC_V1 => Self::parse_v1(&bytes),
+            _ => Err(QuGeoError::Config {
+                reason: "not a qugeo checkpoint".into(),
+            }),
+        }
+    }
 
-        f.read_exact(&mut u64buf).map_err(io_err)?;
-        let label_len = u64::from_le_bytes(u64buf) as usize;
+    /// Parses the current format: everything after the magic is
+    /// CRC-protected, so any truncation or bit damage surfaces as
+    /// [`QuGeoError::CorruptCheckpoint`].
+    fn parse_v2(bytes: &[u8]) -> Result<Self, QuGeoError> {
+        let corrupt = |reason: String| QuGeoError::CorruptCheckpoint { reason };
+        if bytes.len() < 12 {
+            return Err(corrupt("file too short for a CRC footer".into()));
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().expect("4-byte footer"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "CRC mismatch: footer {stored:#010x}, computed {computed:#010x} \
+                 (torn write or bit damage)"
+            )));
+        }
+        let mut cur = Cursor::new(&body[8..]);
+        let data_qubits = cur.u64(&corrupt)? as usize;
+        let label_len = cur.u64(&corrupt)? as usize;
         if label_len > 1 << 20 {
-            return Err(bad(format!("implausible label length {label_len}")));
+            return Err(corrupt(format!("implausible label length {label_len}")));
         }
-        let mut label_bytes = vec![0u8; label_len];
-        f.read_exact(&mut label_bytes).map_err(io_err)?;
-        let label = String::from_utf8(label_bytes)
-            .map_err(|_| bad("label not utf-8".into()))?;
-
-        f.read_exact(&mut u64buf).map_err(io_err)?;
-        let count = u64::from_le_bytes(u64buf) as usize;
+        let label = String::from_utf8(cur.take(label_len, &corrupt)?.to_vec())
+            .map_err(|_| corrupt("label not utf-8".into()))?;
+        let count = cur.u64(&corrupt)? as usize;
         if count > 1 << 24 {
-            return Err(bad(format!("implausible parameter count {count}")));
+            return Err(corrupt(format!("implausible parameter count {count}")));
         }
-        let mut params = Vec::with_capacity(count);
-        for _ in 0..count {
-            f.read_exact(&mut u64buf).map_err(io_err)?;
-            params.push(f64::from_le_bytes(u64buf));
+        let params = cur.f64s(count, &corrupt)?;
+        let epoch = match cur.u64(&corrupt)? {
+            NO_EPOCH => None,
+            e => Some(e as usize),
+        };
+        let opt_count = cur.u64(&corrupt)? as usize;
+        if opt_count > 1 << 26 {
+            return Err(corrupt(format!("implausible optimizer-state count {opt_count}")));
+        }
+        let opt_state = cur.f64s(opt_count, &corrupt)?;
+        if !cur.at_end() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the record",
+                cur.remaining()
+            )));
         }
         Ok(Self {
             params,
             data_qubits,
             label,
+            epoch,
+            opt_state,
         })
     }
+
+    /// Parses the legacy pre-footer format. No integrity protection
+    /// existed, so malformed content surfaces as [`QuGeoError::Config`]
+    /// exactly as it always did.
+    fn parse_v1(bytes: &[u8]) -> Result<Self, QuGeoError> {
+        let bad = |reason: String| QuGeoError::Config { reason };
+        let mut cur = Cursor::new(&bytes[8..]);
+        let data_qubits = cur.u64(&bad)? as usize;
+        let label_len = cur.u64(&bad)? as usize;
+        if label_len > 1 << 20 {
+            return Err(bad(format!("implausible label length {label_len}")));
+        }
+        let label = String::from_utf8(cur.take(label_len, &bad)?.to_vec())
+            .map_err(|_| bad("label not utf-8".into()))?;
+        let count = cur.u64(&bad)? as usize;
+        if count > 1 << 24 {
+            return Err(bad(format!("implausible parameter count {count}")));
+        }
+        let params = cur.f64s(count, &bad)?;
+        Ok(Self {
+            params,
+            data_qubits,
+            label,
+            epoch: None,
+            opt_state: Vec::new(),
+        })
+    }
+}
+
+/// A bounds-checked reader over a byte slice; every short read maps
+/// through the caller's error constructor so v1 keeps `Config` errors
+/// and v2 reports `CorruptCheckpoint`.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(
+        &mut self,
+        n: usize,
+        err: &impl Fn(String) -> QuGeoError,
+    ) -> Result<&'a [u8], QuGeoError> {
+        if self.remaining() < n {
+            return Err(err(format!(
+                "truncated: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self, err: &impl Fn(String) -> QuGeoError) -> Result<u64, QuGeoError> {
+        let s = self.take(8, err)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64s(
+        &mut self,
+        n: usize,
+        err: &impl Fn(String) -> QuGeoError,
+    ) -> Result<Vec<f64>, QuGeoError> {
+        let s = self.take(8 * n, err)?;
+        Ok(s.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn at_end(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+/// IEEE CRC32 (polynomial `0xEDB88320`), bitwise — the integrity footer
+/// of the v2 checkpoint format.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 #[cfg(test)]
@@ -152,6 +370,13 @@ mod tests {
         let dir = std::env::temp_dir().join("qugeo_ckpt_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]
@@ -171,8 +396,26 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(ckpt, loaded);
         assert_eq!(loaded.label, "Q-M-LY test");
+        assert_eq!(loaded.epoch, None);
+        assert!(loaded.opt_state.is_empty());
         let restored = loaded.restore_into(&m).unwrap();
         assert_eq!(restored, params);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn training_capture_round_trips_resume_metadata() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(5);
+        let opt_state: Vec<f64> = (0..7).map(|i| i as f64 * 0.25 - 0.5).collect();
+        let ckpt =
+            Checkpoint::capture_training(&m, &params, "mid-run", 42, &opt_state).unwrap();
+        let path = tmp("training.ckpt");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ckpt);
+        assert_eq!(loaded.epoch, Some(42));
+        assert_eq!(loaded.opt_state, opt_state);
         std::fs::remove_file(&path).ok();
     }
 
@@ -193,7 +436,92 @@ mod tests {
     fn load_rejects_garbage() {
         let path = tmp("garbage.ckpt");
         std::fs::write(&path, b"definitely not a checkpoint").unwrap();
-        assert!(Checkpoint::load(&path).is_err());
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(QuGeoError::Config { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_file_is_a_typed_corruption_error() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let ckpt = Checkpoint::capture(&m, &m.init_params(3), "torn").unwrap();
+        let path = tmp("torn.ckpt");
+        ckpt.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncation at every suspicious boundary reads as corruption,
+        // not as a short-but-plausible checkpoint.
+        for cut in [9, 40, full.len() / 2, full.len() - 5, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert!(
+                matches!(err, QuGeoError::CorruptCheckpoint { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+
+        // A single flipped bit in the middle of the parameter payload
+        // fails the CRC.
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, QuGeoError::CorruptCheckpoint { .. }));
+        assert!(err.to_string().contains("CRC"));
+
+        // The pristine bytes still load.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_over_existing_file() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let path = tmp("atomic.ckpt");
+        let first = Checkpoint::capture(&m, &m.init_params(1), "first").unwrap();
+        first.save(&path).unwrap();
+        let second = Checkpoint::capture(&m, &m.init_params(2), "second").unwrap();
+        second.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), second);
+        // No temp droppings left behind.
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("atomic.ckpt.tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        // Hand-build a v1 record: magic, qubits, label, params — no
+        // footer, no resume metadata.
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(11);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&(m.data_qubits() as u64).to_le_bytes());
+        let label = b"legacy";
+        bytes.extend_from_slice(&(label.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(label);
+        bytes.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        for p in &params {
+            bytes.extend_from_slice(&p.to_le_bytes());
+        }
+        let path = tmp("legacy.ckpt");
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.params, params);
+        assert_eq!(loaded.label, "legacy");
+        assert_eq!(loaded.epoch, None);
+        assert!(loaded.opt_state.is_empty());
+        assert!(loaded.restore_into(&m).is_ok());
         std::fs::remove_file(&path).ok();
     }
 

@@ -38,6 +38,15 @@ pub enum QuGeoError {
     Network(NnError),
     /// An array shape mismatch.
     Shape(ShapeError),
+    /// A checkpoint file failed integrity verification — torn by a crash
+    /// mid-write, truncated, or bit-flipped on disk (CRC32 footer
+    /// mismatch). Distinct from [`QuGeoError::Config`] so recovery code
+    /// can skip the damaged artifact and fall back to an older one
+    /// instead of aborting.
+    CorruptCheckpoint {
+        /// What integrity check failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QuGeoError {
@@ -49,6 +58,9 @@ impl fmt::Display for QuGeoError {
             Self::Data(e) => write!(f, "data pipeline failed: {e}"),
             Self::Network(e) => write!(f, "network failed: {e}"),
             Self::Shape(e) => write!(f, "shape mismatch: {e}"),
+            Self::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
+            }
         }
     }
 }
@@ -56,7 +68,7 @@ impl fmt::Display for QuGeoError {
 impl Error for QuGeoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            Self::Config { .. } => None,
+            Self::Config { .. } | Self::CorruptCheckpoint { .. } => None,
             Self::Quantum(e) => Some(e),
             Self::Modeling(e) => Some(e),
             Self::Data(e) => Some(e),

@@ -37,6 +37,17 @@
 //! * A [`ModelRegistry`] holds named parameter checkpoints; the service
 //!   hot-swaps to a registered vector **between batches** via
 //!   [`QuServe::deploy_from`] with no restart and no torn batch.
+//! * A **supervisor thread** watches for worker death (engine panic) and
+//!   respawns a fresh [`InferenceSession`] worker at the current
+//!   parameters, with exponential backoff and a bounded restart budget
+//!   per rolling window — budget exhausted means a typed
+//!   [`ServeError::Degraded`], never silent capacity loss. Requests can
+//!   carry deadlines ([`QuServe::predict_with_deadline`]) that are shed
+//!   at dequeue instead of simulated late; [`RetryPolicy`] retries
+//!   transient faults with deterministic jittered backoff; and a
+//!   circuit breaker falls [`CoalesceMode::Packed`] execution back to
+//!   [`CoalesceMode::Batched`] while batches are failing. See
+//!   `docs/SERVING.md` § "Failure handling and recovery".
 //!
 //! Determinism contract: in [`CoalesceMode::Batched`] on a deterministic
 //! backend, the result of a request is independent of which worker served
@@ -66,16 +77,17 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use qugeo_qsim::complexity::log2_ceil;
-use qugeo_qsim::{BackendConfig, QuantumBackend, StatevectorBackend};
+use qugeo_qsim::{BackendConfig, QsimError, QuantumBackend, StatevectorBackend};
 use qugeo_tensor::Array2;
 
 use crate::checkpoint::Checkpoint;
+use crate::error::QuGeoError;
 use crate::model::QuGeoVqc;
 use crate::session::InferenceSession;
 
@@ -127,6 +139,26 @@ pub enum ServeError {
         /// The mismatch, spelled out.
         reason: String,
     },
+    /// The request's deadline expired while it waited in the queue; it
+    /// was shed at dequeue without costing a simulation. Late answers are
+    /// worthless to the caller — shedding them protects the requests that
+    /// can still make their deadlines.
+    DeadlineExceeded,
+    /// A transient execution fault (injected chaos, corrupted output,
+    /// backend contention) failed this request; a retry of the same
+    /// request may well succeed. [`RetryPolicy`] retries this variant.
+    TransientFailure {
+        /// The fault, stringified for fan-out to every batch member.
+        reason: String,
+    },
+    /// The worker restart budget is exhausted: workers died faster than
+    /// the supervisor may respawn them within the rolling window. The
+    /// service is explicitly degraded — not silently smaller — and
+    /// refuses requests it can no longer serve.
+    Degraded {
+        /// Workers still alive when the request was refused.
+        alive_workers: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -144,11 +176,37 @@ impl std::fmt::Display for ServeError {
             Self::IncompatibleCheckpoint { reason } => {
                 write!(f, "incompatible checkpoint: {reason}")
             }
+            Self::DeadlineExceeded => {
+                write!(f, "request deadline expired before execution (shed at dequeue)")
+            }
+            Self::TransientFailure { reason } => {
+                write!(f, "transient serving failure (retry may succeed): {reason}")
+            }
+            Self::Degraded { alive_workers } => {
+                write!(
+                    f,
+                    "service degraded: worker restart budget exhausted ({alive_workers} \
+                     workers still alive)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+impl ServeError {
+    /// Whether a [`RetryPolicy`] may retry a request that failed with
+    /// this error. Only [`ServeError::WorkerLost`] and
+    /// [`ServeError::TransientFailure`] qualify: the fault was in the
+    /// *execution*, not the request, and the service expects to recover.
+    /// [`ServeError::Overloaded`] is deliberately **not** retryable —
+    /// retrying into a full queue amplifies the overload the shed exists
+    /// to relieve.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::WorkerLost | Self::TransientFailure { .. })
+    }
+}
 
 /// How a worker executes a coalesced batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -196,6 +254,34 @@ pub struct ServeConfig {
     /// Execution shape for coalesced batches. Default
     /// [`CoalesceMode::Batched`].
     pub coalesce: CoalesceMode,
+    /// Worker respawns the supervisor may perform per rolling
+    /// [`ServeConfig::restart_window`]. Once exhausted, further deaths
+    /// are *not* respawned: the service turns [`ServeError::Degraded`]
+    /// instead of crash-looping. Default 8.
+    pub restart_budget: usize,
+    /// The rolling window the restart budget applies to. Default 60 s.
+    pub restart_window: Duration,
+    /// Backoff before the first respawn of a crash-looping worker slot;
+    /// doubles per consecutive respawn of the same slot (reset by a
+    /// successful batch) up to [`ServeConfig::backoff_cap`]. Default
+    /// 5 ms.
+    pub backoff_base: Duration,
+    /// Upper bound on the supervisor's exponential respawn backoff.
+    /// Default 1 s.
+    pub backoff_cap: Duration,
+    /// Deadline applied to every [`QuServe::predict`] submission, from
+    /// enqueue time; requests still queued when it expires are shed at
+    /// dequeue with [`ServeError::DeadlineExceeded`], never simulated.
+    /// `None` — the default — means no server-side deadline;
+    /// [`QuServe::predict_with_deadline`] overrides per request.
+    pub default_deadline: Option<Duration>,
+    /// Consecutive failed batches a worker tolerates before it trips the
+    /// circuit breaker. While the breaker is open,
+    /// [`CoalesceMode::Packed`] workers fall back to
+    /// [`CoalesceMode::Batched`] execution (isolating the failure to
+    /// single registers); the first fully successful batch closes it.
+    /// 0 — the default — disables the breaker.
+    pub breaker_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -206,6 +292,12 @@ impl Default for ServeConfig {
             max_wait: Duration::ZERO,
             queue_depth: 256,
             coalesce: CoalesceMode::Batched,
+            restart_budget: 8,
+            restart_window: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_secs(1),
+            default_deadline: None,
+            breaker_threshold: 0,
         }
     }
 }
@@ -216,10 +308,11 @@ impl ServeConfig {
     /// # Errors
     ///
     /// Returns [`ServeError::Config`] for zero workers/batch/queue, for
-    /// a queue shallower than one full batch, and — in
-    /// [`CoalesceMode::Packed`] — for multi-group models or a
-    /// `max_batch` whose packed register would exceed the model's qubit
-    /// budget.
+    /// a queue shallower than one full batch, for inconsistent
+    /// supervision knobs (a restart budget with a zero window, a backoff
+    /// cap below the base), and — in [`CoalesceMode::Packed`] — for
+    /// multi-group models or a `max_batch` whose packed register would
+    /// exceed the model's qubit budget.
     pub fn validate(&self, model: &QuGeoVqc) -> Result<(), ServeError> {
         if self.workers == 0 {
             return Err(ServeError::Config {
@@ -236,6 +329,19 @@ impl ServeConfig {
                 reason: format!(
                     "queue_depth {} cannot hold one full batch of {}",
                     self.queue_depth, self.max_batch
+                ),
+            });
+        }
+        if self.restart_budget > 0 && self.restart_window.is_zero() {
+            return Err(ServeError::Config {
+                reason: "a non-zero restart_budget needs a non-zero restart_window".into(),
+            });
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(ServeError::Config {
+                reason: format!(
+                    "backoff_cap {:?} below backoff_base {:?}",
+                    self.backoff_cap, self.backoff_base
                 ),
             });
         }
@@ -389,6 +495,38 @@ pub struct ServeStats {
     /// deploy per worker, plus one per stale packed-width entry lazily
     /// refreshed after a deploy.
     pub session_rebinds: usize,
+    /// Workers the supervisor respawned after a death.
+    pub worker_restarts: usize,
+    /// Respawns the supervisor refused because the restart budget for
+    /// the rolling window was exhausted (each refusal marks the service
+    /// degraded).
+    pub restarts_denied: usize,
+    /// Total respawn backoff the supervisor waited, in microseconds —
+    /// divide by [`ServeStats::worker_restarts`] for the mean recovery
+    /// delay.
+    pub backoff_total_us: usize,
+    /// Requests shed at dequeue because their deadline had expired
+    /// (answered [`ServeError::DeadlineExceeded`], never simulated).
+    pub deadline_shed: usize,
+    /// Abandoned requests (dropped [`PredictHandle`]) skipped at dequeue
+    /// without costing a simulation.
+    pub abandoned_shed: usize,
+    /// Retries performed by [`QuServe::predict_with_retry`].
+    pub retries: usize,
+    /// Requests answered [`ServeError::TransientFailure`] (typed
+    /// transient engine faults and non-finite outputs). A subset of
+    /// [`ServeStats::failed`].
+    pub transient_failures: usize,
+    /// Times the circuit breaker tripped open after
+    /// [`ServeConfig::breaker_threshold`] consecutive failed batches.
+    pub breaker_trips: usize,
+    /// Batches a [`CoalesceMode::Packed`] worker executed in the
+    /// [`CoalesceMode::Batched`] shape because the breaker was open.
+    pub packed_fallbacks: usize,
+    /// Whether the restart budget has ever been exhausted. Sticky: once
+    /// degraded, the flag stays set so operators notice even if some
+    /// workers survive.
+    pub degraded: bool,
 }
 
 impl ServeStats {
@@ -402,17 +540,82 @@ impl ServeStats {
     }
 }
 
-/// One queued request: the scaled seismic vector plus the channel its
-/// result travels back on.
+/// Client-side retry behaviour for [`QuServe::predict_with_retry`].
+///
+/// Retries apply **only** to [retryable](ServeError::is_retryable)
+/// failures — a lost worker or a transient execution fault — never to
+/// [`ServeError::Overloaded`] (retrying into a full queue amplifies the
+/// overload) and never to request errors. Backoff between attempts is
+/// exponential with deterministic jitter: the delay sequence is a pure
+/// function of [`RetryPolicy::jitter_seed`], so tests of retry behaviour
+/// reproduce exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first included; `usize::MAX` retries until a
+    /// non-retryable outcome. 0 is treated as 1. Default 3.
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    /// Default 1 ms.
+    pub base_backoff: Duration,
+    /// Upper bound on the per-retry backoff. Default 50 ms.
+    pub backoff_cap: Duration,
+    /// Seed of the deterministic jitter (each delay is scaled into
+    /// `[50%, 100%]` of its nominal value). Default `0x5EED`.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry `retry` (0-based): exponential
+    /// in the retry index, capped, then scaled into `[50%, 100%]` by a
+    /// seeded hash — deterministic per (`jitter_seed`, `retry`).
+    fn backoff_before_retry(&self, retry: usize) -> Duration {
+        let exp = u32::try_from(retry.min(16)).expect("min(16) fits u32");
+        let nominal = self
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(exp))
+            .min(self.backoff_cap);
+        let unit = (mix_seed(self.jitter_seed, retry as u64) >> 11) as f64 / (1u64 << 53) as f64;
+        nominal.mul_f64(0.5 + 0.5 * unit)
+    }
+}
+
+/// SplitMix64-style decorrelation of (seed, index) for retry jitter.
+fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One queued request: the scaled seismic vector, the channel its result
+/// travels back on, the deadline it must start executing by, and the
+/// abandonment flag its [`PredictHandle`] raises on drop.
 struct Request {
     seismic: Vec<f64>,
     tx: mpsc::Sender<Result<Array2, ServeError>>,
+    deadline: Option<Instant>,
+    abandoned: Arc<AtomicBool>,
 }
 
 /// Queue state guarded by the service mutex.
 struct QueueState {
     pending: VecDeque<Request>,
     shutdown: bool,
+    /// Set (under this lock) when the restart budget is exhausted with
+    /// no worker left alive — new submissions are refused with
+    /// [`ServeError::Degraded`] instead of queueing forever.
+    degraded: bool,
 }
 
 /// Generation-tagged parameter vector for between-batch hot swap.
@@ -421,7 +624,8 @@ struct ParamState {
     params: Arc<Vec<f64>>,
 }
 
-/// State shared between the service handle and its workers.
+/// State shared between the service handle, its workers, and the
+/// supervisor.
 struct Shared {
     queue: Mutex<QueueState>,
     not_empty: Condvar,
@@ -438,15 +642,57 @@ struct Shared {
     session_compilations: AtomicUsize,
     session_rebinds: AtomicUsize,
     generation: AtomicU64,
+    worker_restarts: AtomicUsize,
+    restarts_denied: AtomicUsize,
+    backoff_total_us: AtomicUsize,
+    deadline_shed: AtomicUsize,
+    abandoned_shed: AtomicUsize,
+    retries: AtomicUsize,
+    transient_failures: AtomicUsize,
+    breaker_trips: AtomicUsize,
+    packed_fallbacks: AtomicUsize,
+    /// Sticky degraded marker, set on any denied respawn.
+    degraded: AtomicBool,
+    /// Consecutive failed batches feeding the circuit breaker.
+    breaker_failures: AtomicUsize,
+    /// Whether the circuit breaker is currently open.
+    breaker_open: AtomicBool,
+    /// Per-slot consecutive-respawn counters driving exponential
+    /// backoff; a worker zeroes its slot after any successful batch.
+    consecutive_restarts: Vec<AtomicUsize>,
+}
+
+/// Control-plane messages from workers (via their exit guards) and the
+/// service handle to the supervisor.
+enum SupervisorMsg {
+    /// A worker thread exited; `panicked` distinguishes an engine panic
+    /// (respawn) from the normal shutdown drain (don't).
+    WorkerExit {
+        /// The worker's slot index.
+        slot: usize,
+        /// Whether the thread was unwinding when the guard dropped.
+        panicked: bool,
+    },
+    /// The service is shutting down; join the workers and exit.
+    Shutdown,
 }
 
 /// The pending result of one [`QuServe::predict`] call.
 ///
-/// Dropping the handle abandons the request (the worker's answer is
-/// discarded); it does not cancel execution.
+/// Dropping the handle abandons the request: if it is still queued when
+/// a worker reaches it, it is skipped at dequeue **without costing a
+/// simulation** (counted in [`ServeStats::abandoned_shed`]); a request
+/// already executing finishes and its answer is discarded.
 #[derive(Debug)]
 pub struct PredictHandle {
     rx: mpsc::Receiver<Result<Array2, ServeError>>,
+    abandoned: Arc<AtomicBool>,
+}
+
+impl Drop for PredictHandle {
+    fn drop(&mut self) {
+        self.abandoned.store(true, Ordering::Release);
+    }
 }
 
 impl PredictHandle {
@@ -483,7 +729,8 @@ impl PredictHandle {
 /// operation.
 pub struct QuServe {
     shared: Arc<Shared>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+    control: mpsc::Sender<SupervisorMsg>,
     model: QuGeoVqc,
     config: ServeConfig,
 }
@@ -492,7 +739,7 @@ impl std::fmt::Debug for QuServe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QuServe")
             .field("config", &self.config)
-            .field("workers", &self.workers.len())
+            .field("alive_workers", &self.alive_workers())
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -513,13 +760,14 @@ impl QuServe {
         config: ServeConfig,
     ) -> Result<Self, ServeError> {
         let workers = config.workers;
-        Self::start_with(model, params, config, |_| {
+        Self::start_with(model, params, config, move |_| {
             StatevectorBackend::with_config(BackendConfig::shared_across(workers))
         })
     }
 
     /// Starts a service whose workers execute on backends produced by
-    /// `backend_for` (called once per worker index) — finite-shot, noisy,
+    /// `backend_for` (called once per worker index at startup, and again
+    /// whenever the supervisor respawns that slot) — finite-shot, noisy,
     /// or custom [`QuantumBackend`] implementations all serve through the
     /// same queue.
     ///
@@ -535,7 +783,7 @@ impl QuServe {
     ) -> Result<Self, ServeError>
     where
         B: QuantumBackend + 'static,
-        F: FnMut(usize) -> B,
+        F: FnMut(usize) -> B + Send + 'static,
     {
         config.validate(&model)?;
         // Sessions are built on the caller's thread so construction
@@ -552,6 +800,7 @@ impl QuServe {
             queue: Mutex::new(QueueState {
                 pending: VecDeque::with_capacity(config.queue_depth),
                 shutdown: false,
+                degraded: false,
             }),
             not_empty: Condvar::new(),
             params: Mutex::new(ParamState {
@@ -570,17 +819,46 @@ impl QuServe {
             session_compilations: AtomicUsize::new(0),
             session_rebinds: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
+            worker_restarts: AtomicUsize::new(0),
+            restarts_denied: AtomicUsize::new(0),
+            backoff_total_us: AtomicUsize::new(0),
+            deadline_shed: AtomicUsize::new(0),
+            abandoned_shed: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            transient_failures: AtomicUsize::new(0),
+            breaker_trips: AtomicUsize::new(0),
+            packed_fallbacks: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
+            breaker_failures: AtomicUsize::new(0),
+            breaker_open: AtomicBool::new(false),
+            consecutive_restarts: (0..config.workers).map(|_| AtomicUsize::new(0)).collect(),
         });
-        let workers = sessions
+        let (control, control_rx) = mpsc::channel();
+        let handles: Vec<Option<std::thread::JoinHandle<()>>> = sessions
             .into_iter()
-            .map(|session| {
+            .enumerate()
+            .map(|(slot, session)| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(session, shared, config))
+                let control = control.clone();
+                Some(std::thread::spawn(move || {
+                    worker_loop(session, shared, config, slot, 0, control)
+                }))
             })
             .collect();
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let model = model.clone();
+            let control = control.clone();
+            std::thread::spawn(move || {
+                supervisor_loop(
+                    backend_for, model, shared, config, control_rx, handles, control,
+                )
+            })
+        };
         Ok(Self {
             shared,
-            workers,
+            supervisor: Some(supervisor),
+            control,
             model,
             config,
         })
@@ -600,15 +878,36 @@ impl QuServe {
     /// handle immediately. The request is validated here — length,
     /// finiteness, and encodability — so a malformed request can never
     /// fail (or, in packed mode, silently corrupt) an innocent batch it
-    /// would have been coalesced with.
+    /// would have been coalesced with. The request carries
+    /// [`ServeConfig::default_deadline`], if set.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::BadRequest`] for wrong-length, non-finite,
     /// or all-zero input (amplitude encoding needs a nonzero vector),
-    /// [`ServeError::Overloaded`] when the queue is full, and
-    /// [`ServeError::ShuttingDown`] after shutdown began.
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown began, and
+    /// [`ServeError::Degraded`] once the restart budget is exhausted
+    /// with no worker left to serve.
     pub fn predict(&self, seismic: Vec<f64>) -> Result<PredictHandle, ServeError> {
+        self.predict_with_deadline(seismic, self.config.default_deadline)
+    }
+
+    /// [`QuServe::predict`] with an explicit per-request deadline
+    /// (`None` disables it for this request even when
+    /// [`ServeConfig::default_deadline`] is set). The deadline starts at
+    /// enqueue; a request still queued when it expires is shed at
+    /// dequeue with [`ServeError::DeadlineExceeded`] — it never costs a
+    /// simulation.
+    ///
+    /// # Errors
+    ///
+    /// As [`QuServe::predict`].
+    pub fn predict_with_deadline(
+        &self,
+        seismic: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictHandle, ServeError> {
         if seismic.len() != self.model.config().seismic_len {
             return Err(ServeError::BadRequest {
                 reason: format!(
@@ -629,10 +928,17 @@ impl QuServe {
             });
         }
         let (tx, rx) = mpsc::channel();
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let deadline = deadline.map(|d| Instant::now() + d);
         {
             let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
             if queue.shutdown {
                 return Err(ServeError::ShuttingDown);
+            }
+            if queue.degraded {
+                return Err(ServeError::Degraded {
+                    alive_workers: self.shared.alive_workers.load(Ordering::Acquire),
+                });
             }
             if queue.pending.len() >= self.config.queue_depth {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -640,11 +946,16 @@ impl QuServe {
                     depth: self.config.queue_depth,
                 });
             }
-            queue.pending.push_back(Request { seismic, tx });
+            queue.pending.push_back(Request {
+                seismic,
+                tx,
+                deadline,
+                abandoned: Arc::clone(&abandoned),
+            });
         }
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.not_empty.notify_one();
-        Ok(PredictHandle { rx })
+        Ok(PredictHandle { rx, abandoned })
     }
 
     /// [`QuServe::predict`] + [`PredictHandle::wait`] in one call — the
@@ -655,6 +966,50 @@ impl QuServe {
     /// As [`QuServe::predict`] and [`PredictHandle::wait`].
     pub fn predict_blocking(&self, seismic: Vec<f64>) -> Result<Array2, ServeError> {
         self.predict(seismic)?.wait()
+    }
+
+    /// [`QuServe::predict_blocking`] wrapped in `policy`: attempts are
+    /// repeated — with deterministic jittered exponential backoff —
+    /// while the failure is [retryable](ServeError::is_retryable) (a
+    /// lost worker, a transient execution fault) and attempts remain.
+    /// [`ServeError::Overloaded`], request errors, and shutdown are
+    /// returned immediately. Each performed retry counts into
+    /// [`ServeStats::retries`].
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error, as [`QuServe::predict_blocking`].
+    pub fn predict_with_retry(
+        &self,
+        seismic: Vec<f64>,
+        policy: RetryPolicy,
+    ) -> Result<Array2, ServeError> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempt = 0usize;
+        loop {
+            let result = self.predict_blocking(seismic.clone());
+            attempt += 1;
+            match result {
+                Ok(map) => return Ok(map),
+                Err(e) if e.is_retryable() && attempt < max_attempts => {
+                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff_before_retry(attempt - 1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Worker threads currently alive (the configured count, minus dead
+    /// workers the supervisor has not yet respawned).
+    pub fn alive_workers(&self) -> usize {
+        self.shared.alive_workers.load(Ordering::Acquire)
+    }
+
+    /// Whether the restart budget has ever been exhausted (sticky — see
+    /// [`ServeStats::degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Acquire)
     }
 
     /// Replaces the served parameter vector. Workers adopt the new
@@ -724,6 +1079,16 @@ impl QuServe {
             swaps: self.shared.swaps.load(Ordering::Relaxed),
             session_compilations: self.shared.session_compilations.load(Ordering::Relaxed),
             session_rebinds: self.shared.session_rebinds.load(Ordering::Relaxed),
+            worker_restarts: self.shared.worker_restarts.load(Ordering::Relaxed),
+            restarts_denied: self.shared.restarts_denied.load(Ordering::Relaxed),
+            backoff_total_us: self.shared.backoff_total_us.load(Ordering::Relaxed),
+            deadline_shed: self.shared.deadline_shed.load(Ordering::Relaxed),
+            abandoned_shed: self.shared.abandoned_shed.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            transient_failures: self.shared.transient_failures.load(Ordering::Relaxed),
+            breaker_trips: self.shared.breaker_trips.load(Ordering::Relaxed),
+            packed_fallbacks: self.shared.packed_fallbacks.load(Ordering::Relaxed),
+            degraded: self.shared.degraded.load(Ordering::Acquire),
         }
     }
 
@@ -740,12 +1105,13 @@ impl QuServe {
             queue.shutdown = true;
         }
         self.shared.not_empty.notify_all();
-        for worker in self.workers.drain(..) {
-            // A panicked worker failed its in-flight requests via
-            // dropped senders, and its exit guard failed anything left
-            // in the queue if it was the last one — joining here cannot
-            // block on stranded work either way.
-            let _ = worker.join();
+        // The supervisor owns the worker handles: tell it to stop
+        // respawning, join the workers, and fail anything stranded; then
+        // join it. A panicked worker failed its in-flight requests via
+        // dropped senders, so nothing here can block on stranded work.
+        let _ = self.control.send(SupervisorMsg::Shutdown);
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -756,16 +1122,42 @@ impl Drop for QuServe {
     }
 }
 
-/// Pops one coalesced batch: blocks while the queue is empty, then takes
-/// up to `max_batch` requests, holding a partial batch open for at most
-/// `max_wait` in case stragglers arrive. Returns `None` once the service
-/// is shut down **and** drained.
+/// Pops the next *live* request: abandoned entries (dropped handles) are
+/// skipped without costing anything, and entries whose deadline already
+/// expired are answered [`ServeError::DeadlineExceeded`] on the spot —
+/// neither ever reaches a simulation. Returns `None` when no live
+/// request remains queued.
+fn pop_live(queue: &mut QueueState, shared: &Shared) -> Option<Request> {
+    while let Some(request) = queue.pending.pop_front() {
+        if request.abandoned.load(Ordering::Acquire) {
+            shared.abandoned_shed.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if let Some(deadline) = request.deadline {
+            if Instant::now() >= deadline {
+                shared.deadline_shed.fetch_add(1, Ordering::Relaxed);
+                let _ = request.tx.send(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+        }
+        return Some(request);
+    }
+    None
+}
+
+/// Pops one coalesced batch: blocks while the queue holds no live
+/// request, then takes up to `max_batch` of them, holding a partial
+/// batch open for at most `max_wait` in case stragglers arrive. Returns
+/// `None` once the service is shut down **and** drained.
 fn collect_batch(shared: &Shared, config: &ServeConfig) -> Option<Vec<Request>> {
     let mut queue = shared.queue.lock().expect("serve queue poisoned");
+    let mut batch = Vec::new();
     loop {
-        if !queue.pending.is_empty() {
+        if let Some(request) = pop_live(&mut queue, shared) {
+            batch.push(request);
             break;
         }
+        // Only dead entries (or nothing) were queued; keep waiting.
         if queue.shutdown {
             return None;
         }
@@ -774,9 +1166,9 @@ fn collect_batch(shared: &Shared, config: &ServeConfig) -> Option<Vec<Request>> 
             .wait(queue)
             .expect("serve queue poisoned");
     }
-    let mut batch = Vec::with_capacity(config.max_batch.min(queue.pending.len()));
+    batch.reserve(config.max_batch.min(queue.pending.len() + 1));
     while batch.len() < config.max_batch {
-        match queue.pending.pop_front() {
+        match pop_live(&mut queue, shared) {
             Some(request) => batch.push(request),
             None => break,
         }
@@ -798,7 +1190,7 @@ fn collect_batch(shared: &Shared, config: &ServeConfig) -> Option<Vec<Request>> 
                 .expect("serve queue poisoned");
             queue = guard;
             while batch.len() < config.max_batch {
-                match queue.pending.pop_front() {
+                match pop_live(&mut queue, shared) {
                     Some(request) => batch.push(request),
                     None => break,
                 }
@@ -811,43 +1203,224 @@ fn collect_batch(shared: &Shared, config: &ServeConfig) -> Option<Vec<Request>> 
     Some(batch)
 }
 
-/// Runs on every worker exit — normal (shutdown) or panic. When the
-/// *last* worker leaves, nothing will ever pop the queue again: any
-/// requests still pending are dropped so their callers get
-/// [`ServeError::WorkerLost`] instead of blocking forever, and the
-/// shutdown flag is raised so new submissions are refused rather than
-/// accepted into a queue nobody serves. (After a normal shutdown the
-/// workers have already drained the queue, so this is a no-op then.)
+/// Runs on every worker exit — normal (shutdown drain) or panic.
+/// Decrements the live-worker count and reports the exit to the
+/// supervisor, which decides whether to respawn ([`supervisor_loop`]).
+/// In-flight requests of a panicking worker fail through their dropped
+/// senders ([`ServeError::WorkerLost`]); queued requests stay queued for
+/// the respawned worker (or the supervisor's degraded drain).
 struct WorkerExitGuard {
     shared: Arc<Shared>,
+    slot: usize,
+    control: mpsc::Sender<SupervisorMsg>,
 }
 
 impl Drop for WorkerExitGuard {
     fn drop(&mut self) {
-        if self.shared.alive_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let stranded = {
-                let mut queue = self.shared.queue.lock().expect("serve queue poisoned");
-                queue.shutdown = true;
-                std::mem::take(&mut queue.pending)
-            };
-            // Dropping the senders wakes every stranded caller.
-            drop(stranded);
-            self.shared.not_empty.notify_all();
+        self.shared.alive_workers.fetch_sub(1, Ordering::AcqRel);
+        // The supervisor may itself be gone during teardown; then the
+        // shutdown path owns stranded-request cleanup.
+        let _ = self.control.send(SupervisorMsg::WorkerExit {
+            slot: self.slot,
+            panicked: std::thread::panicking(),
+        });
+    }
+}
+
+/// The supervision thread: reaps dead workers and — for panics outside
+/// shutdown — respawns a fresh session-owning worker at the *current*
+/// parameters, after an exponential per-slot backoff and within a
+/// bounded restart budget per rolling window. A denied respawn marks the
+/// service degraded; if it also left zero workers alive, every queued
+/// request is answered [`ServeError::Degraded`] and new submissions are
+/// refused. On shutdown the supervisor joins all workers and fails
+/// anything still stranded.
+fn supervisor_loop<B, F>(
+    mut backend_for: F,
+    model: QuGeoVqc,
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    rx: mpsc::Receiver<SupervisorMsg>,
+    mut handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    control: mpsc::Sender<SupervisorMsg>,
+) where
+    B: QuantumBackend + 'static,
+    F: FnMut(usize) -> B + Send + 'static,
+{
+    // Completed respawn timestamps inside the rolling window.
+    let mut restart_times: VecDeque<Instant> = VecDeque::new();
+    // Exit messages that arrived while waiting out a backoff.
+    let mut deferred: VecDeque<SupervisorMsg> = VecDeque::new();
+    'supervise: loop {
+        let msg = match deferred.pop_front() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            },
+        };
+        let (slot, panicked) = match msg {
+            SupervisorMsg::Shutdown => break,
+            SupervisorMsg::WorkerExit { slot, panicked } => (slot, panicked),
+        };
+        // Reap the dead thread first so a respawn never races its
+        // predecessor on the same slot.
+        if let Some(handle) = handles[slot].take() {
+            let _ = handle.join();
         }
+        let shutting_down = shared.queue.lock().expect("serve queue poisoned").shutdown;
+        if !panicked || shutting_down {
+            continue;
+        }
+        // Enforce the restart budget over the rolling window.
+        let now = Instant::now();
+        while restart_times
+            .front()
+            .is_some_and(|&t| now.duration_since(t) >= config.restart_window)
+        {
+            restart_times.pop_front();
+        }
+        if restart_times.len() >= config.restart_budget {
+            deny_restart(&shared);
+            continue;
+        }
+        // Exponential per-slot backoff: doubles for every consecutive
+        // respawn of this slot (a successful batch resets the counter),
+        // capped. The wait runs on the control channel so a Shutdown
+        // arriving mid-backoff is honoured immediately and other exits
+        // are deferred, never lost — the supervisor never busy-spins.
+        let consecutive = shared.consecutive_restarts[slot].fetch_add(1, Ordering::AcqRel);
+        let exp = u32::try_from(consecutive.min(20)).expect("min(20) fits u32");
+        let backoff = config
+            .backoff_base
+            .saturating_mul(2u32.saturating_pow(exp))
+            .min(config.backoff_cap);
+        let wake_at = Instant::now() + backoff;
+        loop {
+            let now = Instant::now();
+            if now >= wake_at {
+                break;
+            }
+            match rx.recv_timeout(wake_at - now) {
+                Ok(SupervisorMsg::Shutdown) => {
+                    shared
+                        .backoff_total_us
+                        .fetch_add(backoff.as_micros() as usize, Ordering::Relaxed);
+                    break 'supervise;
+                }
+                Ok(exit) => deferred.push_back(exit),
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        shared
+            .backoff_total_us
+            .fetch_add(backoff.as_micros() as usize, Ordering::Relaxed);
+        // Rebuild the session at the current deployed parameters so the
+        // respawned worker serves the same generation as its peers.
+        let (generation, params) = {
+            let state = shared.params.lock().expect("param state poisoned");
+            (state.generation, Arc::clone(&state.params))
+        };
+        match InferenceSession::with_backend(model.clone(), &params, backend_for(slot)) {
+            Ok(session) => {
+                restart_times.push_back(Instant::now());
+                shared.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                shared.alive_workers.fetch_add(1, Ordering::AcqRel);
+                let worker_shared = Arc::clone(&shared);
+                let worker_control = control.clone();
+                handles[slot] = Some(std::thread::spawn(move || {
+                    worker_loop(
+                        session,
+                        worker_shared,
+                        config,
+                        slot,
+                        generation,
+                        worker_control,
+                    )
+                }));
+            }
+            Err(_) => {
+                // Parameters were validated at deploy, so this should be
+                // unreachable — but a supervisor must never die. Treat
+                // an unconstructable session as a denied restart.
+                deny_restart(&shared);
+            }
+        }
+    }
+    // Shutdown (or a lost control channel): join what's left, then fail
+    // anything still stranded in the queue so no caller blocks forever.
+    for handle in handles.iter_mut().filter_map(Option::take) {
+        let _ = handle.join();
+    }
+    let stranded = {
+        let mut queue = shared.queue.lock().expect("serve queue poisoned");
+        queue.shutdown = true;
+        std::mem::take(&mut queue.pending)
+    };
+    // Dropping the senders wakes every stranded caller with WorkerLost.
+    drop(stranded);
+    shared.not_empty.notify_all();
+}
+
+/// One denied respawn: count it, mark the service degraded, and — when
+/// it left nobody alive to serve — drain the queue with
+/// [`ServeError::Degraded`] and refuse new submissions.
+fn deny_restart(shared: &Shared) {
+    shared.restarts_denied.fetch_add(1, Ordering::Relaxed);
+    shared.degraded.store(true, Ordering::Release);
+    if shared.alive_workers.load(Ordering::Acquire) == 0 {
+        let stranded = {
+            let mut queue = shared.queue.lock().expect("serve queue poisoned");
+            queue.degraded = true;
+            std::mem::take(&mut queue.pending)
+        };
+        for request in stranded {
+            let _ = request.tx.send(Err(ServeError::Degraded { alive_workers: 0 }));
+        }
+        shared.not_empty.notify_all();
+    }
+}
+
+/// Circuit-breaker bookkeeping for one executed batch: a failure counts
+/// toward the consecutive-failure threshold (tripping the breaker at
+/// `breaker_threshold`); a success closes the breaker and resets the
+/// count. No-op when the breaker is disabled.
+fn account_breaker(shared: &Shared, config: &ServeConfig, batch_failed: bool) {
+    if config.breaker_threshold == 0 {
+        return;
+    }
+    if batch_failed {
+        let failures = shared.breaker_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if failures >= config.breaker_threshold
+            && !shared.breaker_open.swap(true, Ordering::AcqRel)
+        {
+            shared.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
+    } else {
+        shared.breaker_failures.store(0, Ordering::Release);
+        shared.breaker_open.store(false, Ordering::Release);
     }
 }
 
 /// One worker: adopt pending parameter swaps, execute coalesced batches,
-/// fan results back out.
+/// fan results back out. `initial_generation` is the parameter
+/// generation the session was built at (0 for startup workers, the
+/// current generation for supervisor respawns).
 fn worker_loop<B: QuantumBackend>(
     mut session: InferenceSession<B>,
     shared: Arc<Shared>,
     config: ServeConfig,
+    slot: usize,
+    initial_generation: u64,
+    control: mpsc::Sender<SupervisorMsg>,
 ) {
     let _exit_guard = WorkerExitGuard {
         shared: Arc::clone(&shared),
+        slot,
+        control,
     };
-    let mut local_generation = 0u64;
+    let mut local_generation = initial_generation;
     // Session counter snapshots, so each loop publishes only the delta
     // into the shared service-wide totals.
     let mut seen_compilations = 0usize;
@@ -875,30 +1448,83 @@ fn worker_loop<B: QuantumBackend>(
         let count = batch.len();
         let (seismics, txs): (Vec<Vec<f64>>, Vec<_>) =
             batch.into_iter().map(|r| (r.seismic, r.tx)).unzip();
-        let outcome = match config.coalesce {
+        // Circuit breaker: while open, packed execution falls back to
+        // the batched shape — per-request registers isolate a failure to
+        // its own member instead of sharing one corrupted register.
+        let breaker_open =
+            config.breaker_threshold > 0 && shared.breaker_open.load(Ordering::Acquire);
+        let effective_mode = match (config.coalesce, breaker_open) {
+            (CoalesceMode::Packed, true) => {
+                shared.packed_fallbacks.fetch_add(1, Ordering::Relaxed);
+                CoalesceMode::Batched
+            }
+            (mode, _) => mode,
+        };
+        let outcome = match effective_mode {
             CoalesceMode::Batched => session.predict_many(&seismics),
             CoalesceMode::Packed => session.predict_packed(&seismics),
         };
+        // All bookkeeping (counters, breaker state) lands BEFORE results
+        // fan out, so a caller that observes its result also observes
+        // the stats that produced it.
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.coalesced.fetch_add(count, Ordering::Relaxed);
+        shared.max_coalesced.fetch_max(count, Ordering::Relaxed);
         match outcome {
             Ok(maps) => {
-                shared.completed.fetch_add(count, Ordering::Relaxed);
-                for (tx, map) in txs.into_iter().zip(maps) {
-                    let _ = tx.send(Ok(map)); // receiver may have given up
+                // The engine ran: this worker is healthy again.
+                shared.consecutive_restarts[slot].store(0, Ordering::Release);
+                // Count before fanning out, so a caller that observes
+                // its result also observes the updated stats.
+                let finite: Vec<bool> = maps
+                    .iter()
+                    .map(|m| m.iter().all(|v| v.is_finite()))
+                    .collect();
+                let corrupted = finite.iter().filter(|&&f| !f).count();
+                shared
+                    .completed
+                    .fetch_add(count - corrupted, Ordering::Relaxed);
+                if corrupted > 0 {
+                    shared.failed.fetch_add(corrupted, Ordering::Relaxed);
+                    shared
+                        .transient_failures
+                        .fetch_add(corrupted, Ordering::Relaxed);
+                }
+                account_breaker(&shared, &config, corrupted > 0);
+                for ((tx, map), ok) in txs.into_iter().zip(maps).zip(finite) {
+                    if ok {
+                        let _ = tx.send(Ok(map)); // receiver may have given up
+                    } else {
+                        // Silent corruption (NaN/Inf output) must never
+                        // reach a client as data.
+                        let _ = tx.send(Err(ServeError::TransientFailure {
+                            reason: "non-finite prediction output (corrupted execution)"
+                                .into(),
+                        }));
+                    }
                 }
             }
             Err(e) => {
                 shared.failed.fetch_add(count, Ordering::Relaxed);
-                let reason = e.to_string();
+                let error = match &e {
+                    QuGeoError::Quantum(QsimError::TransientFault { reason }) => {
+                        shared
+                            .transient_failures
+                            .fetch_add(count, Ordering::Relaxed);
+                        ServeError::TransientFailure {
+                            reason: reason.clone(),
+                        }
+                    }
+                    other => ServeError::Failed {
+                        reason: other.to_string(),
+                    },
+                };
+                account_breaker(&shared, &config, true);
                 for tx in txs {
-                    let _ = tx.send(Err(ServeError::Failed {
-                        reason: reason.clone(),
-                    }));
+                    let _ = tx.send(Err(error.clone()));
                 }
             }
         }
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared.coalesced.fetch_add(count, Ordering::Relaxed);
-        shared.max_coalesced.fetch_max(count, Ordering::Relaxed);
         // Publish this session's compile/rebind activity so tests can
         // assert the deploy-rebinds-instead-of-recompiling contract
         // across the whole fleet.
@@ -949,6 +1575,7 @@ mod tests {
             max_wait: Duration::from_micros(200),
             queue_depth: 64,
             coalesce: CoalesceMode::Batched,
+            ..ServeConfig::default()
         }
     }
 
@@ -1240,7 +1867,7 @@ mod tests {
     }
 
     #[test]
-    fn dead_workers_fail_stranded_requests_instead_of_hanging() {
+    fn dead_workers_are_respawned_until_the_budget_degrades_the_service() {
         let model = small_model();
         let params = model.init_params(2);
         let serve = QuServe::start_with(
@@ -1252,6 +1879,11 @@ mod tests {
                 max_wait: Duration::ZERO,
                 queue_depth: 16,
                 coalesce: CoalesceMode::Batched,
+                restart_budget: 2,
+                restart_window: Duration::from_secs(60),
+                backoff_base: Duration::from_micros(100),
+                backoff_cap: Duration::from_millis(2),
+                ..ServeConfig::default()
             },
             |_| PanicBackend::default(),
         )
@@ -1259,21 +1891,76 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|k| serve.predict(request(k)).unwrap())
             .collect();
-        // The only worker dies on the first batch; in-flight requests
-        // fail via the dropped sender, and queued ones via the exit
-        // guard — nobody blocks forever.
+        // The worker dies on every batch. The first death and the two
+        // budgeted respawns each consume one request (WorkerLost through
+        // the dropped sender); the third respawn is denied, degrading
+        // the service, and the still-queued request is drained with the
+        // typed Degraded error — nobody blocks forever.
+        let mut lost = 0usize;
+        let mut degraded = 0usize;
         for (k, handle) in handles.into_iter().enumerate() {
-            match handle.wait_timeout(Duration::from_secs(10)) {
-                Ok(Err(ServeError::WorkerLost)) => {}
-                Ok(other) => panic!("request {k}: expected WorkerLost, got {other:?}"),
+            match handle.wait_timeout(Duration::from_secs(20)) {
+                Ok(Err(ServeError::WorkerLost)) => lost += 1,
+                Ok(Err(ServeError::Degraded { alive_workers })) => {
+                    assert_eq!(alive_workers, 0);
+                    degraded += 1;
+                }
+                Ok(other) => panic!("request {k}: expected typed failure, got {other:?}"),
                 Err(_) => panic!("request {k} stranded: wait timed out"),
             }
         }
-        // With no workers left the service refuses new submissions.
+        assert_eq!(lost, 3, "one initial death + two budgeted respawns");
+        assert_eq!(degraded, 1, "one request drained after degradation");
+        let stats = serve.stats();
+        assert_eq!(stats.worker_restarts, 2);
+        assert_eq!(stats.restarts_denied, 1);
+        assert!(stats.degraded);
+        // Two respawns waited out 100us + 200us of exponential backoff.
+        assert!(stats.backoff_total_us >= 300);
+        assert_eq!(serve.alive_workers(), 0);
+        // A degraded service refuses new submissions with the typed error.
         assert!(matches!(
             serve.predict(request(9)),
-            Err(ServeError::ShuttingDown)
+            Err(ServeError::Degraded { alive_workers: 0 })
         ));
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_jittered_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+            jitter_seed: 42,
+        };
+        let mut prev_nominal = Duration::ZERO;
+        for retry in 0..8 {
+            let d = policy.backoff_before_retry(retry);
+            let nominal = policy
+                .base_backoff
+                .saturating_mul(2u32.saturating_pow(retry.min(16) as u32))
+                .min(policy.backoff_cap);
+            // Jitter keeps the wait within [nominal/2, nominal].
+            assert!(d >= nominal / 2 && d <= nominal, "retry {retry}: {d:?}");
+            assert!(nominal >= prev_nominal, "backoff must not shrink");
+            prev_nominal = nominal;
+        }
+        // Deterministic for a given seed.
+        assert_eq!(
+            policy.backoff_before_retry(3),
+            policy.backoff_before_retry(3)
+        );
+    }
+
+    #[test]
+    fn retryable_classification_excludes_overload() {
+        assert!(ServeError::WorkerLost.is_retryable());
+        assert!(ServeError::TransientFailure { reason: "x".into() }.is_retryable());
+        // Retrying into an overloaded service would amplify the overload.
+        assert!(!ServeError::Overloaded { depth: 1 }.is_retryable());
+        assert!(!ServeError::DeadlineExceeded.is_retryable());
+        assert!(!ServeError::Degraded { alive_workers: 0 }.is_retryable());
+        assert!(!ServeError::Failed { reason: "x".into() }.is_retryable());
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub struct EpochContext<'a> {
     pub grad_norm: f64,
     /// Wall-clock seconds this epoch took (updates + evaluation).
     pub wall_clock_secs: f64,
+    /// The optimiser's serialised moment state after this epoch's
+    /// updates ([`Optimizer::state`](qugeo_nn::optim::Optimizer::state)),
+    /// so checkpoint callbacks can capture everything a bit-identical
+    /// resume needs.
+    pub opt_state: &'a [f64],
 }
 
 /// An observer of training epochs.
@@ -193,6 +198,56 @@ impl PeriodicCheckpoint {
     pub fn path_for_epoch(&self, epoch: usize) -> PathBuf {
         self.dir.join(format!("{}-epoch{epoch:04}.ckpt", self.label))
     }
+
+    /// Scans `dir` for the most advanced *valid* resume checkpoint
+    /// written by a [`PeriodicCheckpoint`] with this `label`, for
+    /// [`Trainer::fit_resuming`](super::Trainer::fit_resuming).
+    ///
+    /// Artifacts that fail to load (torn by a crash mid-write, CRC
+    /// mismatch), don't match `model`, or carry no resume metadata
+    /// (legacy v1 files, plain [`Checkpoint::capture`] snapshots) are
+    /// skipped, so a corrupted latest file falls back to the newest
+    /// intact one. Returns `Ok(None)` when no usable checkpoint exists —
+    /// including when `dir` itself is missing, so cold starts need no
+    /// special casing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] only if `dir` exists but cannot be
+    /// read (permissions, not a directory).
+    pub fn latest_valid(
+        dir: &Path,
+        label: &str,
+        model: &QuGeoVqc,
+    ) -> Result<Option<Checkpoint>, QuGeoError> {
+        if !dir.exists() {
+            return Ok(None);
+        }
+        let entries = std::fs::read_dir(dir).map_err(|e| QuGeoError::Config {
+            reason: format!("cannot scan checkpoint dir {}: {e}", dir.display()),
+        })?;
+        let prefix = format!("{label}-epoch");
+        let mut best: Option<Checkpoint> = None;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.starts_with(&prefix) || !name.ends_with(".ckpt") {
+                continue;
+            }
+            // Damaged or foreign artifacts are skipped, not fatal: the
+            // whole point of the scan is surviving a torn latest file.
+            let Ok(ckpt) = Checkpoint::load(&entry.path()) else {
+                continue;
+            };
+            if ckpt.label != label || ckpt.epoch.is_none() || ckpt.restore_into(model).is_err() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|b| ckpt.epoch > b.epoch) {
+                best = Some(ckpt);
+            }
+        }
+        Ok(best)
+    }
 }
 
 impl Callback for PeriodicCheckpoint {
@@ -202,7 +257,13 @@ impl Callback for PeriodicCheckpoint {
         ctx: &EpochContext<'_>,
     ) -> Result<CallbackFlow, QuGeoError> {
         if (ctx.epoch + 1).is_multiple_of(self.every) {
-            let ckpt = Checkpoint::capture(&self.model, ctx.params, &self.label)?;
+            let ckpt = Checkpoint::capture_training(
+                &self.model,
+                ctx.params,
+                &self.label,
+                ctx.epoch,
+                ctx.opt_state,
+            )?;
             ckpt.save(&self.path_for_epoch(ctx.epoch))?;
         }
         Ok(CallbackFlow::Continue)
@@ -231,6 +292,7 @@ mod tests {
             prior_history: prior,
             grad_norm: 0.25,
             wall_clock_secs: 0.125,
+            opt_state: &[],
         }
     }
 
@@ -318,6 +380,52 @@ mod tests {
             .restore_into(&model)
             .unwrap();
         assert_eq!(restored, params);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_valid_skips_corrupt_and_foreign_artifacts() {
+        use crate::model::VqcConfig;
+        let model = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let dir = std::env::temp_dir().join("qugeo_cb_latest_valid");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Missing directory: a cold start, not an error.
+        assert!(PeriodicCheckpoint::latest_valid(&dir, "run", &model)
+            .unwrap()
+            .is_none());
+
+        let mut cb = PeriodicCheckpoint::new(&model, &dir, 1, "run").unwrap();
+        let params = model.init_params(11);
+        let opt_state = [3.0, 0.5, 0.25];
+        for epoch in 0..3 {
+            let mut s = stats(epoch, None);
+            let mut c = ctx(epoch, &params, &[]);
+            c.opt_state = &opt_state;
+            cb.on_epoch_end(&mut s, &c).unwrap();
+        }
+        // A resume-less snapshot with a later-looking name is ignored.
+        Checkpoint::capture(&model, &params, "run")
+            .unwrap()
+            .save(&dir.join("run-epoch0009.ckpt"))
+            .unwrap();
+        // Corrupt the newest periodic artifact: truncate past the CRC.
+        let newest = cb.path_for_epoch(2);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() - 7]).unwrap();
+
+        // The scan falls back to the newest intact resume checkpoint.
+        let best = PeriodicCheckpoint::latest_valid(&dir, "run", &model)
+            .unwrap()
+            .expect("epoch 1 artifact is intact");
+        assert_eq!(best.epoch, Some(1));
+        assert_eq!(best.params, params);
+        assert_eq!(best.opt_state, opt_state);
+
+        // A different label sees nothing.
+        assert!(PeriodicCheckpoint::latest_valid(&dir, "other", &model)
+            .unwrap()
+            .is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -56,6 +56,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::checkpoint::Checkpoint;
 use crate::QuGeoError;
 
 /// Training hyper-parameters.
@@ -223,7 +224,45 @@ impl Trainer {
     /// Returns [`QuGeoError::Config`] for invalid configurations
     /// ([`TrainConfig::validate`]), and propagates strategy, backend,
     /// and callback failures.
-    pub fn fit(mut self, strategy: &mut dyn TrainStep) -> Result<TrainOutcome, QuGeoError> {
+    pub fn fit(self, strategy: &mut dyn TrainStep) -> Result<TrainOutcome, QuGeoError> {
+        self.run(strategy, None)
+    }
+
+    /// Resumes an interrupted run from a mid-training checkpoint
+    /// (captured by [`Checkpoint::capture_training`], typically via a
+    /// [`PeriodicCheckpoint`] callback — find the newest usable one with
+    /// [`PeriodicCheckpoint::latest_valid`]).
+    ///
+    /// The checkpoint's parameters and optimiser moments are restored,
+    /// the shuffling RNG is fast-forwarded past the completed epochs,
+    /// and the loop continues at `checkpoint.epoch + 1` under the same
+    /// schedule — so an interrupted-then-resumed run produces **bit
+    /// identical** final parameters to the uninterrupted one, provided
+    /// the configuration, strategy and optimiser kind match the original
+    /// run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for invalid configurations, a
+    /// checkpoint without resume metadata (epoch-less v1 or plain
+    /// capture), a parameter-count mismatch with the strategy, or a
+    /// checkpoint epoch at or past `config.epochs`; optimiser state of
+    /// the wrong layout surfaces as [`QuGeoError::Network`]. Strategy,
+    /// backend, and callback failures propagate.
+    pub fn fit_resuming(
+        self,
+        strategy: &mut dyn TrainStep,
+        checkpoint: &Checkpoint,
+    ) -> Result<TrainOutcome, QuGeoError> {
+        self.run(strategy, Some(checkpoint))
+    }
+
+    /// The engine loop behind [`Trainer::fit`] / [`Trainer::fit_resuming`].
+    fn run(
+        mut self,
+        strategy: &mut dyn TrainStep,
+        resume: Option<&Checkpoint>,
+    ) -> Result<TrainOutcome, QuGeoError> {
         self.config.validate()?;
         let config = self.config;
 
@@ -232,15 +271,50 @@ impl Trainer {
             Some(factory) => factory(params.len(), config.initial_lr),
             None => Box::new(Adam::new(params.len(), config.initial_lr)),
         };
+        let mut start_epoch = 0usize;
+        if let Some(ckpt) = resume {
+            let Some(epoch) = ckpt.epoch else {
+                return Err(QuGeoError::Config {
+                    reason: "checkpoint carries no resume metadata (not a training snapshot)"
+                        .into(),
+                });
+            };
+            if epoch + 1 >= config.epochs {
+                return Err(QuGeoError::Config {
+                    reason: format!(
+                        "checkpoint epoch {epoch} leaves nothing to resume in a {}-epoch run",
+                        config.epochs
+                    ),
+                });
+            }
+            if ckpt.params.len() != params.len() {
+                return Err(QuGeoError::Config {
+                    reason: format!(
+                        "checkpoint of {} params cannot resume a {}-param strategy",
+                        ckpt.params.len(),
+                        params.len()
+                    ),
+                });
+            }
+            params.copy_from_slice(&ckpt.params);
+            optimizer.load_state(&ckpt.opt_state)?;
+            start_epoch = epoch + 1;
+        }
         let schedule: Box<dyn LrSchedule> = match self.schedule.take() {
             Some(s) => s,
             None => Box::new(CosineAnnealing::new(config.initial_lr, config.epochs)),
         };
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xABCD_EF01);
         let mut order: Vec<usize> = (0..strategy.num_train_samples()).collect();
-        let mut history: Vec<EpochStats> = Vec::with_capacity(config.epochs);
+        // Fast-forward the shuffle stream past the completed epochs so a
+        // resumed run sees exactly the sample orders the uninterrupted
+        // run would have — the heart of the bit-identical-resume claim.
+        for _ in 0..start_epoch {
+            order.shuffle(&mut rng);
+        }
+        let mut history: Vec<EpochStats> = Vec::with_capacity(config.epochs - start_epoch);
 
-        for epoch in 0..config.epochs {
+        for epoch in start_epoch..config.epochs {
             optimizer.set_learning_rate(schedule.lr_at(epoch));
             order.shuffle(&mut rng);
             let started = Instant::now();
@@ -265,12 +339,14 @@ impl Trainer {
             };
             let mut stop = false;
             {
+                let opt_state = optimizer.state();
                 let ctx = EpochContext {
                     epoch,
                     params: &params,
                     prior_history: &history,
                     grad_norm: report.grad_norm,
                     wall_clock_secs: started.elapsed().as_secs_f64(),
+                    opt_state: &opt_state,
                 };
                 for cb in &mut self.callbacks {
                     if matches!(cb.on_epoch_end(&mut stats, &ctx)?, CallbackFlow::Stop) {

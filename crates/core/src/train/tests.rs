@@ -69,6 +69,94 @@ fn per_sample_training_reduces_loss() {
     assert_eq!(outcome.history.len(), 30);
 }
 
+/// Stops the run after a fixed epoch — simulates an interruption.
+struct StopAfter(usize);
+
+impl Callback for StopAfter {
+    fn on_epoch_end(
+        &mut self,
+        _stats: &mut EpochStats,
+        ctx: &EpochContext<'_>,
+    ) -> Result<CallbackFlow, QuGeoError> {
+        Ok(if ctx.epoch >= self.0 {
+            CallbackFlow::Stop
+        } else {
+            CallbackFlow::Continue
+        })
+    }
+}
+
+#[test]
+fn resumed_training_is_bit_identical_to_uninterrupted() {
+    use crate::checkpoint::Checkpoint;
+
+    let model = small_vqc(Decoder::LayerWise { rows: 4 });
+    let (train, test) = split(synthetic_samples(6, 16, 4), 4);
+    let cfg = TrainConfig {
+        epochs: 10,
+        initial_lr: 0.1,
+        seed: 3,
+        eval_every: 0,
+    };
+    let dir = std::env::temp_dir().join("qugeo_train_resume_test");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The reference: one uninterrupted 10-epoch run.
+    let full = Trainer::new(cfg)
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+
+    // The same run "crashed" after epoch 4, having checkpointed there.
+    let interrupted = Trainer::new(cfg)
+        .callback(PeriodicCheckpoint::new(&model, &dir, 5, "resume").unwrap())
+        .callback(StopAfter(4))
+        .fit(&mut PerSampleVqc::new(&model, &train, &test).unwrap())
+        .unwrap();
+    assert_eq!(interrupted.history.len(), 5);
+
+    // Recover the artifact and finish the remaining five epochs.
+    let ckpt = PeriodicCheckpoint::latest_valid(&dir, "resume", &model)
+        .unwrap()
+        .expect("epoch-4 checkpoint written");
+    assert_eq!(ckpt.epoch, Some(4));
+    let resumed = Trainer::new(cfg)
+        .fit_resuming(&mut PerSampleVqc::new(&model, &train, &test).unwrap(), &ckpt)
+        .unwrap();
+
+    // Interruption must be invisible: bit-identical final parameters.
+    assert_eq!(resumed.params, full.params);
+    assert_eq!(resumed.history.len(), 5, "history covers epochs 5..10");
+    assert_eq!(resumed.history[0].epoch, 5);
+
+    // A corrupted newer artifact must fall back, not poison recovery:
+    // tear a fake epoch-9 checkpoint and re-scan.
+    let newer = dir.join("resume-epoch0009.ckpt");
+    Checkpoint::capture_training(&model, &full.params, "resume", 9, &[1.0])
+        .unwrap()
+        .save(&newer)
+        .unwrap();
+    let bytes = std::fs::read(&newer).unwrap();
+    std::fs::write(&newer, &bytes[..bytes.len() / 2]).unwrap();
+    let fallback = PeriodicCheckpoint::latest_valid(&dir, "resume", &model)
+        .unwrap()
+        .expect("intact epoch-4 artifact remains");
+    assert_eq!(fallback.epoch, Some(4), "torn epoch-9 file must be skipped");
+
+    // Typed rejections: no resume metadata, and nothing left to resume.
+    let mut strategy = PerSampleVqc::new(&model, &train, &test).unwrap();
+    let plain = Checkpoint::capture(&model, &full.params, "resume").unwrap();
+    assert!(matches!(
+        Trainer::new(cfg).fit_resuming(&mut strategy, &plain),
+        Err(QuGeoError::Config { .. })
+    ));
+    let done = Checkpoint::capture_training(&model, &full.params, "resume", 9, &[]).unwrap();
+    assert!(matches!(
+        Trainer::new(cfg).fit_resuming(&mut strategy, &done),
+        Err(QuGeoError::Config { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn config_validation_rejects_degenerate_setups() {
     assert!(TrainConfig {

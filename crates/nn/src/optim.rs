@@ -14,6 +14,13 @@
 //! * [`LrSchedule`] — maps an epoch index to a learning rate.
 //!   Implementations: [`ConstantLr`], [`StepDecay`], [`CosineAnnealing`],
 //!   and [`WarmupCosine`].
+//!
+//! Optimisers additionally expose their internal state as a flat `f64`
+//! vector ([`Optimizer::state`] / [`Optimizer::load_state`]) so a
+//! checkpoint can capture moment estimates alongside parameters and a
+//! resumed run continues bit-identically to an uninterrupted one.
+
+use crate::error::NnError;
 
 /// A first-order optimiser over a flat parameter vector.
 ///
@@ -55,6 +62,34 @@ pub trait Optimizer {
 
     /// Number of steps taken so far.
     fn steps(&self) -> u64;
+
+    /// Serialises the optimiser's mutable state (step counter, moment
+    /// estimates, velocities …) as one flat `f64` vector. Together with
+    /// the parameter vector this is everything a checkpoint needs for a
+    /// resumed run to continue bit-identically. Stateless optimisers
+    /// return an empty vector.
+    fn state(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Optimizer::state`] from the same
+    /// optimiser configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when `state` does not have the
+    /// layout this optimiser serialises (wrong length — e.g. a checkpoint
+    /// taken under a different optimiser or parameter count).
+    fn load_state(&mut self, state: &[f64]) -> Result<(), NnError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::ShapeMismatch {
+                expected: "empty optimizer state".into(),
+                actual: format!("{} values", state.len()),
+            })
+        }
+    }
 }
 
 /// A learning-rate schedule: epoch index → learning rate.
@@ -128,6 +163,28 @@ impl Optimizer for Adam {
     fn steps(&self) -> u64 {
         self.t
     }
+
+    fn state(&self) -> Vec<f64> {
+        let mut s = Vec::with_capacity(1 + 2 * self.m.len());
+        s.push(self.t as f64);
+        s.extend_from_slice(&self.m);
+        s.extend_from_slice(&self.v);
+        s
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), NnError> {
+        let n = self.m.len();
+        if state.len() != 1 + 2 * n {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("Adam state of {} values (1 + 2×{n})", 1 + 2 * n),
+                actual: format!("{} values", state.len()),
+            });
+        }
+        self.t = state[0] as u64;
+        self.m.copy_from_slice(&state[1..1 + n]);
+        self.v.copy_from_slice(&state[1 + n..]);
+        Ok(())
+    }
 }
 
 /// AMSGrad (Reddi et al., 2018): Adam with a monotone second-moment
@@ -191,6 +248,30 @@ impl Optimizer for AmsGrad {
 
     fn steps(&self) -> u64 {
         self.t
+    }
+
+    fn state(&self) -> Vec<f64> {
+        let mut s = Vec::with_capacity(1 + 3 * self.m.len());
+        s.push(self.t as f64);
+        s.extend_from_slice(&self.m);
+        s.extend_from_slice(&self.v);
+        s.extend_from_slice(&self.v_max);
+        s
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), NnError> {
+        let n = self.m.len();
+        if state.len() != 1 + 3 * n {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("AMSGrad state of {} values (1 + 3×{n})", 1 + 3 * n),
+                actual: format!("{} values", state.len()),
+            });
+        }
+        self.t = state[0] as u64;
+        self.m.copy_from_slice(&state[1..1 + n]);
+        self.v.copy_from_slice(&state[1 + n..1 + 2 * n]);
+        self.v_max.copy_from_slice(&state[1 + 2 * n..]);
+        Ok(())
     }
 }
 
@@ -267,6 +348,26 @@ impl Optimizer for Sgd {
 
     fn steps(&self) -> u64 {
         self.t
+    }
+
+    fn state(&self) -> Vec<f64> {
+        let mut s = Vec::with_capacity(1 + self.velocity.len());
+        s.push(self.t as f64);
+        s.extend_from_slice(&self.velocity);
+        s
+    }
+
+    fn load_state(&mut self, state: &[f64]) -> Result<(), NnError> {
+        let n = self.velocity.len();
+        if state.len() != 1 + n {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("SGD state of {} values (1 + {n} velocities)", 1 + n),
+                actual: format!("{} values", state.len()),
+            });
+        }
+        self.t = state[0] as u64;
+        self.velocity.copy_from_slice(&state[1..]);
+        Ok(())
     }
 }
 
@@ -514,6 +615,63 @@ mod tests {
             assert_eq!(opt.learning_rate(), 0.05);
             assert!(p[0] < 1.0);
         }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_identically() {
+        // Step a reference optimiser 10 times; snapshot a fresh twin at
+        // step 5 via state(); both must produce bit-identical params.
+        fn drive(opt: &mut dyn Optimizer, p: &mut [f64], steps: usize) {
+            for k in 0..steps {
+                let g: Vec<f64> = p.iter().map(|x| 2.0 * x + k as f64 * 0.01).collect();
+                opt.step(p, &g);
+            }
+        }
+        let builders: Vec<Box<dyn Fn() -> Box<dyn Optimizer>>> = vec![
+            Box::new(|| Box::new(Adam::new(3, 0.1))),
+            Box::new(|| Box::new(AmsGrad::new(3, 0.1))),
+            Box::new(|| Box::new(Sgd::with_momentum(3, 0.1, 0.9))),
+            Box::new(|| Box::new(Sgd::new(0.1))),
+        ];
+        for build in builders {
+            let mut full = build();
+            let mut p_full = vec![1.0, -2.0, 0.5];
+            drive(full.as_mut(), &mut p_full, 10);
+
+            let mut half = build();
+            let mut p_half = vec![1.0, -2.0, 0.5];
+            drive(half.as_mut(), &mut p_half, 5);
+            let snapshot = half.state();
+
+            let mut resumed = build();
+            resumed.load_state(&snapshot).unwrap();
+            assert_eq!(resumed.steps(), 5);
+            // Resume must replay the same step indices the full run saw.
+            for k in 5..10 {
+                let g: Vec<f64> = p_half.iter().map(|x| 2.0 * x + k as f64 * 0.01).collect();
+                resumed.step(&mut p_half, &g);
+            }
+            assert_eq!(p_full, p_half, "resumed params must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_layout() {
+        let mut adam = Adam::new(2, 0.1);
+        let err = adam.load_state(&[0.0; 4]).unwrap_err();
+        assert!(err.to_string().contains("Adam state"));
+        // An Adam(2) snapshot has 5 values — the wrong shape for AMSGrad(2).
+        let snapshot = {
+            let mut a = Adam::new(2, 0.1);
+            a.step(&mut [1.0, 1.0], &[1.0, 1.0]);
+            a.state()
+        };
+        assert!(AmsGrad::new(2, 0.1).load_state(&snapshot).is_err());
+        assert!(Sgd::new(0.1).load_state(&snapshot).is_err());
+        // Plain SGD state is just the step counter.
+        let mut sgd = Sgd::new(0.1);
+        sgd.load_state(&[7.0]).unwrap();
+        assert_eq!(sgd.steps(), 7);
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub enum QsimError {
         /// Human-readable description of the unsupported request.
         reason: String,
     },
+    /// A transient execution fault: the substrate failed this call but a
+    /// retry of the same operation may well succeed (queue contention on
+    /// shared hardware, a dropped control-plane connection, an injected
+    /// chaos fault). Callers that distinguish retryable from permanent
+    /// failures — the serving layer's `RetryPolicy` — route on this
+    /// variant; everything else treats it like any other error.
+    TransientFault {
+        /// Human-readable description of the fault.
+        reason: String,
+    },
     /// A compiled circuit was re-bound to new parameters (or swapped for
     /// a different binding) between two operations that must observe one
     /// consistent binding — e.g. an adjoint forward pass followed by a
@@ -108,6 +118,9 @@ impl fmt::Display for QsimError {
             }
             Self::InvalidEncoding { reason } => write!(f, "invalid encoding: {reason}"),
             Self::Unsupported { reason } => write!(f, "unsupported operation: {reason}"),
+            Self::TransientFault { reason } => {
+                write!(f, "transient execution fault (retry may succeed): {reason}")
+            }
             Self::StaleBinding { expected, actual } => {
                 write!(
                     f,
@@ -157,6 +170,16 @@ mod tests {
         assert!(e.to_string().contains("41"));
         assert!(e.to_string().contains("57"));
         assert!(e.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn transient_fault_mentions_retry() {
+        let e = QsimError::TransientFault {
+            reason: "injected".into(),
+        };
+        assert!(e.to_string().contains("transient"));
+        assert!(e.to_string().contains("retry"));
+        assert!(e.to_string().contains("injected"));
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Deterministic fault injection for chaos-testing execution stacks.
+//!
+//! [`FaultInjectingBackend`] wraps any [`QuantumBackend`] and corrupts a
+//! seeded, reproducible subset of `run_batch` calls with the failure
+//! modes a long-running hybrid pipeline actually meets:
+//!
+//! * **panics** — the engine dies mid-call (a worker-thread kill in a
+//!   serving fleet);
+//! * **transient typed errors** — [`QsimError::TransientFault`], the
+//!   retryable failure class (queue contention, dropped control-plane
+//!   connections);
+//! * **latency spikes** — the call succeeds but only after a configured
+//!   stall;
+//! * **NaN outputs** — the call "succeeds" while silently corrupting one
+//!   batch member's amplitudes, the poison a result-validation layer
+//!   must catch.
+//!
+//! The schedule is a pure function of a seed and a monotone call
+//! counter, and the counter lives in a shared [`FaultState`]: every
+//! clone of the injector handed to a respawned worker continues the
+//! *same* schedule, so a chaos run's injected-fault counts are exactly
+//! reproducible no matter how execution interleaves. Injection can be
+//! switched off ([`FaultState::set_enabled`]) to verify recovery:
+//! wrapping a deterministic backend, post-fault results must be
+//! bit-identical to a fault-free run.
+//!
+//! # Examples
+//!
+//! ```
+//! use qugeo_qsim::fault::{FaultInjectingBackend, FaultPlan};
+//! use qugeo_qsim::{QuantumBackend, StatevectorBackend};
+//!
+//! let plan = FaultPlan {
+//!     seed: 7,
+//!     transient_rate: 0.5,
+//!     ..FaultPlan::default()
+//! };
+//! let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+//! let state = backend.fault_state();
+//! assert_eq!(state.calls(), 0);
+//! assert!(!backend.is_deterministic());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::batch::BatchedState;
+use crate::fusion::CompiledCircuit;
+use crate::{BackendConfig, Complex64, DiagonalObservable, QsimError, QuantumBackend};
+
+/// The seeded fault schedule of a [`FaultInjectingBackend`].
+///
+/// Each `run_batch` call draws one uniform variate from
+/// `(seed, call_index)` and lands in consecutive probability bands:
+/// panic, then transient error, then NaN corruption, then latency spike,
+/// then clean execution. Rates are fractions in `[0, 1]`; their sum is
+/// the total fault rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Base seed of the schedule; same seed + same call sequence =
+    /// identical injected faults.
+    pub seed: u64,
+    /// Fraction of calls that panic mid-execution.
+    pub panic_rate: f64,
+    /// Fraction of calls failing with [`QsimError::TransientFault`].
+    pub transient_rate: f64,
+    /// Fraction of calls that succeed but overwrite member 0's
+    /// amplitudes with NaN — silent corruption the caller must detect.
+    pub nan_rate: f64,
+    /// Fraction of calls delayed by [`FaultPlan::latency`] before
+    /// executing normally.
+    pub latency_rate: f64,
+    /// Stall applied to latency-spike calls.
+    pub latency: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_rate: 0.0,
+            transient_rate: 0.0,
+            nan_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::from_millis(1),
+        }
+    }
+}
+
+/// What the schedule decided for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Clean,
+    Panic,
+    Transient,
+    Nan,
+    Latency,
+}
+
+impl FaultPlan {
+    /// The scheduled outcome of call `n` — a pure function, so tests can
+    /// pre-compute the exact fault counts a run will inject.
+    fn outcome(&self, n: u64) -> Outcome {
+        let u = unit_from(mix(self.seed, n));
+        let mut edge = self.panic_rate;
+        if u < edge {
+            return Outcome::Panic;
+        }
+        edge += self.transient_rate;
+        if u < edge {
+            return Outcome::Transient;
+        }
+        edge += self.nan_rate;
+        if u < edge {
+            return Outcome::Nan;
+        }
+        edge += self.latency_rate;
+        if u < edge {
+            return Outcome::Latency;
+        }
+        Outcome::Clean
+    }
+}
+
+/// Shared, atomically-updated injection bookkeeping.
+///
+/// One `FaultState` is shared by every clone of its
+/// [`FaultInjectingBackend`] (and by the test observing the run), so
+/// the call counter — and therefore the schedule — survives worker
+/// respawns, and injected-fault counts can be asserted against service
+/// counters exactly.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    calls: AtomicU64,
+    panics: AtomicU64,
+    transients: AtomicU64,
+    nans: AtomicU64,
+    latencies: AtomicU64,
+    disabled: AtomicBool,
+}
+
+impl FaultState {
+    /// Total `run_batch` calls observed (clean and faulted).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Panics injected so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Transient typed errors injected so far.
+    pub fn transients(&self) -> u64 {
+        self.transients.load(Ordering::Relaxed)
+    }
+
+    /// NaN corruptions injected so far.
+    pub fn nans(&self) -> u64 {
+        self.nans.load(Ordering::Relaxed)
+    }
+
+    /// Latency spikes injected so far.
+    pub fn latencies(&self) -> u64 {
+        self.latencies.load(Ordering::Relaxed)
+    }
+
+    /// Faulted calls of every kind so far.
+    pub fn faults(&self) -> u64 {
+        self.panics() + self.transients() + self.nans() + self.latencies()
+    }
+
+    /// Enables or disables injection. While disabled, calls pass straight
+    /// through to the inner backend and do **not** advance the call
+    /// counter, so re-enabling resumes the schedule where it left off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.disabled.store(!enabled, Ordering::Release);
+    }
+
+    /// Whether injection is currently enabled.
+    pub fn enabled(&self) -> bool {
+        !self.disabled.load(Ordering::Acquire)
+    }
+}
+
+/// A [`QuantumBackend`] decorator that injects the [`FaultPlan`]'s
+/// scheduled faults into `run_batch` while delegating everything else to
+/// the wrapped backend. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultInjectingBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    state: Arc<FaultState>,
+}
+
+impl<B: QuantumBackend> FaultInjectingBackend<B> {
+    /// Wraps `inner` under a fresh fault state.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        Self::with_state(inner, plan, Arc::new(FaultState::default()))
+    }
+
+    /// Wraps `inner` continuing an existing schedule — hand every
+    /// respawned worker's injector the same state so the fault sequence
+    /// spans the whole fleet's lifetime.
+    pub fn with_state(inner: B, plan: FaultPlan, state: Arc<FaultState>) -> Self {
+        Self { inner, plan, state }
+    }
+
+    /// The shared injection bookkeeping.
+    pub fn fault_state(&self) -> Arc<FaultState> {
+        Arc::clone(&self.state)
+    }
+
+    /// The schedule in use.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl<B: QuantumBackend> QuantumBackend for FaultInjectingBackend<B> {
+    fn name(&self) -> &'static str {
+        "fault-injecting"
+    }
+
+    fn config(&self) -> &BackendConfig {
+        self.inner.config()
+    }
+
+    fn supports_adjoint_gradient(&self) -> bool {
+        self.inner.supports_adjoint_gradient()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        // Repeating a call *sequence* is reproducible per seed, but a
+        // single call repeated is not (the counter advances) — the same
+        // contract sampling backends declare.
+        false
+    }
+
+    fn run_batch(
+        &self,
+        circuit: &CompiledCircuit,
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        if !self.state.enabled() {
+            return self.inner.run_batch(circuit, batch);
+        }
+        let n = self.state.calls.fetch_add(1, Ordering::Relaxed);
+        match self.plan.outcome(n) {
+            Outcome::Clean => self.inner.run_batch(circuit, batch),
+            Outcome::Panic => {
+                self.state.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected engine panic (call {n})");
+            }
+            Outcome::Transient => {
+                self.state.transients.fetch_add(1, Ordering::Relaxed);
+                Err(QsimError::TransientFault {
+                    reason: format!("injected transient fault (call {n})"),
+                })
+            }
+            Outcome::Nan => {
+                self.state.nans.fetch_add(1, Ordering::Relaxed);
+                self.inner.run_batch(circuit, batch)?;
+                let dim = batch.member_dim();
+                for amp in &mut batch.amps_mut()[..dim] {
+                    *amp = Complex64::new(f64::NAN, f64::NAN);
+                }
+                Ok(())
+            }
+            Outcome::Latency => {
+                self.state.latencies.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.plan.latency);
+                self.inner.run_batch(circuit, batch)
+            }
+        }
+    }
+
+    fn run_each(
+        &self,
+        circuits: &[CompiledCircuit],
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        self.inner.run_each(circuits, batch)
+    }
+
+    fn expectations(
+        &self,
+        batch: &BatchedState,
+        obs: &DiagonalObservable,
+    ) -> Result<Vec<f64>, QsimError> {
+        self.inner.expectations(batch, obs)
+    }
+
+    fn probabilities(&self, batch: &BatchedState) -> Result<Vec<Vec<f64>>, QsimError> {
+        self.inner.probabilities(batch)
+    }
+}
+
+/// SplitMix64-style mixing of (seed, call) into a decorrelated word.
+fn mix(base: u64, call: u64) -> u64 {
+    let mut z = base ^ call.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed word onto `[0, 1)` using the top 53 bits.
+fn unit_from(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Circuit, State, StatevectorBackend};
+
+    fn bell_batch() -> (CompiledCircuit, BatchedState) {
+        let mut c = Circuit::new(2);
+        c.h(0).unwrap();
+        c.cx(0, 1).unwrap();
+        let compiled = CompiledCircuit::compile(&c, &[]).unwrap();
+        let batch = BatchedState::replicate(&State::zero(2), 1);
+        (compiled, batch)
+    }
+
+    #[test]
+    fn schedule_is_reproducible_and_respects_rates() {
+        let plan = FaultPlan {
+            seed: 42,
+            panic_rate: 0.1,
+            transient_rate: 0.1,
+            nan_rate: 0.1,
+            latency_rate: 0.1,
+            ..FaultPlan::default()
+        };
+        let first: Vec<Outcome> = (0..4096).map(|n| plan.outcome(n)).collect();
+        let second: Vec<Outcome> = (0..4096).map(|n| plan.outcome(n)).collect();
+        assert_eq!(first, second, "schedule must be a pure function of (seed, call)");
+        let faults = first.iter().filter(|o| **o != Outcome::Clean).count();
+        let rate = faults as f64 / first.len() as f64;
+        assert!(
+            (rate - 0.4).abs() < 0.05,
+            "fault rate {rate} far from the configured 0.4"
+        );
+    }
+
+    #[test]
+    fn transient_fault_is_typed_and_counted() {
+        let plan = FaultPlan {
+            seed: 3,
+            transient_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let (compiled, mut batch) = bell_batch();
+        let err = backend.run_batch(&compiled, &mut batch).unwrap_err();
+        assert!(matches!(err, QsimError::TransientFault { .. }));
+        let state = backend.fault_state();
+        assert_eq!(state.calls(), 1);
+        assert_eq!(state.transients(), 1);
+        assert_eq!(state.faults(), 1);
+    }
+
+    #[test]
+    fn nan_corruption_poisons_member_zero() {
+        let plan = FaultPlan {
+            seed: 3,
+            nan_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let (compiled, mut batch) = bell_batch();
+        backend.run_batch(&compiled, &mut batch).unwrap();
+        let probs = batch.member_probabilities(0).unwrap();
+        assert!(probs.iter().any(|p| p.is_nan()), "corruption must reach measurement");
+        assert_eq!(backend.fault_state().nans(), 1);
+    }
+
+    #[test]
+    fn injected_panic_is_counted_first() {
+        let plan = FaultPlan {
+            seed: 3,
+            panic_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let state = backend.fault_state();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (compiled, mut batch) = bell_batch();
+            let _ = backend.run_batch(&compiled, &mut batch);
+        }));
+        assert!(caught.is_err(), "panic must propagate");
+        assert_eq!(state.panics(), 1, "the panic must be counted before unwinding");
+    }
+
+    #[test]
+    fn disabled_injection_passes_through_without_advancing() {
+        let plan = FaultPlan {
+            seed: 3,
+            transient_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let state = backend.fault_state();
+        state.set_enabled(false);
+        let (compiled, mut batch) = bell_batch();
+        backend.run_batch(&compiled, &mut batch).unwrap();
+        assert_eq!(state.calls(), 0, "disabled calls must not consume the schedule");
+        // Disabled execution is the inner backend verbatim.
+        let probs = batch.member_probabilities(0).unwrap();
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[3] - 0.5).abs() < 1e-12);
+        state.set_enabled(true);
+        assert!(backend.run_batch(&compiled, &mut batch).is_err());
+        assert_eq!(state.calls(), 1);
+    }
+
+    #[test]
+    fn shared_state_spans_clones() {
+        let plan = FaultPlan {
+            seed: 9,
+            transient_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let a = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let state = a.fault_state();
+        let b = FaultInjectingBackend::with_state(StatevectorBackend::default(), plan, a.fault_state());
+        let (compiled, mut batch) = bell_batch();
+        let _ = a.run_batch(&compiled, &mut batch);
+        let _ = b.run_batch(&compiled, &mut batch);
+        assert_eq!(state.calls(), 2, "clones must share one call counter");
+        assert_eq!(state.transients(), 2);
+    }
+}

@@ -52,6 +52,10 @@
 //!   exact, parameter-shift through the backend otherwise) and
 //!   `is_deterministic` tells callers whether repeated runs are
 //!   cacheable or need averaging.
+//! * [`fault`] — [`FaultInjectingBackend`], a chaos-testing decorator
+//!   that injects a seeded, exactly reproducible schedule of panics,
+//!   transient typed errors, latency spikes and NaN outputs into any
+//!   backend, used to prove the serving layer's self-healing story.
 //!
 //! Gate application funnels through branch-free kernels that switch to
 //! chunked multi-threading (scoped threads; no external dependencies) on
@@ -106,6 +110,7 @@ pub mod backend;
 pub mod batch;
 pub mod complexity;
 pub mod encoding;
+pub mod fault;
 pub mod fusion;
 pub mod gradient;
 pub mod noise;
@@ -120,6 +125,7 @@ pub use batch::BatchedState;
 pub use circuit::{AngleSources, Circuit, Gate1, Op, ParamSource};
 pub use complex::Complex64;
 pub use error::QsimError;
+pub use fault::{FaultInjectingBackend, FaultPlan, FaultState};
 pub use fusion::{CircuitStructure, CompiledCircuit, DerivKind, FusedOp, SlotDeriv};
 pub use gates::{Matrix2, Matrix4};
 pub use kernels::{set_simd_enabled, simd_feature_level};

@@ -9,6 +9,7 @@
 #   ./scripts/verify.sh serve-smoke  # serving-layer smoke gate only
 #   ./scripts/verify.sh compiler-smoke  # structure/bind + pass-pipeline gate only
 #   ./scripts/verify.sh kernel-smoke # SIMD/scalar differential + throughput gate only
+#   ./scripts/verify.sh chaos-smoke  # fault-injection / recovery gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
 # (lib, tests, benches, examples, bins) — warnings are errors, and use
@@ -111,6 +112,21 @@ kernel_smoke() {
         --smoke --json target/BENCH_kernel.smoke.json
 }
 
+# Resilience gate: the chaos soak suite (seeded fault injection through a
+# live QuServe — worker panics, transient errors, NaN outputs, latency
+# spikes — with exact stats accounting and bit-identical post-recovery
+# results), plus the crash-safe checkpoint torn-file regressions and the
+# trainer's bit-identical resume differential. Release mode: the soak
+# pushes 1000 requests through real statevector simulations.
+chaos_smoke() {
+    echo "==> cargo test --release --test serve_chaos (chaos-smoke)"
+    cargo test -q --release --test serve_chaos
+    echo "==> cargo test --release -p qugeo checkpoint:: (torn-file regressions)"
+    cargo test -q --release -p qugeo --lib checkpoint::
+    echo "==> cargo test --release -p qugeo resumed_training (bit-identical resume)"
+    cargo test -q --release -p qugeo --lib resumed_training_is_bit_identical_to_uninterrupted
+}
+
 case "${1:-all}" in
     docs) docs_gate ;;
     lint) lint_gate ;;
@@ -119,6 +135,7 @@ case "${1:-all}" in
     serve-smoke|--serve-smoke) serve_smoke ;;
     compiler-smoke|--compiler-smoke) compiler_smoke ;;
     kernel-smoke|--kernel-smoke) kernel_smoke ;;
+    chaos-smoke|--chaos-smoke) chaos_smoke ;;
     all)
         tier1
         lint_gate
@@ -127,9 +144,10 @@ case "${1:-all}" in
         serve_smoke
         compiler_smoke
         kernel_smoke
+        chaos_smoke
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke|kernel-smoke]" >&2
+        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke|kernel-smoke|chaos-smoke]" >&2
         exit 2
         ;;
 esac

@@ -1,0 +1,458 @@
+//! Chaos soak tests for the self-healing QuServe serving layer.
+//!
+//! A [`FaultInjectingBackend`] drives a *seeded, exactly reproducible*
+//! schedule of worker panics, transient typed errors, NaN outputs and
+//! latency spikes through a live service while closed-loop clients
+//! hammer it with retrying requests. The contract under test (see
+//! `docs/SERVING.md` § "Failure handling and recovery"):
+//!
+//! * every submitted request resolves — success or *typed* error, never
+//!   a hang and never a silent NaN;
+//! * the supervisor respawns dead workers until the fleet is back at
+//!   the configured size;
+//! * [`ServeStats`] counters match the injection schedule **exactly**
+//!   (the schedule is deterministic, so the books must balance);
+//! * once the faults stop, served results are bit-identical to an
+//!   undisturbed sequential session.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use qugeo::decoder::Decoder;
+use qugeo::model::{QuGeoVqc, VqcConfig};
+use qugeo::serve::{CoalesceMode, QuServe, RetryPolicy, ServeConfig, ServeError};
+use qugeo::session::InferenceSession;
+use qugeo_qsim::ansatz::EntangleOrder;
+use qugeo_qsim::{
+    BatchedState, CompiledCircuit, FaultInjectingBackend, FaultPlan, FaultState, QsimError,
+    QuantumBackend, StatevectorBackend,
+};
+
+fn small_model() -> QuGeoVqc {
+    QuGeoVqc::new(VqcConfig {
+        seismic_len: 16,
+        num_groups: 1,
+        num_blocks: 2,
+        mixing_blocks: 0,
+        entangle: EntangleOrder::Ring,
+        decoder: Decoder::LayerWise { rows: 4 },
+        max_qubits: 16,
+    })
+    .expect("valid config")
+}
+
+fn request(client: usize, i: usize) -> Vec<f64> {
+    (0..16)
+        .map(|k| ((k + 31 * client + 7 * i) as f64 * 0.37).sin() + 0.4)
+        .collect()
+}
+
+/// Polls `predicate` until it holds or `timeout` passes.
+fn eventually(timeout: Duration, mut predicate: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if predicate() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The headline soak: ≥5% injected fault rate over 1000 requests, every
+/// request resolving, the fleet healing back to full size, the stats
+/// ledger balancing against the injection counters exactly, and
+/// bit-identical post-recovery results.
+#[test]
+fn chaos_soak_recovers_to_full_capacity_with_exact_accounting() {
+    const REQUESTS: usize = 1000;
+    const CLIENTS: usize = 4;
+    const WORKERS: usize = 2;
+
+    let model = small_model();
+    let params = model.init_params(17);
+    // 1.5% panics + 2% transients + 2% NaN = 5.5% real faults, plus 1%
+    // latency spikes that must NOT surface as failures.
+    let plan = FaultPlan {
+        seed: 0xC4A0_5EED,
+        panic_rate: 0.015,
+        transient_rate: 0.02,
+        nan_rate: 0.02,
+        latency_rate: 0.01,
+        latency: Duration::from_micros(200),
+    };
+    // All workers — and every supervisor respawn — share one schedule
+    // state, so the injection sequence spans worker deaths.
+    let state = Arc::new(FaultState::default());
+    let serve = QuServe::start_with(
+        model.clone(),
+        &params,
+        ServeConfig {
+            workers: WORKERS,
+            // One request per engine call makes attempts == backend
+            // calls, which is what lets the ledger balance exactly.
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_depth: 1024,
+            coalesce: CoalesceMode::Batched,
+            restart_budget: 10_000,
+            restart_window: Duration::from_secs(3600),
+            backoff_base: Duration::from_micros(50),
+            backoff_cap: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+        {
+            let state = Arc::clone(&state);
+            move |_| {
+                FaultInjectingBackend::with_state(
+                    StatevectorBackend::default(),
+                    plan,
+                    Arc::clone(&state),
+                )
+            }
+        },
+    )
+    .expect("service starts");
+
+    let policy = RetryPolicy {
+        max_attempts: usize::MAX,
+        base_backoff: Duration::from_micros(50),
+        backoff_cap: Duration::from_millis(1),
+        jitter_seed: 11,
+    };
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let serve = &serve;
+            scope.spawn(move || {
+                for i in 0..REQUESTS / CLIENTS {
+                    // Unbounded retries on retryable faults: under chaos
+                    // every request must still eventually succeed.
+                    serve
+                        .predict_with_retry(request(c, i), policy)
+                        .unwrap_or_else(|e| panic!("client {c} request {i} failed: {e}"));
+                }
+            });
+        }
+    });
+
+    // The fleet heals: every panic's respawn completes and the worker
+    // count returns to the configured level.
+    let panics = state.panics() as usize;
+    assert!(
+        eventually(Duration::from_secs(20), || {
+            serve.alive_workers() == WORKERS && serve.stats().worker_restarts == panics
+        }),
+        "fleet never healed: {} alive, {} restarts for {} panics",
+        serve.alive_workers(),
+        serve.stats().worker_restarts,
+        panics,
+    );
+
+    // Exact accounting against the deterministic injection schedule.
+    let transients = state.transients() as usize;
+    let nans = state.nans() as usize;
+    let faults = panics + transients + nans;
+    let stats = serve.stats();
+    assert!(
+        state.faults() as usize >= REQUESTS / 20,
+        "soak too tame: {} faults over {} requests",
+        state.faults(),
+        REQUESTS
+    );
+    assert_eq!(
+        state.calls() as usize,
+        REQUESTS + faults,
+        "every request costs one engine call, every fault one retry's worth"
+    );
+    assert_eq!(stats.completed, REQUESTS, "all requests eventually served");
+    assert_eq!(stats.retries, faults, "one retry per injected real fault");
+    assert_eq!(stats.submitted, REQUESTS + faults);
+    assert_eq!(
+        stats.failed,
+        transients + nans,
+        "typed failures: transient + NaN (panics fail via WorkerLost)"
+    );
+    assert_eq!(stats.transient_failures, transients + nans);
+    assert_eq!(stats.worker_restarts, panics);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.deadline_shed, 0);
+    assert_eq!(stats.abandoned_shed, 0);
+    assert_eq!(stats.restarts_denied, 0);
+    assert!(!stats.degraded);
+
+    // Post-recovery determinism: stop injecting and compare against an
+    // undisturbed sequential session — bit-identical.
+    state.set_enabled(false);
+    let mut reference = InferenceSession::new(model, &params).expect("reference session");
+    for k in 0..16 {
+        let served = serve.predict_blocking(request(99, k)).expect("healed serve");
+        let expected = reference.predict(&request(99, k)).expect("reference");
+        assert_eq!(served, expected, "post-recovery request {k} not bit-identical");
+    }
+}
+
+/// A backend whose executions block on a shared gate, so tests can pin a
+/// worker mid-batch and control dequeue timing; counts entries.
+#[derive(Debug, Clone, Default)]
+struct GatedBackend {
+    inner: StatevectorBackend,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+    entered: Arc<AtomicUsize>,
+}
+
+impl GatedBackend {
+    fn open(&self) {
+        *self.gate.0.lock().unwrap() = true;
+        self.gate.1.notify_all();
+    }
+
+    fn entered(&self) -> usize {
+        self.entered.load(Ordering::Acquire)
+    }
+}
+
+impl QuantumBackend for GatedBackend {
+    fn name(&self) -> &'static str {
+        "gated"
+    }
+    fn config(&self) -> &qugeo_qsim::BackendConfig {
+        self.inner.config()
+    }
+    fn supports_adjoint_gradient(&self) -> bool {
+        false
+    }
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+    fn run_batch(
+        &self,
+        circuit: &CompiledCircuit,
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        self.entered.fetch_add(1, Ordering::AcqRel);
+        let mut open = self.gate.0.lock().unwrap();
+        while !*open {
+            open = self.gate.1.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.run_batch(circuit, batch)
+    }
+    fn run_each(
+        &self,
+        circuits: &[CompiledCircuit],
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        self.inner.run_each(circuits, batch)
+    }
+    fn expectations(
+        &self,
+        batch: &BatchedState,
+        obs: &qugeo_qsim::DiagonalObservable,
+    ) -> Result<Vec<f64>, QsimError> {
+        self.inner.expectations(batch, obs)
+    }
+    fn probabilities(&self, batch: &BatchedState) -> Result<Vec<Vec<f64>>, QsimError> {
+        self.inner.probabilities(batch)
+    }
+}
+
+fn gated_serve(model: &QuGeoVqc, params: &[f64]) -> (QuServe, GatedBackend) {
+    let backend = GatedBackend::default();
+    let serve = QuServe::start_with(
+        model.clone(),
+        params,
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_depth: 64,
+            coalesce: CoalesceMode::Batched,
+            ..ServeConfig::default()
+        },
+        {
+            let backend = backend.clone();
+            move |_| backend.clone()
+        },
+    )
+    .expect("service starts");
+    (serve, backend)
+}
+
+/// A dropped [`PredictHandle`] is a cancelled request: it must be shed
+/// at dequeue, never reaching the engine — abandoning cannot leak
+/// simulation capacity.
+#[test]
+fn abandoned_requests_are_shed_without_costing_a_simulation() {
+    let model = small_model();
+    let params = model.init_params(5);
+    let (serve, backend) = gated_serve(&model, &params);
+
+    // Pin the only worker inside request A's execution.
+    let pinned = serve.predict(request(0, 0)).expect("accepted");
+    assert!(eventually(Duration::from_secs(10), || backend.entered() == 1));
+
+    // Abandon eight queued requests by dropping their handles…
+    for i in 0..8 {
+        drop(serve.predict(request(1, i)).expect("accepted"));
+    }
+    // …and keep one live request behind them.
+    let live = serve.predict(request(2, 0)).expect("accepted");
+
+    backend.open();
+    assert!(pinned.wait().is_ok(), "pinned request must complete");
+    assert!(live.wait().is_ok(), "live request must complete");
+
+    let stats = serve.stats();
+    assert_eq!(stats.abandoned_shed, 8, "all dropped handles shed");
+    assert_eq!(
+        backend.entered(),
+        2,
+        "only the two live requests reached the engine"
+    );
+    assert_eq!(stats.completed, 2);
+}
+
+/// A request whose deadline expired while queued is answered with the
+/// typed error at dequeue — an expired deadline never buys a simulation.
+#[test]
+fn expired_deadlines_are_shed_at_dequeue_not_simulated() {
+    let model = small_model();
+    let params = model.init_params(6);
+    let (serve, backend) = gated_serve(&model, &params);
+
+    let pinned = serve.predict(request(0, 0)).expect("accepted");
+    assert!(eventually(Duration::from_secs(10), || backend.entered() == 1));
+
+    let doomed = serve
+        .predict_with_deadline(request(3, 0), Some(Duration::from_millis(5)))
+        .expect("accepted");
+    std::thread::sleep(Duration::from_millis(20));
+    backend.open();
+
+    assert!(pinned.wait().is_ok());
+    assert!(matches!(doomed.wait(), Err(ServeError::DeadlineExceeded)));
+    let stats = serve.stats();
+    assert_eq!(stats.deadline_shed, 1);
+    assert_eq!(backend.entered(), 1, "the expired request was never simulated");
+}
+
+/// A backend that fails its first `n` executions with a transient fault,
+/// then behaves; drives the circuit breaker deterministically.
+#[derive(Debug, Clone, Default)]
+struct FailFirstBackend {
+    inner: StatevectorBackend,
+    remaining: Arc<AtomicUsize>,
+}
+
+impl QuantumBackend for FailFirstBackend {
+    fn name(&self) -> &'static str {
+        "fail-first"
+    }
+    fn config(&self) -> &qugeo_qsim::BackendConfig {
+        self.inner.config()
+    }
+    fn supports_adjoint_gradient(&self) -> bool {
+        false
+    }
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+    fn run_batch(
+        &self,
+        circuit: &CompiledCircuit,
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        if self
+            .remaining
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return Err(QsimError::TransientFault {
+                reason: "scripted first-call failure".into(),
+            });
+        }
+        self.inner.run_batch(circuit, batch)
+    }
+    fn run_each(
+        &self,
+        circuits: &[CompiledCircuit],
+        batch: &mut BatchedState,
+    ) -> Result<(), QsimError> {
+        self.inner.run_each(circuits, batch)
+    }
+    fn expectations(
+        &self,
+        batch: &BatchedState,
+        obs: &qugeo_qsim::DiagonalObservable,
+    ) -> Result<Vec<f64>, QsimError> {
+        self.inner.expectations(batch, obs)
+    }
+    fn probabilities(&self, batch: &BatchedState) -> Result<Vec<Vec<f64>>, QsimError> {
+        self.inner.probabilities(batch)
+    }
+}
+
+/// When the failure rate trips the breaker, a Packed service falls back
+/// to Batched execution — per-request registers — and the first
+/// fallback-served result is bit-identical to a sequential session
+/// (packed execution is only rounding-close, so bit equality proves the
+/// fallback actually ran).
+#[test]
+fn circuit_breaker_degrades_packed_to_batched() {
+    let model = small_model();
+    let params = model.init_params(8);
+    let backend = FailFirstBackend {
+        remaining: Arc::new(AtomicUsize::new(1)),
+        ..FailFirstBackend::default()
+    };
+    let serve = QuServe::start_with(
+        model.clone(),
+        &params,
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_depth: 64,
+            coalesce: CoalesceMode::Packed,
+            breaker_threshold: 1,
+            ..ServeConfig::default()
+        },
+        {
+            let backend = backend.clone();
+            move |_| backend.clone()
+        },
+    )
+    .expect("service starts");
+
+    // The scripted failure is typed and trips the breaker.
+    assert!(matches!(
+        serve.predict_blocking(request(0, 0)),
+        Err(ServeError::TransientFailure { .. })
+    ));
+
+    // Next request is served through the Batched fallback: bit-identical
+    // to the sequential reference.
+    let mut reference = InferenceSession::new(model.clone(), &params).expect("reference");
+    let served = serve.predict_blocking(request(0, 1)).expect("fallback serve");
+    assert_eq!(
+        served,
+        reference.predict(&request(0, 1)).expect("reference"),
+        "fallback result must be bit-identical batched execution"
+    );
+
+    // The successful batch closes the breaker again: packed execution
+    // resumes, rounding-close to the reference as usual.
+    let packed = serve.predict_blocking(request(0, 2)).expect("packed serve");
+    let expected = reference.predict(&request(0, 2)).expect("reference");
+    for (a, b) in packed.iter().zip(expected.iter()) {
+        assert!((a - b).abs() < 1e-9, "packed drifted: {a} vs {b}");
+    }
+
+    let stats = serve.stats();
+    assert_eq!(stats.breaker_trips, 1);
+    assert_eq!(stats.packed_fallbacks, 1, "exactly one batch fell back");
+    assert_eq!(stats.transient_failures, 1);
+}

@@ -57,6 +57,7 @@ fn coalesced_results_bit_identical_to_sequential() {
             max_wait: Duration::from_micros(300),
             queue_depth: 256,
             coalesce: CoalesceMode::Batched,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");
@@ -126,6 +127,7 @@ fn packed_coalescing_matches_sequential_within_tolerance() {
             max_wait: Duration::from_micros(300),
             queue_depth: 128,
             coalesce: CoalesceMode::Packed,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");
@@ -222,6 +224,7 @@ fn overload_sheds_with_typed_error_and_no_deadlock() {
             max_wait: Duration::ZERO,
             queue_depth: 2,
             coalesce: CoalesceMode::Batched,
+            ..ServeConfig::default()
         },
         |_| SlowBackend {
             inner: StatevectorBackend::default(),
@@ -277,6 +280,7 @@ fn hot_swap_under_load_never_tears_a_batch() {
             max_wait: Duration::from_micros(200),
             queue_depth: 128,
             coalesce: CoalesceMode::Batched,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");
@@ -350,6 +354,7 @@ fn packed_deploy_rebinds_instead_of_recompiling_the_width_cache() {
             max_wait: Duration::from_micros(200),
             queue_depth: 64,
             coalesce: CoalesceMode::Packed,
+            ..ServeConfig::default()
         },
     )
     .expect("service starts");
