@@ -204,6 +204,17 @@ impl Checkpoint {
         match &bytes[..8] {
             m if m == MAGIC_V2 => Self::parse_v2(&bytes),
             m if m == MAGIC_V1 => Self::parse_v1(&bytes),
+            // A qugeo magic prefix with an unrecognised version byte is a
+            // damaged or future checkpoint, not a foreign file: surface it
+            // as corruption so recovery code falls back to an older
+            // artifact instead of aborting on a config error.
+            m if m.starts_with(b"QGCKPT") => Err(QuGeoError::CorruptCheckpoint {
+                reason: format!(
+                    "qugeo checkpoint with unrecognised version bytes {:?} (damaged \
+                     version field or a newer format)",
+                    &m[6..8]
+                ),
+            }),
             _ => Err(QuGeoError::Config {
                 reason: "not a qugeo checkpoint".into(),
             }),
@@ -475,6 +486,106 @@ mod tests {
         // The pristine bytes still load.
         std::fs::write(&path, &full).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_footer_is_a_typed_corruption_error() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let ckpt = Checkpoint::capture(&m, &m.init_params(7), "footer").unwrap();
+        let path = tmp("footer.ckpt");
+        let full = ckpt.to_bytes();
+
+        // Every partial footer: 1-3 bytes of the CRC missing reads as a
+        // CRC mismatch (the cut shifts which bytes play the footer), and
+        // a file cut before any footer fits is typed corruption too.
+        for missing in 1..=3 {
+            std::fs::write(&path, &full[..full.len() - missing]).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert!(
+                matches!(err, QuGeoError::CorruptCheckpoint { .. }),
+                "{missing} footer bytes missing gave {err:?}"
+            );
+        }
+        for len in 8..12 {
+            std::fs::write(&path, &full[..len]).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert!(
+                matches!(err, QuGeoError::CorruptCheckpoint { .. }),
+                "{len}-byte file gave {err:?}"
+            );
+            assert!(err.to_string().contains("CRC footer"), "{err}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_byte_corruption_is_a_typed_corruption_error() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let ckpt = Checkpoint::capture(&m, &m.init_params(7), "version").unwrap();
+        let path = tmp("version.ckpt");
+        let mut bytes = ckpt.to_bytes();
+
+        // Damage only the version digits: the qugeo prefix survives, so
+        // this must read as a corrupt checkpoint — recovery should fall
+        // back to an older artifact — not as a foreign file.
+        bytes[6] = b'9';
+        bytes[7] = b'9';
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, QuGeoError::CorruptCheckpoint { .. }),
+            "corrupted version gave {err:?}"
+        );
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Damage the prefix itself and it is no longer ours: Config.
+        let mut foreign = ckpt.to_bytes();
+        foreign[0] = b'X';
+        std::fs::write(&path, &foreign).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(QuGeoError::Config { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn optimizer_state_length_mismatch_is_a_typed_corruption_error() {
+        let m = QuGeoVqc::new(VqcConfig::paper_layer_wise()).unwrap();
+        let params = m.init_params(3);
+        let opt_state: Vec<f64> = (0..5).map(|i| i as f64 * 0.5).collect();
+        let ckpt =
+            Checkpoint::capture_training(&m, &params, "opt", 9, &opt_state).unwrap();
+        let bytes = ckpt.to_bytes();
+        // Layout: magic(8) qubits(8) label_len(8) label count(8)
+        // params(8*n) epoch(8) opt_count(8) ...
+        let off = 8 + 8 + 8 + "opt".len() + 8 + 8 * params.len() + 8;
+        assert_eq!(
+            u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()),
+            opt_state.len() as u64,
+            "opt_count offset computed wrong — layout changed?"
+        );
+
+        let path = tmp("optlen.ckpt");
+        // Overstate and understate the count, re-sealing the CRC so only
+        // the length field is inconsistent: the record must still read
+        // as corruption (truncated payload / trailing bytes), never as a
+        // checkpoint with a silently wrong optimiser state.
+        for wrong in [opt_state.len() as u64 + 1, opt_state.len() as u64 - 1] {
+            let mut patched = bytes.clone();
+            patched[off..off + 8].copy_from_slice(&wrong.to_le_bytes());
+            let body = patched.len() - 4;
+            let crc = crc32(&patched[..body]);
+            patched[body..].copy_from_slice(&crc.to_le_bytes());
+            std::fs::write(&path, &patched).unwrap();
+            let err = Checkpoint::load(&path).unwrap_err();
+            assert!(
+                matches!(err, QuGeoError::CorruptCheckpoint { .. }),
+                "opt_count {wrong} (true {}) gave {err:?}",
+                opt_state.len()
+            );
+        }
         std::fs::remove_file(&path).ok();
     }
 

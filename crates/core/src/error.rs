@@ -47,6 +47,17 @@ pub enum QuGeoError {
         /// What integrity check failed.
         reason: String,
     },
+    /// A data-parallel replica panicked mid-step. The coordinator
+    /// contains the panic (no gradient from any replica is applied — the
+    /// step never produces a silently partial all-reduce) and surfaces it
+    /// as this typed error so callers can retry, drop to fewer replicas,
+    /// or abort deliberately.
+    ReplicaPanic {
+        /// Zero-based index of the replica whose evaluation panicked.
+        replica: usize,
+        /// The panic payload, when it carried a string message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for QuGeoError {
@@ -61,6 +72,12 @@ impl fmt::Display for QuGeoError {
             Self::CorruptCheckpoint { reason } => {
                 write!(f, "corrupt checkpoint: {reason}")
             }
+            Self::ReplicaPanic { replica, reason } => {
+                write!(
+                    f,
+                    "replica {replica} panicked during a data-parallel step: {reason}"
+                )
+            }
         }
     }
 }
@@ -68,7 +85,9 @@ impl fmt::Display for QuGeoError {
 impl Error for QuGeoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            Self::Config { .. } | Self::CorruptCheckpoint { .. } => None,
+            Self::Config { .. } | Self::CorruptCheckpoint { .. } | Self::ReplicaPanic { .. } => {
+                None
+            }
             Self::Quantum(e) => Some(e),
             Self::Modeling(e) => Some(e),
             Self::Data(e) => Some(e),
@@ -123,6 +142,14 @@ mod tests {
         let q: QuGeoError = QsimError::ZeroVector.into();
         assert!(q.source().is_some());
         assert!(q.to_string().contains("quantum"));
+
+        let p = QuGeoError::ReplicaPanic {
+            replica: 2,
+            reason: "injected engine panic".into(),
+        };
+        assert!(p.source().is_none());
+        assert!(p.to_string().contains("replica 2"));
+        assert!(p.to_string().contains("injected engine panic"));
     }
 
     #[test]

@@ -12,12 +12,20 @@
 //! Layering:
 //!
 //! ```text
+//!   Sweep (sweep)                grid/random trials over hyper-parameters
 //!   Trainer (this module)        epoch loop, shuffling, schedule, history
 //!     ├─ TrainStep  (strategy)   what one epoch of updates means
+//!     │    └─ DataParallel (parallel)  shards a step across N replicas,
+//!     │                                deterministic all-reduce
 //!     ├─ Optimizer  (qugeo_nn)   how a gradient becomes a parameter update
 //!     ├─ LrSchedule (qugeo_nn)   which learning rate each epoch runs at
 //!     └─ Callback   (callback)   what happens after each epoch
 //! ```
+//!
+//! The epoch's sample order is derived **once**, here, by the
+//! coordinator's seeded RNG — strategies (including [`DataParallel`])
+//! only consume the order, so sharding is replica-count-invariant by
+//! construction.
 //!
 //! The legacy free functions in [`crate::trainer`] (`train_vqc`,
 //! `train_vqc_batched`, `train_regressor`, …) are deprecated wrappers
@@ -39,14 +47,20 @@
 //! ```
 
 mod callback;
+mod parallel;
 mod strategy;
+mod sweep;
 
 pub use callback::{
     Callback, CallbackFlow, EarlyStopping, EpochContext, MetricsRecorder, PeriodicCheckpoint,
 };
+pub use parallel::{DataParallel, ReplicaStep, ReplicaThreads, Shardable};
 pub use strategy::{
     evaluate_regressor, evaluate_vqc, evaluate_vqc_with, EpochReport, MiniBatchVqc, PerSampleVqc,
     QuBatchVqc, RegressorStep, TrainStep,
+};
+pub use sweep::{
+    Leaderboard, ScheduleSpec, Sweep, SweepSpace, SweepStrategy, TrialOutcome, TrialSpec,
 };
 
 use std::time::Instant;

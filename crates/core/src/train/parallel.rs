@@ -1,0 +1,408 @@
+//! Data-parallel training with a deterministic all-reduce.
+//!
+//! [`DataParallel`] wraps a [`Shardable`] strategy and splits every
+//! optimiser step's mini-batch across N replica evaluation contexts,
+//! each owning its own [`AdjointWorkspace`](qugeo_qsim::AdjointWorkspace)
+//! and backend (thread budget divided via
+//! [`BackendConfig::split`]). Replicas evaluate disjoint *micro-batch
+//! units*, the coordinator all-reduces the unit gradients, and the
+//! optimiser steps exactly once per mini-batch — so data parallelism
+//! changes wall-clock time, never semantics.
+//!
+//! # The determinism contract
+//!
+//! `replicas = N` is **bit-identical** to `replicas = 1` for every
+//! optimizer, schedule, and strategy, by construction:
+//!
+//! 1. **Unit decomposition is replica-free.** Each step's sample chunk is
+//!    split into units of [`DataParallel::micro_batch`] samples. The unit
+//!    boundaries depend only on the chunk and the micro-batch size —
+//!    never on the replica count.
+//! 2. **Units land in ordered slots.** Replicas write each unit's
+//!    `(loss, gradient)` into the slot indexed by the unit's position, so
+//!    scheduling and completion order are invisible to the reduction.
+//! 3. **The all-reduce has a fixed shape.** Unit gradients are weighted
+//!    by `|unit| / |chunk|` and combined by [`tree_reduce`] — pairwise
+//!    rounds in unit order, a reduction tree whose shape is a function of
+//!    the unit count alone.
+//! 4. **Only the coordinator steps the optimiser**, once per mini-batch,
+//!    with the reduced gradient; replicas never touch optimiser state.
+//!
+//! The sample order itself is derived once per epoch by the
+//! [`Trainer`](super::Trainer) engine's coordinator RNG and passed down
+//! as a slice; `DataParallel` only *partitions* that order, it never
+//! reshuffles — sharding is therefore replica-count-invariant all the
+//! way from the shuffle to the parameter update. The kernel layer
+//! completes the chain: its reductions use fixed-size chunk partials, so
+//! even the per-replica thread budget cannot perturb a gradient bit
+//! (`reduce_chunks` in `qugeo_qsim`).
+//!
+//! # Failure containment
+//!
+//! A replica that panics mid-unit is caught on its worker thread and
+//! surfaced as [`QuGeoError::ReplicaPanic`] — the optimiser is never
+//! stepped with a partial all-reduce, so a chaos-injected engine panic
+//! can abort a run but cannot corrupt it.
+
+use qugeo_nn::optim::Optimizer;
+use qugeo_qsim::{simulation_threads, BackendConfig};
+use qugeo_tensor::norm::l2_norm;
+
+use super::strategy::{EpochReport, TrainStep};
+use crate::QuGeoError;
+
+/// One replica's evaluation context: owns whatever mutable scratch the
+/// strategy needs (adjoint workspace, input batch, backend handle) and
+/// evaluates micro-batch units against shared read-only data.
+///
+/// `Send` is a supertrait because replica contexts move onto scoped
+/// worker threads.
+pub trait ReplicaStep: Send {
+    /// Evaluates one micro-batch unit of sample indices at `params`,
+    /// returning the **mean** loss and **mean** gradient over the unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation or backend failures.
+    fn eval_unit(&mut self, unit: &[usize], params: &[f64]) -> Result<(f64, Vec<f64>), QuGeoError>;
+}
+
+/// A strategy that can be sharded across data-parallel replicas.
+///
+/// The strategy stays the single owner of the training data, targets,
+/// and pre-encoded states; [`Shardable::replica`] hands out lightweight
+/// contexts that *borrow* the shared read-only state and own only their
+/// mutable scratch.
+pub trait Shardable {
+    /// Number of training samples (the engine shuffles `0..n`).
+    fn num_train_samples(&self) -> usize;
+
+    /// Initial parameter vector for `seed`.
+    fn init_params(&self, seed: u64) -> Vec<f64>;
+
+    /// Samples consumed per optimiser step (1 for per-sample training,
+    /// the batch size for mini-batch strategies). Defines the step
+    /// boundaries `DataParallel` decomposes into micro-batch units.
+    fn samples_per_step(&self) -> usize;
+
+    /// Builds one replica evaluation context under `config`'s thread
+    /// budget.
+    fn replica(&self, config: BackendConfig) -> Box<dyn ReplicaStep + '_>;
+
+    /// Evaluates `params` on the held-out set: mean (MSE, SSIM).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures.
+    fn evaluate_params(&self, params: &[f64]) -> Result<(f64, f64), QuGeoError>;
+}
+
+/// When replica evaluation uses scoped worker threads.
+///
+/// This is a *scheduling* policy only: by the determinism contract the
+/// results are bit-identical either way, so the choice trades spawn
+/// overhead against parallel wall-clock and never affects training
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaThreads {
+    /// Thread when it can help: more than one replica, more than one
+    /// unit per step, and a multi-core budget
+    /// ([`simulation_threads`] > 1). The default.
+    #[default]
+    Auto,
+    /// Always spawn worker threads, even where they cannot pay off —
+    /// used by the differential suite to exercise the threaded path (and
+    /// its panic containment) on single-core hosts.
+    Always,
+    /// Never spawn; evaluate every unit inline on the coordinator.
+    Never,
+}
+
+/// What one unit evaluation produced, including contained panics.
+enum UnitOutcome {
+    Done((f64, Vec<f64>)),
+    Failed(QuGeoError),
+    Panicked(String),
+}
+
+/// Data-parallel wrapper: shards each optimiser step's samples across
+/// replica contexts and all-reduces gradients deterministically. See the
+/// module docs above for the bit-identity contract.
+///
+/// # Examples
+///
+/// ```no_run
+/// use qugeo::model::{QuGeoVqc, VqcConfig};
+/// use qugeo::train::{DataParallel, MiniBatchVqc, TrainConfig, Trainer};
+/// # fn main() -> Result<(), qugeo::QuGeoError> {
+/// # let (train, test): (Vec<_>, Vec<_>) = (vec![], vec![]);
+/// let model = QuGeoVqc::new(VqcConfig::paper_layer_wise())?;
+/// let strategy = MiniBatchVqc::new(&model, &train, &test, 16)?;
+/// let mut parallel = DataParallel::new(&strategy, 4)?.micro_batch(4);
+/// let outcome = Trainer::new(TrainConfig::smoke(10)).fit(&mut parallel)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct DataParallel<'a, S: Shardable> {
+    inner: &'a S,
+    contexts: Vec<Box<dyn ReplicaStep + 'a>>,
+    micro: usize,
+    threads: ReplicaThreads,
+}
+
+impl<'a, S: Shardable> DataParallel<'a, S> {
+    /// Wraps `inner` with `replicas` evaluation contexts, splitting the
+    /// machine's simulation-thread budget equally between them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] when `replicas == 0`.
+    pub fn new(inner: &'a S, replicas: usize) -> Result<Self, QuGeoError> {
+        Self::with_config(inner, replicas, BackendConfig::default())
+    }
+
+    /// Wraps `inner` with `replicas` contexts under an explicit base
+    /// thread budget — each replica receives `base.split(replicas)`.
+    /// Lets a sweep trial that already holds a
+    /// [`BackendConfig::shared_across`] share divide it further.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] when `replicas == 0`.
+    pub fn with_config(
+        inner: &'a S,
+        replicas: usize,
+        base: BackendConfig,
+    ) -> Result<Self, QuGeoError> {
+        if replicas == 0 {
+            return Err(QuGeoError::Config {
+                reason: "data-parallel training requires at least one replica".into(),
+            });
+        }
+        let per_replica = base.split(replicas);
+        let contexts = (0..replicas).map(|_| inner.replica(per_replica)).collect();
+        Ok(Self {
+            inner,
+            contexts,
+            micro: 1,
+            threads: ReplicaThreads::Auto,
+        })
+    }
+
+    /// Sets the micro-batch unit size (default 1; values below 1 are
+    /// clamped to 1).
+    ///
+    /// Units are the grain of parallel work *and* of the reduction:
+    /// changing `micro` changes the floating-point summation grouping —
+    /// deterministically — while changing the replica count never does.
+    /// Set `micro` to the strategy's full batch size to make the wrapped
+    /// run bit-identical to the plain strategy.
+    pub fn micro_batch(mut self, micro: usize) -> Self {
+        self.micro = micro.max(1);
+        self
+    }
+
+    /// Sets the threading policy (default [`ReplicaThreads::Auto`]).
+    pub fn threading(mut self, threads: ReplicaThreads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of replica contexts.
+    pub fn replicas(&self) -> usize {
+        self.contexts.len()
+    }
+}
+
+impl<S: Shardable> TrainStep for DataParallel<'_, S> {
+    fn num_train_samples(&self) -> usize {
+        self.inner.num_train_samples()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.inner.init_params(seed)
+    }
+
+    fn run_epoch(
+        &mut self,
+        order: &[usize],
+        params: &mut [f64],
+        optimizer: &mut dyn Optimizer,
+    ) -> Result<EpochReport, QuGeoError> {
+        let step = self.inner.samples_per_step().max(1);
+        let mut loss_sum = 0.0;
+        let mut norm_sum = 0.0;
+        let mut steps = 0usize;
+        for chunk in order.chunks(step) {
+            let units: Vec<&[usize]> = chunk.chunks(self.micro).collect();
+            let threaded = match self.threads {
+                ReplicaThreads::Never => false,
+                ReplicaThreads::Always => true,
+                ReplicaThreads::Auto => {
+                    self.contexts.len() > 1 && units.len() > 1 && simulation_threads() > 1
+                }
+            };
+            let per = units.len().div_ceil(self.contexts.len()).max(1);
+            let outcomes = eval_units(&mut self.contexts, &units, params, per, threaded);
+
+            let mut results = Vec::with_capacity(units.len());
+            for (u, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    UnitOutcome::Done(r) => results.push(r),
+                    UnitOutcome::Failed(e) => return Err(e),
+                    UnitOutcome::Panicked(reason) => {
+                        return Err(QuGeoError::ReplicaPanic {
+                            replica: u / per,
+                            reason,
+                        });
+                    }
+                }
+            }
+
+            // Weight each unit's mean by its share of the chunk, then
+            // combine with the fixed-shape pairwise tree. A full-chunk
+            // unit has weight exactly 1.0, which is a bitwise no-op.
+            let total = chunk.len() as f64;
+            let mut step_loss = 0.0;
+            let mut weighted = Vec::with_capacity(results.len());
+            for (unit, (loss, mut grad)) in units.iter().zip(results) {
+                let w = unit.len() as f64 / total;
+                grad.iter_mut().for_each(|g| *g *= w);
+                step_loss += w * loss;
+                weighted.push(grad);
+            }
+            let combined = tree_reduce(weighted);
+            optimizer.step(params, &combined);
+            loss_sum += step_loss;
+            norm_sum += l2_norm(&combined);
+            steps += 1;
+        }
+        let n = steps.max(1) as f64;
+        Ok(EpochReport {
+            train_loss: loss_sum / n,
+            grad_norm: norm_sum / n,
+        })
+    }
+
+    fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        self.inner.evaluate_params(params)
+    }
+}
+
+/// Evaluates every unit, assigning `per` consecutive units to each
+/// replica context. Results land in unit-ordered slots whichever path
+/// runs, so the inline and threaded schedules are interchangeable.
+fn eval_units(
+    contexts: &mut [Box<dyn ReplicaStep + '_>],
+    units: &[&[usize]],
+    params: &[f64],
+    per: usize,
+    threaded: bool,
+) -> Vec<UnitOutcome> {
+    if !threaded {
+        let mut outcomes = Vec::with_capacity(units.len());
+        for (ctx, chunk) in contexts.iter_mut().zip(units.chunks(per)) {
+            for unit in chunk {
+                outcomes.push(eval_one(ctx.as_mut(), unit, params));
+            }
+        }
+        outcomes
+    } else {
+        let mut slots: Vec<Option<UnitOutcome>> = units.iter().map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((ctx, chunk), out) in contexts
+                .iter_mut()
+                .zip(units.chunks(per))
+                .zip(slots.chunks_mut(per))
+            {
+                scope.spawn(move || {
+                    for (unit, slot) in chunk.iter().zip(out.iter_mut()) {
+                        *slot = Some(eval_one(ctx.as_mut(), unit, params));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every unit slot is filled by its replica"))
+            .collect()
+    }
+}
+
+/// One unit evaluation with panic containment: a panicking replica
+/// produces a [`UnitOutcome::Panicked`] record instead of unwinding
+/// through the scope (which would abort the whole process under
+/// `panic=abort` test harnesses and lose the typed-error contract).
+fn eval_one(ctx: &mut (dyn ReplicaStep + '_), unit: &[usize], params: &[f64]) -> UnitOutcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.eval_unit(unit, params))) {
+        Ok(Ok(result)) => UnitOutcome::Done(result),
+        Ok(Err(e)) => UnitOutcome::Failed(e),
+        Err(payload) => UnitOutcome::Panicked(panic_message(payload)),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Pairwise tree reduction in slot order: round after round, slot `2k`
+/// absorbs slot `2k+1`. The tree's shape — and therefore the
+/// floating-point summation order — is a function of the input count
+/// alone, which is what makes the all-reduce independent of how units
+/// were scheduled across replicas.
+fn tree_reduce(mut layers: Vec<Vec<f64>>) -> Vec<f64> {
+    while layers.len() > 1 {
+        let mut next = Vec::with_capacity(layers.len().div_ceil(2));
+        let mut it = layers.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+            }
+            next.push(a);
+        }
+        layers = next;
+    }
+    layers.pop().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_reduce_shape_depends_only_on_count() {
+        // 5 inputs: rounds are ((0+1),(2+3),4) -> ((01+23),4) -> final.
+        let inputs: Vec<Vec<f64>> = (0..5).map(|i| vec![10f64.powi(i - 2), 1.0]).collect();
+        let tree = tree_reduce(inputs.clone());
+        let expect0 =
+            ((inputs[0][0] + inputs[1][0]) + (inputs[2][0] + inputs[3][0])) + inputs[4][0];
+        assert_eq!(tree[0].to_bits(), expect0.to_bits());
+        assert_eq!(tree[1], 5.0);
+
+        // Single input passes through untouched, bit for bit.
+        let one = tree_reduce(vec![vec![0.1 + 0.2, -0.0]]);
+        assert_eq!(one[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(one[1].to_bits(), (-0.0f64).to_bits());
+
+        assert!(tree_reduce(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let s = std::panic::catch_unwind(|| panic!("literal")).unwrap_err();
+        assert_eq!(panic_message(s), "literal");
+        let owned = std::panic::catch_unwind(|| panic!("call {}", 7)).unwrap_err();
+        assert_eq!(panic_message(owned), "call 7");
+        let other = std::panic::catch_unwind(|| std::panic::panic_any(42usize)).unwrap_err();
+        assert_eq!(panic_message(other), "non-string panic payload");
+    }
+}

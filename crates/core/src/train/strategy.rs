@@ -18,10 +18,13 @@ use qugeo_metrics::{mse, ssim};
 use qugeo_nn::models::{CnnRegressor, RegressorHead};
 use qugeo_nn::optim::Optimizer;
 use qugeo_nn::Model;
-use qugeo_qsim::{AdjointWorkspace, BatchedState, QuantumBackend, State, StatevectorBackend};
+use qugeo_qsim::{
+    AdjointWorkspace, BackendConfig, BatchedState, QuantumBackend, State, StatevectorBackend,
+};
 use qugeo_tensor::norm::{l2_norm, l2_normalized};
 use qugeo_tensor::Array2;
 
+use super::parallel::{ReplicaStep, Shardable};
 use crate::model::{member_loss_obs, QuGeoVqc};
 use crate::pipeline::normalized_target;
 use crate::qubatch::QuBatch;
@@ -80,6 +83,35 @@ impl BackendHandle<'_> {
         match self {
             Self::Owned(b) => b.as_ref(),
             Self::Borrowed(b) => *b,
+        }
+    }
+
+    /// A replica's view of this handle: owned backends (always the
+    /// default statevector engine) are re-created per replica under the
+    /// replica's thread budget; borrowed custom backends (samplers,
+    /// fault injectors) are shared by reference so their state — shot
+    /// streams, fault schedules — spans the whole replica set.
+    fn for_replica(&self, config: BackendConfig) -> ReplicaBackend<'_> {
+        match self {
+            Self::Owned(_) => ReplicaBackend::Owned(StatevectorBackend::with_config(config)),
+            Self::Borrowed(b) => ReplicaBackend::Shared(*b),
+        }
+    }
+}
+
+/// A data-parallel replica's backend: owned statevector engine (fresh
+/// per replica, split thread budget) or a shared reference to the
+/// strategy's borrowed custom backend.
+enum ReplicaBackend<'a> {
+    Owned(StatevectorBackend),
+    Shared(&'a dyn QuantumBackend),
+}
+
+impl ReplicaBackend<'_> {
+    fn get(&self) -> &dyn QuantumBackend {
+        match self {
+            Self::Owned(b) => b,
+            Self::Shared(b) => *b,
         }
     }
 }
@@ -638,6 +670,181 @@ impl TrainStep for MiniBatchVqc<'_> {
 
     fn evaluate(&mut self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
         evaluate_vqc_with(self.model, params, self.test, self.backend.get())
+    }
+}
+
+/// Replica evaluation context shared by [`PerSampleVqc`] and
+/// [`MiniBatchVqc`]: borrows the strategy's read-only data (model,
+/// samples, targets, pre-encoded states) and owns its mutable scratch
+/// (workspace, input batch, backend handle).
+///
+/// `eval_unit` mirrors [`MiniBatchVqc::run_epoch`]'s gradient path
+/// operation-for-operation — one batched adjoint call, per-member grads
+/// summed linearly in member order, then scaled by `1/|unit|` — so a
+/// full-batch unit reproduces the plain strategy's step bitwise.
+struct VqcReplica<'a> {
+    model: &'a QuGeoVqc,
+    train: &'a [ScaledSample],
+    targets: &'a [Array2],
+    encoded: &'a [State],
+    backend: ReplicaBackend<'a>,
+    ws: AdjointWorkspace,
+    inputs: Option<BatchedState>,
+}
+
+impl ReplicaStep for VqcReplica<'_> {
+    fn eval_unit(&mut self, unit: &[usize], params: &[f64]) -> Result<(f64, Vec<f64>), QuGeoError> {
+        let backend = self.backend.get();
+        let mut grad_acc = vec![0.0; params.len()];
+        let mut unit_loss = 0.0;
+        if backend.supports_adjoint_gradient() {
+            let member_refs: Vec<&State> = unit.iter().map(|&i| &self.encoded[i]).collect();
+            let inputs = load_inputs(&mut self.inputs, &member_refs)?;
+            let decoder = self.model.decoder();
+            let targets = self.targets;
+            backend.adjoint_gradient_batch(
+                self.model.circuit(),
+                params,
+                inputs,
+                &mut |b, probs| {
+                    let (l, obs) = member_loss_obs(decoder, probs, &targets[unit[b]])?;
+                    unit_loss += l;
+                    Ok(obs)
+                },
+                &mut self.ws,
+            )?;
+            for b in 0..unit.len() {
+                for (acc, g) in grad_acc.iter_mut().zip(self.ws.grad(b)) {
+                    *acc += g;
+                }
+            }
+        } else {
+            for &i in unit {
+                let (loss, grad) = self.model.loss_and_grad_with(
+                    &self.train[i].seismic,
+                    &self.targets[i],
+                    params,
+                    backend,
+                )?;
+                unit_loss += loss;
+                for (acc, g) in grad_acc.iter_mut().zip(&grad) {
+                    *acc += g;
+                }
+            }
+        }
+        let scale = 1.0 / unit.len() as f64;
+        grad_acc.iter_mut().for_each(|g| *g *= scale);
+        Ok((unit_loss * scale, grad_acc))
+    }
+}
+
+impl Shardable for PerSampleVqc<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.model.init_params(seed)
+    }
+
+    fn samples_per_step(&self) -> usize {
+        1
+    }
+
+    fn replica(&self, config: BackendConfig) -> Box<dyn ReplicaStep + '_> {
+        Box::new(VqcReplica {
+            model: self.model,
+            train: self.train,
+            targets: &self.targets,
+            encoded: &self.encoded,
+            backend: self.backend.for_replica(config),
+            ws: AdjointWorkspace::new(),
+            inputs: None,
+        })
+    }
+
+    fn evaluate_params(&self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc_with(self.model, params, self.test, self.backend.get())
+    }
+}
+
+impl Shardable for MiniBatchVqc<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.model.init_params(seed)
+    }
+
+    fn samples_per_step(&self) -> usize {
+        self.batch_size
+    }
+
+    fn replica(&self, config: BackendConfig) -> Box<dyn ReplicaStep + '_> {
+        Box::new(VqcReplica {
+            model: self.model,
+            train: self.train,
+            targets: &self.targets,
+            encoded: &self.encoded,
+            backend: self.backend.for_replica(config),
+            ws: AdjointWorkspace::new(),
+            inputs: None,
+        })
+    }
+
+    fn evaluate_params(&self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc_with(self.model, params, self.test, self.backend.get())
+    }
+}
+
+/// Replica evaluation context for [`QuBatchVqc`]: shares the strategy's
+/// [`QuBatch`] (widened-circuit builder, immutable) and owns its own
+/// workspace and backend handle. `loss_and_grad_batch_ws` already
+/// returns the batch *mean* loss and gradient, which is exactly the
+/// unit contract.
+struct QuBatchReplica<'a> {
+    qubatch: &'a QuBatch<'a>,
+    train: &'a [ScaledSample],
+    targets: &'a [Array2],
+    backend: ReplicaBackend<'a>,
+    ws: AdjointWorkspace,
+}
+
+impl ReplicaStep for QuBatchReplica<'_> {
+    fn eval_unit(&mut self, unit: &[usize], params: &[f64]) -> Result<(f64, Vec<f64>), QuGeoError> {
+        let seismic: Vec<Vec<f64>> = unit.iter().map(|&i| self.train[i].seismic.clone()).collect();
+        let tgt: Vec<Array2> = unit.iter().map(|&i| self.targets[i].clone()).collect();
+        self.qubatch
+            .loss_and_grad_batch_ws(&seismic, &tgt, params, self.backend.get(), &mut self.ws)
+    }
+}
+
+impl Shardable for QuBatchVqc<'_> {
+    fn num_train_samples(&self) -> usize {
+        self.train.len()
+    }
+
+    fn init_params(&self, seed: u64) -> Vec<f64> {
+        self.qubatch.model().init_params(seed)
+    }
+
+    fn samples_per_step(&self) -> usize {
+        self.batch_size
+    }
+
+    fn replica(&self, config: BackendConfig) -> Box<dyn ReplicaStep + '_> {
+        Box::new(QuBatchReplica {
+            qubatch: &self.qubatch,
+            train: self.train,
+            targets: &self.targets,
+            backend: self.backend.for_replica(config),
+            ws: AdjointWorkspace::new(),
+        })
+    }
+
+    fn evaluate_params(&self, params: &[f64]) -> Result<(f64, f64), QuGeoError> {
+        evaluate_vqc_with(self.qubatch.model(), params, self.test, self.backend.get())
     }
 }
 

@@ -1,0 +1,436 @@
+//! Hyper-parameter sweeps over the [`Trainer`](super::Trainer) builder.
+//!
+//! A [`Sweep`] enumerates trials from a [`SweepSpace`] (grid or seeded
+//! random subset), trains each trial with [`MiniBatchVqc`] under a
+//! per-trial [`BackendConfig::shared_across`] thread share, and returns
+//! a [`Leaderboard`] ranked by final test MSE.
+//!
+//! Determinism: trial specs are enumerated in a fixed order (the grid's
+//! cartesian order, or a seeded random draw from it), every trial runs
+//! the deterministic training engine, results are keyed by trial index
+//! regardless of which worker finished first, and the leaderboard's
+//! ranking breaks MSE ties by trial index. Running the same sweep with
+//! any `parallel_trials` value therefore produces an identical
+//! leaderboard — pinned by the differential suite alongside the
+//! `DataParallel` bit-identity contract.
+//!
+//! The JSON artifact ([`Leaderboard::to_json`]) is a **stable format**
+//! (`qugeo-sweep-leaderboard/v1`): keys, key order, and ranking
+//! semantics are frozen so downstream tooling can parse it across
+//! versions; additions will bump the schema string.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use qugeo_nn::optim::{ConstantLr, CosineAnnealing, LrSchedule, StepDecay, WarmupCosine};
+use qugeo_qsim::{BackendConfig, StatevectorBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::strategy::MiniBatchVqc;
+use super::{TrainConfig, Trainer};
+use crate::model::{QuGeoVqc, VqcConfig};
+use crate::QuGeoError;
+use qugeo_geodata::scaling::ScaledSample;
+
+/// A learning-rate schedule family, instantiated per trial from the
+/// trial's learning rate and the sweep's epoch count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScheduleSpec {
+    /// Constant learning rate.
+    Constant,
+    /// Cosine annealing to zero over the run.
+    CosineAnnealing,
+    /// Multiply the rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        factor: f64,
+    },
+    /// Linear warmup for `warmup` epochs, then cosine annealing.
+    WarmupCosine {
+        /// Warmup epochs (must stay below the run's epoch count).
+        warmup: usize,
+    },
+}
+
+impl ScheduleSpec {
+    /// Instantiates the schedule for a trial.
+    pub fn build(&self, initial_lr: f64, epochs: usize) -> Box<dyn LrSchedule> {
+        match *self {
+            Self::Constant => Box::new(ConstantLr::new(initial_lr)),
+            Self::CosineAnnealing => Box::new(CosineAnnealing::new(initial_lr, epochs)),
+            Self::StepDecay { every, factor } => {
+                Box::new(StepDecay::new(initial_lr, factor, every.max(1)))
+            }
+            Self::WarmupCosine { warmup } => Box::new(WarmupCosine::new(
+                initial_lr,
+                warmup.min(epochs.saturating_sub(1)),
+                epochs,
+            )),
+        }
+    }
+
+    /// Stable label used in the leaderboard JSON.
+    pub fn label(&self) -> String {
+        match *self {
+            Self::Constant => "constant".into(),
+            Self::CosineAnnealing => "cosine".into(),
+            Self::StepDecay { every, factor } => format!("step(every={every},factor={factor})"),
+            Self::WarmupCosine { warmup } => format!("warmup-cosine(warmup={warmup})"),
+        }
+    }
+}
+
+/// The axes a sweep explores. Empty axes are a configuration error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpace {
+    /// Initial learning rates.
+    pub learning_rates: Vec<f64>,
+    /// Schedule families.
+    pub schedules: Vec<ScheduleSpec>,
+    /// Ansatz depths (`VqcConfig::num_blocks`).
+    pub depths: Vec<usize>,
+    /// Mini-batch sizes.
+    pub batch_sizes: Vec<usize>,
+}
+
+impl SweepSpace {
+    /// Total grid size (the cartesian product of all axes).
+    pub fn grid_len(&self) -> usize {
+        self.learning_rates.len() * self.schedules.len() * self.depths.len()
+            * self.batch_sizes.len()
+    }
+
+    fn validate(&self) -> Result<(), QuGeoError> {
+        if self.learning_rates.is_empty()
+            || self.schedules.is_empty()
+            || self.depths.is_empty()
+            || self.batch_sizes.is_empty()
+        {
+            return Err(QuGeoError::Config {
+                reason: "every sweep axis needs at least one value".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How trials are drawn from the [`SweepSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepStrategy {
+    /// Every grid point, in cartesian order (learning rate outermost,
+    /// then schedule, depth, batch size).
+    Grid,
+    /// `trials` seeded independent draws from the grid (duplicates
+    /// possible, as in classical random search).
+    Random {
+        /// Number of trials to draw.
+        trials: usize,
+        /// Seed of the draw.
+        seed: u64,
+    },
+}
+
+/// One trial's hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialSpec {
+    /// Position in the sweep's enumeration order (the stable tiebreaker).
+    pub index: usize,
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Schedule family.
+    pub schedule: ScheduleSpec,
+    /// Ansatz depth (`num_blocks`).
+    pub depth: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+/// One finished trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// The trial's hyper-parameters.
+    pub spec: TrialSpec,
+    /// Final test MSE (the ranking key).
+    pub final_mse: f64,
+    /// Final test SSIM.
+    pub final_ssim: f64,
+    /// Final epoch's mean training loss.
+    pub final_train_loss: f64,
+    /// Epochs actually run.
+    pub epochs: usize,
+}
+
+/// Ranked sweep results: best (lowest final MSE) first, ties broken by
+/// trial index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaderboard {
+    /// Trials in rank order.
+    pub trials: Vec<TrialOutcome>,
+}
+
+impl Leaderboard {
+    /// The winning trial.
+    pub fn best(&self) -> Option<&TrialOutcome> {
+        self.trials.first()
+    }
+
+    /// Serialises the leaderboard as `qugeo-sweep-leaderboard/v1` JSON —
+    /// a stable format (see the module docs above).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"qugeo-sweep-leaderboard/v1\",\n  \"trials\": [\n");
+        for (rank, t) in self.trials.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rank\": {}, \"trial\": {}, \"learning_rate\": {}, \"schedule\": \"{}\", \
+                 \"depth\": {}, \"batch_size\": {}, \"final_mse\": {}, \"final_ssim\": {}, \
+                 \"final_train_loss\": {}, \"epochs\": {}}}{}\n",
+                rank + 1,
+                t.spec.index,
+                json_f64(t.spec.learning_rate),
+                t.spec.schedule.label(),
+                t.spec.depth,
+                t.spec.batch_size,
+                json_f64(t.final_mse),
+                json_f64(t.final_ssim),
+                json_f64(t.final_train_loss),
+                t.epochs,
+                if rank + 1 == self.trials.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// A finite f64 as a JSON number, non-finite as `null`.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A hyper-parameter sweep over VQC mini-batch training. See the
+/// module docs above for the determinism and JSON-stability contracts.
+pub struct Sweep<'a> {
+    base: VqcConfig,
+    train: &'a [ScaledSample],
+    test: &'a [ScaledSample],
+    config: TrainConfig,
+    space: SweepSpace,
+    strategy: SweepStrategy,
+    parallel_trials: usize,
+}
+
+impl<'a> Sweep<'a> {
+    /// A grid sweep of `space` around the `base` model configuration
+    /// (each trial overrides `num_blocks` with its depth), trained with
+    /// `config`'s epochs and seed (the trial's learning rate replaces
+    /// `config.initial_lr`).
+    pub fn new(
+        base: VqcConfig,
+        train: &'a [ScaledSample],
+        test: &'a [ScaledSample],
+        config: TrainConfig,
+        space: SweepSpace,
+    ) -> Self {
+        Self {
+            base,
+            train,
+            test,
+            config,
+            space,
+            strategy: SweepStrategy::Grid,
+            parallel_trials: 1,
+        }
+    }
+
+    /// Replaces the trial-selection strategy (default grid).
+    pub fn strategy(mut self, strategy: SweepStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Runs up to `n` trials concurrently on scoped worker threads, each
+    /// trial's backend pinned to a [`BackendConfig::shared_across`]`(n)`
+    /// share of the simulation-thread budget (minimum 1). The
+    /// leaderboard is identical for every value of `n`.
+    pub fn parallel_trials(mut self, n: usize) -> Self {
+        self.parallel_trials = n.max(1);
+        self
+    }
+
+    /// The trial specs this sweep will run, in enumeration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for an empty axis or a zero-trial
+    /// random strategy.
+    pub fn specs(&self) -> Result<Vec<TrialSpec>, QuGeoError> {
+        self.space.validate()?;
+        let grid = || {
+            let mut specs = Vec::with_capacity(self.space.grid_len());
+            for &lr in &self.space.learning_rates {
+                for &schedule in &self.space.schedules {
+                    for &depth in &self.space.depths {
+                        for &batch_size in &self.space.batch_sizes {
+                            specs.push(TrialSpec {
+                                index: specs.len(),
+                                learning_rate: lr,
+                                schedule,
+                                depth,
+                                batch_size,
+                            });
+                        }
+                    }
+                }
+            }
+            specs
+        };
+        match self.strategy {
+            SweepStrategy::Grid => Ok(grid()),
+            SweepStrategy::Random { trials, seed } => {
+                if trials == 0 {
+                    return Err(QuGeoError::Config {
+                        reason: "a random sweep needs at least one trial".into(),
+                    });
+                }
+                let mut rng = StdRng::seed_from_u64(seed);
+                Ok((0..trials)
+                    .map(|index| TrialSpec {
+                        index,
+                        learning_rate: self.space.learning_rates
+                            [rng.gen_range(0..self.space.learning_rates.len())],
+                        schedule: self.space.schedules
+                            [rng.gen_range(0..self.space.schedules.len())],
+                        depth: self.space.depths[rng.gen_range(0..self.space.depths.len())],
+                        batch_size: self.space.batch_sizes
+                            [rng.gen_range(0..self.space.batch_sizes.len())],
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Runs every trial and returns the ranked leaderboard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuGeoError::Config`] for invalid sweep configurations
+    /// and propagates the lowest-indexed trial's failure otherwise (so
+    /// error surfacing is as deterministic as success).
+    pub fn run(&self) -> Result<Leaderboard, QuGeoError> {
+        self.config.validate()?;
+        let specs = self.specs()?;
+        let workers = self.parallel_trials.min(specs.len()).max(1);
+        let share = BackendConfig::shared_across(workers);
+
+        let mut results: Vec<(usize, Result<TrialOutcome, QuGeoError>)> =
+            if workers == 1 {
+                specs
+                    .iter()
+                    .map(|spec| (spec.index, self.run_trial(spec, share)))
+                    .collect()
+            } else {
+                let next = AtomicUsize::new(0);
+                let collected = Mutex::new(Vec::with_capacity(specs.len()));
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(spec) = specs.get(i) else { break };
+                            let outcome = self.run_trial(spec, share);
+                            collected
+                                .lock()
+                                .expect("sweep result lock poisoned")
+                                .push((spec.index, outcome));
+                        });
+                    }
+                });
+                collected.into_inner().expect("sweep result lock poisoned")
+            };
+        // Key results by trial index so worker scheduling is invisible.
+        results.sort_by_key(|(index, _)| *index);
+
+        let mut trials = Vec::with_capacity(results.len());
+        for (_, result) in results {
+            trials.push(result?);
+        }
+        trials.sort_by(|a, b| {
+            a.final_mse
+                .total_cmp(&b.final_mse)
+                .then(a.spec.index.cmp(&b.spec.index))
+        });
+        Ok(Leaderboard { trials })
+    }
+
+    fn run_trial(&self, spec: &TrialSpec, share: BackendConfig) -> Result<TrialOutcome, QuGeoError> {
+        let mut model_config = self.base;
+        model_config.num_blocks = spec.depth;
+        let model = QuGeoVqc::new(model_config)?;
+        let backend = StatevectorBackend::with_config(share);
+        let mut strategy =
+            MiniBatchVqc::with_backend(&model, self.train, self.test, spec.batch_size, &backend)?;
+        let mut config = self.config;
+        config.initial_lr = spec.learning_rate;
+        let outcome = Trainer::new(config)
+            .schedule(spec.schedule.build(spec.learning_rate, config.epochs))
+            .fit(&mut strategy)?;
+        Ok(TrialOutcome {
+            spec: spec.clone(),
+            final_mse: outcome.final_mse,
+            final_ssim: outcome.final_ssim,
+            final_train_loss: outcome.history.last().map_or(f64::NAN, |s| s.train_loss),
+            epochs: outcome.history.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_spec_labels_are_stable() {
+        assert_eq!(ScheduleSpec::Constant.label(), "constant");
+        assert_eq!(ScheduleSpec::CosineAnnealing.label(), "cosine");
+        assert_eq!(
+            ScheduleSpec::StepDecay { every: 5, factor: 0.5 }.label(),
+            "step(every=5,factor=0.5)"
+        );
+        assert_eq!(
+            ScheduleSpec::WarmupCosine { warmup: 3 }.label(),
+            "warmup-cosine(warmup=3)"
+        );
+    }
+
+    #[test]
+    fn schedule_spec_builds_working_schedules() {
+        let lr = 0.1;
+        for spec in [
+            ScheduleSpec::Constant,
+            ScheduleSpec::CosineAnnealing,
+            ScheduleSpec::StepDecay { every: 2, factor: 0.5 },
+            ScheduleSpec::WarmupCosine { warmup: 2 },
+        ] {
+            let sched = spec.build(lr, 10);
+            for epoch in 0..10 {
+                let v = sched.lr_at(epoch);
+                assert!(v.is_finite() && v >= 0.0, "{spec:?} epoch {epoch}: {v}");
+            }
+        }
+        // Degenerate warmup is clamped instead of panicking.
+        let sched = ScheduleSpec::WarmupCosine { warmup: 99 }.build(lr, 3);
+        assert!(sched.lr_at(0).is_finite());
+    }
+
+    #[test]
+    fn json_f64_guards_non_finite_values() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert!(json_f64(0.125).parse::<f64>().is_ok() || json_f64(0.125).contains('e'));
+    }
+}

@@ -108,6 +108,15 @@ pub trait LrSchedule {
     fn lr_at(&self, epoch: usize) -> f64;
 }
 
+impl LrSchedule for Box<dyn LrSchedule> {
+    // Delegation, so schedules chosen at runtime (e.g. a sweep harness
+    // picking among schedule families) satisfy `impl LrSchedule +
+    // 'static` bounds without a wrapper type.
+    fn lr_at(&self, epoch: usize) -> f64 {
+        self.as_ref().lr_at(epoch)
+    }
+}
+
 /// Adam optimiser (Kingma & Ba, 2015) over a flat parameter vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Adam {

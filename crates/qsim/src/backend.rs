@@ -116,6 +116,19 @@ impl BackendConfig {
         let total = simulation_threads();
         Self::with_threads((total / workers.max(1)).max(1))
     }
+
+    /// Splits *this* config's resolved budget a further `ways` ways
+    /// (minimum 1 thread each).
+    ///
+    /// Where [`BackendConfig::shared_across`] divides the machine-wide
+    /// budget, `split` divides an already-allocated share — e.g. a sweep
+    /// trial that received `shared_across(parallel_trials)` hands each of
+    /// its data-parallel replicas `split(replicas)`. The kernel layer's
+    /// fixed-chunk reductions make results bit-identical whatever budget
+    /// lands here; `split` only affects scheduling.
+    pub fn split(&self, ways: usize) -> Self {
+        Self::with_threads((self.effective_threads() / ways.max(1)).max(1))
+    }
 }
 
 /// A circuit-execution substrate.
@@ -810,6 +823,18 @@ mod tests {
             })
             .collect();
         BatchedState::from_states(&states).unwrap()
+    }
+
+    #[test]
+    fn split_divides_a_resolved_budget_with_a_floor_of_one() {
+        let cfg = BackendConfig::with_threads(8);
+        assert_eq!(cfg.split(2).effective_threads(), 4);
+        assert_eq!(cfg.split(3).effective_threads(), 2);
+        assert_eq!(cfg.split(8).effective_threads(), 1);
+        assert_eq!(cfg.split(100).effective_threads(), 1);
+        assert_eq!(cfg.split(0).effective_threads(), 8);
+        // Splitting resolves the budget first: the result is always pinned.
+        assert!(BackendConfig::default().split(2).threads.is_some());
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Deterministic fault injection for chaos-testing execution stacks.
 //!
 //! [`FaultInjectingBackend`] wraps any [`QuantumBackend`] and corrupts a
-//! seeded, reproducible subset of `run_batch` calls with the failure
-//! modes a long-running hybrid pipeline actually meets:
+//! seeded, reproducible subset of `run_batch` and
+//! `adjoint_gradient_batch` calls (the serving and training hot paths,
+//! drawing from one shared schedule) with the failure modes a
+//! long-running hybrid pipeline actually meets:
 //!
 //! * **panics** — the engine dies mid-call (a worker-thread kill in a
 //!   serving fleet);
@@ -45,7 +47,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use crate::adjoint::{AdjointWorkspace, ObsForMember};
 use crate::batch::BatchedState;
+use crate::circuit::Circuit;
 use crate::fusion::CompiledCircuit;
 use crate::{BackendConfig, Complex64, DiagonalObservable, QsimError, QuantumBackend};
 
@@ -295,6 +299,52 @@ impl<B: QuantumBackend> QuantumBackend for FaultInjectingBackend<B> {
     fn probabilities(&self, batch: &BatchedState) -> Result<Vec<Vec<f64>>, QsimError> {
         self.inner.probabilities(batch)
     }
+
+    fn adjoint_gradient_batch(
+        &self,
+        circuit: &Circuit,
+        params: &[f64],
+        inputs: &BatchedState,
+        obs_for: &mut ObsForMember<'_>,
+        ws: &mut AdjointWorkspace,
+    ) -> Result<(), QsimError> {
+        // The training hot path goes through this entry point, not
+        // `run_batch`, so it draws from the same seeded schedule — a chaos
+        // run over a trainer injects the same fault classes a serving
+        // fleet meets. The counter is shared, so mixed serve/train runs
+        // still account exactly.
+        if !self.state.enabled() {
+            return self.inner.adjoint_gradient_batch(circuit, params, inputs, obs_for, ws);
+        }
+        let n = self.state.calls.fetch_add(1, Ordering::Relaxed);
+        match self.plan.outcome(n) {
+            Outcome::Clean => self.inner.adjoint_gradient_batch(circuit, params, inputs, obs_for, ws),
+            Outcome::Panic => {
+                self.state.panics.fetch_add(1, Ordering::Relaxed);
+                panic!("injected engine panic (call {n})");
+            }
+            Outcome::Transient => {
+                self.state.transients.fetch_add(1, Ordering::Relaxed);
+                Err(QsimError::TransientFault {
+                    reason: format!("injected transient fault (call {n})"),
+                })
+            }
+            Outcome::Nan => {
+                self.state.nans.fetch_add(1, Ordering::Relaxed);
+                self.inner.adjoint_gradient_batch(circuit, params, inputs, obs_for, ws)?;
+                // Poison member 0's loss value and gradient — the silent
+                // corruption a validation layer must catch downstream.
+                let poisoned = vec![f64::NAN; circuit.num_slots()];
+                ws.set_member_result(0, f64::NAN, &poisoned);
+                Ok(())
+            }
+            Outcome::Latency => {
+                self.state.latencies.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(self.plan.latency);
+                self.inner.adjoint_gradient_batch(circuit, params, inputs, obs_for, ws)
+            }
+        }
+    }
 }
 
 /// SplitMix64-style mixing of (seed, call) into a decorrelated word.
@@ -414,6 +464,64 @@ mod tests {
         state.set_enabled(true);
         assert!(backend.run_batch(&compiled, &mut batch).is_err());
         assert_eq!(state.calls(), 1);
+    }
+
+    #[test]
+    fn adjoint_path_draws_from_the_shared_schedule() {
+        let plan = FaultPlan {
+            seed: 3,
+            transient_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let state = backend.fault_state();
+
+        let mut c = Circuit::new(2);
+        let slot = c.alloc_slot();
+        c.ry_slot(0, slot).unwrap();
+        let inputs = BatchedState::replicate(&State::zero(2), 1);
+        let obs = DiagonalObservable::z(2, 0).unwrap();
+        let mut ws = AdjointWorkspace::new();
+        let mut obs_for = |_: usize, _: &[f64]| Ok(obs.clone());
+
+        let err = backend
+            .adjoint_gradient_batch(&c, &[0.3], &inputs, &mut obs_for, &mut ws)
+            .unwrap_err();
+        assert!(matches!(err, QsimError::TransientFault { .. }));
+        assert_eq!(state.calls(), 1, "adjoint calls must advance the shared counter");
+        assert_eq!(state.transients(), 1);
+
+        // Disabled, the call is the inner backend verbatim and does not
+        // consume the schedule.
+        state.set_enabled(false);
+        backend
+            .adjoint_gradient_batch(&c, &[0.3], &inputs, &mut obs_for, &mut ws)
+            .unwrap();
+        assert_eq!(state.calls(), 1);
+        assert!(ws.value(0).is_finite());
+    }
+
+    #[test]
+    fn adjoint_nan_injection_poisons_member_zero_results() {
+        let plan = FaultPlan {
+            seed: 3,
+            nan_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let backend = FaultInjectingBackend::new(StatevectorBackend::default(), plan);
+        let mut c = Circuit::new(2);
+        let slot = c.alloc_slot();
+        c.ry_slot(0, slot).unwrap();
+        let inputs = BatchedState::replicate(&State::zero(2), 1);
+        let obs = DiagonalObservable::z(2, 0).unwrap();
+        let mut ws = AdjointWorkspace::new();
+        let mut obs_for = |_: usize, _: &[f64]| Ok(obs.clone());
+        backend
+            .adjoint_gradient_batch(&c, &[0.3], &inputs, &mut obs_for, &mut ws)
+            .unwrap();
+        assert!(ws.value(0).is_nan(), "loss value must be poisoned");
+        assert!(ws.grad(0).iter().all(|g| g.is_nan()), "gradient must be poisoned");
+        assert_eq!(backend.fault_state().nans(), 1);
     }
 
     #[test]

@@ -385,39 +385,58 @@ pub(crate) fn apply_multiplexed_scalar(
     });
 }
 
-/// Sums `work(range)` over `0..total` split into contiguous chunks on at
-/// most `threads` scoped worker threads (fixed-size partial sums joined
-/// at the end), or inline when the slice is small or only one thread is
-/// allowed. The reduction analogue of [`for_each_chunk`].
+/// Fixed partial-sum granularity for [`reduce_chunks`]. The chunk size is
+/// a constant — never derived from the thread count — so the grouping of
+/// floating-point partial sums, and therefore the bit-exact result, is a
+/// function of `total` alone. Any thread count (including 1) produces the
+/// same chunk partials and the same left-to-right final accumulation.
+const REDUCE_CHUNK: usize = 1 << 12;
+
+/// Sums `work(range)` over `0..total`, splitting the range into
+/// fixed-size [`REDUCE_CHUNK`] chunks whose partial sums are accumulated
+/// left-to-right in chunk order. Threads only pick up disjoint slot
+/// ranges of the partial-sum table, so the reduction order — and the
+/// bit-exact floating-point result — is invariant under the thread
+/// count. The reduction analogue of [`for_each_chunk`].
 fn reduce_chunks<const N: usize>(
     total: usize,
     amps_len: usize,
     threads: usize,
     work: impl Fn(std::ops::Range<usize>) -> [Complex64; N] + Sync,
 ) -> [Complex64; N] {
-    if threads <= 1 || amps_len < PARALLEL_MIN_AMPS || total < threads {
+    if amps_len < PARALLEL_MIN_AMPS || total <= REDUCE_CHUNK {
         return work(0..total);
     }
-    let chunk = total.div_ceil(threads);
+    let chunks = total.div_ceil(REDUCE_CHUNK);
+    let mut partials = vec![[Complex64::ZERO; N]; chunks];
+    let slot_range = |slot: usize| {
+        let lo = slot * REDUCE_CHUNK;
+        lo..(lo + REDUCE_CHUNK).min(total)
+    };
+    if threads <= 1 {
+        for (slot, part) in partials.iter_mut().enumerate() {
+            *part = work(slot_range(slot));
+        }
+    } else {
+        let per = chunks.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slots) in partials.chunks_mut(per).enumerate() {
+                let work = &work;
+                let slot_range = &slot_range;
+                scope.spawn(move || {
+                    for (k, part) in slots.iter_mut().enumerate() {
+                        *part = work(slot_range(t * per + k));
+                    }
+                });
+            }
+        });
+    }
     let mut acc = [Complex64::ZERO; N];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(total);
-            if lo >= hi {
-                break;
-            }
-            let work = &work;
-            handles.push(scope.spawn(move || work(lo..hi)));
+    for part in &partials {
+        for (a, p) in acc.iter_mut().zip(part) {
+            *a += *p;
         }
-        for h in handles {
-            let part = h.join().expect("reduction worker panicked");
-            for (a, p) in acc.iter_mut().zip(part) {
-                *a += p;
-            }
-        }
-    });
+    }
     acc
 }
 
@@ -806,6 +825,54 @@ mod tests {
     fn assert_amps_eq(a: &[Complex64], b: &[Complex64], tol: f64) {
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
             assert!((*x - *y).norm() < tol, "amplitude {i}: {x:?} vs {y:?}");
+        }
+    }
+
+    /// The partial-sum grouping of `reduce_chunks` must be a function of
+    /// `total` alone — never of the thread count — so that gradients are
+    /// bit-identical whatever thread budget a backend was handed.
+    #[test]
+    fn reduce_chunks_is_bitwise_thread_invariant() {
+        // Non-associative-friendly work: wildly varying magnitudes so any
+        // regrouping of the floating-point sums would change low bits.
+        let work = |range: std::ops::Range<usize>| {
+            let mut acc = [Complex64::ZERO; 4];
+            for k in range {
+                let x = ((k as f64) * 0.7390851332151607).sin() * 1e8f64.powf((k % 7) as f64 / 6.0 - 0.5);
+                let y = ((k as f64) * 1.324_717_957_244_746).cos() * 1e6f64.powf((k % 5) as f64 / 4.0 - 0.5);
+                for (s, a) in acc.iter_mut().enumerate() {
+                    *a += Complex64::new(x * (s as f64 + 1.0), y - s as f64);
+                }
+            }
+            acc
+        };
+        // amps_len at the parallel threshold, total spanning many chunks
+        // (not a multiple of REDUCE_CHUNK, to cover the ragged tail).
+        let total = (1 << 14) + 123;
+        let amps_len = PARALLEL_MIN_AMPS;
+        let reference = reduce_chunks::<4>(total, amps_len, 1, work);
+        for threads in [2, 3, 5, 8] {
+            let got = reduce_chunks::<4>(total, amps_len, threads, work);
+            for (slot, (r, g)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    r.re.to_bits(),
+                    g.re.to_bits(),
+                    "slot {slot} re differs at {threads} threads"
+                );
+                assert_eq!(
+                    r.im.to_bits(),
+                    g.im.to_bits(),
+                    "slot {slot} im differs at {threads} threads"
+                );
+            }
+        }
+        // The small-state single-sweep path must agree with itself too
+        // (trivially) and stay in use below the parallel threshold.
+        let small = reduce_chunks::<4>(256, 512, 8, work);
+        let small_ref = work(0..256);
+        for (r, g) in small_ref.iter().zip(&small) {
+            assert_eq!(r.re.to_bits(), g.re.to_bits());
+            assert_eq!(r.im.to_bits(), g.im.to_bits());
         }
     }
 

@@ -128,7 +128,7 @@ pub use error::QsimError;
 pub use fault::{FaultInjectingBackend, FaultPlan, FaultState};
 pub use fusion::{CircuitStructure, CompiledCircuit, DerivKind, FusedOp, SlotDeriv};
 pub use gates::{Matrix2, Matrix4};
-pub use kernels::{set_simd_enabled, simd_feature_level};
+pub use kernels::{set_simd_enabled, simd_feature_level, simulation_threads};
 pub use passes::{run_passes, CancelInverses, MergeRotations, Pass, PassConfig, PassIr, WidenPairs};
 pub use gradient::{
     adjoint_gradient, finite_difference_gradient, parameter_shift_gradient,

@@ -10,6 +10,7 @@
 #   ./scripts/verify.sh compiler-smoke  # structure/bind + pass-pipeline gate only
 #   ./scripts/verify.sh kernel-smoke # SIMD/scalar differential + throughput gate only
 #   ./scripts/verify.sh chaos-smoke  # fault-injection / recovery gate only
+#   ./scripts/verify.sh train-smoke  # data-parallel determinism gate only
 #
 # The lint gate keeps `cargo clippy` warning-free across every target
 # (lib, tests, benches, examples, bins) — warnings are errors, and use
@@ -127,6 +128,25 @@ chaos_smoke() {
     cargo test -q --release -p qugeo --lib resumed_training_is_bit_identical_to_uninterrupted
 }
 
+# Data-parallel training gate: the replica-determinism differential
+# suite (DataParallel at N replicas bit-identical to one replica across
+# strategies, optimisers, and schedules; resume under parallelism;
+# typed replica-panic errors), run under the default SIMD dispatch and
+# once more with QUGEO_SIMD=off — the all-reduce bit-identity must hold
+# on both kernel tiers. Then a train_scaling smoke run, whose built-in
+# checks assert replicas=4 trains bit-identically to replicas=1 and
+# that the wrapper's overhead stays bounded; its JSON goes to a scratch
+# path so a smoke run never clobbers the tracked BENCH_TRAIN.json.
+train_smoke() {
+    echo "==> cargo test --release --test train_parallel (train-smoke)"
+    cargo test -q --release --test train_parallel
+    echo "==> cargo test --release --test train_parallel (QUGEO_SIMD=off)"
+    QUGEO_SIMD=off cargo test -q --release --test train_parallel
+    echo "==> train_scaling --smoke"
+    cargo run --release --quiet -p qugeo-bench --bin train_scaling -- \
+        --smoke --json target/BENCH_TRAIN.smoke.json
+}
+
 case "${1:-all}" in
     docs) docs_gate ;;
     lint) lint_gate ;;
@@ -136,6 +156,7 @@ case "${1:-all}" in
     compiler-smoke|--compiler-smoke) compiler_smoke ;;
     kernel-smoke|--kernel-smoke) kernel_smoke ;;
     chaos-smoke|--chaos-smoke) chaos_smoke ;;
+    train-smoke|--train-smoke) train_smoke ;;
     all)
         tier1
         lint_gate
@@ -145,9 +166,10 @@ case "${1:-all}" in
         compiler_smoke
         kernel_smoke
         chaos_smoke
+        train_smoke
         ;;
     *)
-        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke|kernel-smoke|chaos-smoke]" >&2
+        echo "usage: $0 [all|tier1|docs|lint|bench-smoke|serve-smoke|compiler-smoke|kernel-smoke|chaos-smoke|train-smoke]" >&2
         exit 2
         ;;
 esac

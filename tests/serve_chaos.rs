@@ -23,14 +23,17 @@ use qugeo::decoder::Decoder;
 use qugeo::model::{QuGeoVqc, VqcConfig};
 use qugeo::serve::{CoalesceMode, QuServe, RetryPolicy, ServeConfig, ServeError};
 use qugeo::session::InferenceSession;
+use qugeo::train::{ScheduleSpec, Sweep, SweepSpace, TrainConfig};
+use qugeo_geodata::scaling::ScaledSample;
 use qugeo_qsim::ansatz::EntangleOrder;
 use qugeo_qsim::{
-    BatchedState, CompiledCircuit, FaultInjectingBackend, FaultPlan, FaultState, QsimError,
-    QuantumBackend, StatevectorBackend,
+    BackendConfig, BatchedState, CompiledCircuit, FaultInjectingBackend, FaultPlan, FaultState,
+    QsimError, QuantumBackend, StatevectorBackend,
 };
+use qugeo_tensor::Array2;
 
-fn small_model() -> QuGeoVqc {
-    QuGeoVqc::new(VqcConfig {
+fn small_config() -> VqcConfig {
+    VqcConfig {
         seismic_len: 16,
         num_groups: 1,
         num_blocks: 2,
@@ -38,8 +41,11 @@ fn small_model() -> QuGeoVqc {
         entangle: EntangleOrder::Ring,
         decoder: Decoder::LayerWise { rows: 4 },
         max_qubits: 16,
-    })
-    .expect("valid config")
+    }
+}
+
+fn small_model() -> QuGeoVqc {
+    QuGeoVqc::new(small_config()).expect("valid config")
 }
 
 fn request(client: usize, i: usize) -> Vec<f64> {
@@ -455,4 +461,129 @@ fn circuit_breaker_degrades_packed_to_batched() {
     assert_eq!(stats.breaker_trips, 1);
     assert_eq!(stats.packed_fallbacks, 1, "exactly one batch fell back");
     assert_eq!(stats.transient_failures, 1);
+}
+
+/// Synthetic scaled samples with a learnable seismic→velocity link, for
+/// the sweep tenant of the shared-budget scenario below.
+fn synthetic_samples(n: usize) -> Vec<ScaledSample> {
+    const SIDE: usize = 4;
+    (0..n)
+        .map(|k| {
+            let depth = 1 + (k % (SIDE - 1));
+            let seismic: Vec<f64> = (0..16)
+                .map(|i| {
+                    let phase = i as f64 * 0.2 + depth as f64;
+                    phase.sin() + 0.3 * (phase * 0.5).cos()
+                })
+                .collect();
+            let velocity = Array2::from_fn(SIDE, SIDE, |r, _| {
+                if r < depth {
+                    2000.0
+                } else {
+                    3500.0
+                }
+            });
+            ScaledSample { seismic, velocity }
+        })
+        .collect()
+}
+
+/// Two tenants share the machine's simulation budget: a live QuServe
+/// fleet and a hyper-parameter sweep, each pinned to a
+/// [`BackendConfig::shared_across`] share. Under that contention,
+/// neither side may starve or drift:
+///
+/// * every serving request completes — the stats ledger shows zero
+///   rejections, sheds, or failures (the no-starvation contract);
+/// * served results stay bit-identical to an undisturbed sequential
+///   session (no cross-tenant state leakage);
+/// * the sweep's leaderboard is bit-identical to the same sweep run
+///   alone — training determinism survives a noisy neighbour.
+#[test]
+fn sweep_and_serving_share_the_thread_budget_without_starvation() {
+    const REQUESTS: usize = 48;
+
+    let model = small_model();
+    let params = model.init_params(21);
+    let samples = synthetic_samples(6);
+    let (train, test) = (&samples[..4], &samples[4..]);
+    let cfg = TrainConfig {
+        epochs: 2,
+        initial_lr: 0.1,
+        seed: 9,
+        eval_every: 0,
+    };
+    let space = SweepSpace {
+        learning_rates: vec![0.1, 0.02],
+        schedules: vec![ScheduleSpec::CosineAnnealing],
+        depths: vec![2],
+        batch_sizes: vec![2],
+    };
+
+    // The quiet-machine reference: the identical sweep, run alone.
+    let reference = Sweep::new(small_config(), train, test, cfg, space.clone())
+        .parallel_trials(2)
+        .run()
+        .expect("reference sweep");
+
+    // The serving tenant takes one shared_across(2) slice of the budget…
+    let serve = QuServe::start_with(
+        model.clone(),
+        &params,
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+            queue_depth: 256,
+            coalesce: CoalesceMode::Batched,
+            ..ServeConfig::default()
+        },
+        |_| StatevectorBackend::with_config(BackendConfig::shared_across(2)),
+    )
+    .expect("service starts");
+
+    // …while the sweep tenant contends on worker threads of its own
+    // (its trials pin themselves to shared_across(2) internally).
+    let contended = std::thread::scope(|scope| {
+        let sweep_tenant = scope.spawn(|| {
+            Sweep::new(small_config(), train, test, cfg, space.clone())
+                .parallel_trials(2)
+                .run()
+                .expect("contended sweep")
+        });
+        for c in 0..2 {
+            let serve = &serve;
+            scope.spawn(move || {
+                for i in 0..REQUESTS / 2 {
+                    serve
+                        .predict_blocking(request(c, i))
+                        .unwrap_or_else(|e| panic!("client {c} request {i} starved: {e}"));
+                }
+            });
+        }
+        sweep_tenant.join().expect("sweep tenant panicked")
+    });
+
+    // No starvation, by the books: every request completed, nothing was
+    // rejected, shed, or failed while the sweep hogged cores.
+    let stats = serve.stats();
+    assert_eq!(stats.completed, REQUESTS, "all requests served under contention");
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.deadline_shed, 0);
+    assert_eq!(stats.abandoned_shed, 0);
+    assert_eq!(stats.worker_restarts, 0, "contention is not a fault");
+    assert!(!stats.degraded);
+
+    // No cross-tenant leakage in either direction: served results match
+    // a sequential session bitwise, and the contended leaderboard (plus
+    // its stable JSON artifact) matches the quiet-machine reference.
+    let mut session = InferenceSession::new(model, &params).expect("reference session");
+    for k in 0..8 {
+        let served = serve.predict_blocking(request(7, k)).expect("post-soak serve");
+        let expected = session.predict(&request(7, k)).expect("reference");
+        assert_eq!(served, expected, "request {k} drifted under shared budget");
+    }
+    assert_eq!(contended, reference, "contention leaked into the leaderboard");
+    assert_eq!(contended.to_json(), reference.to_json());
 }
